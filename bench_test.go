@@ -1,0 +1,258 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one per table
+// and figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark both exercises the full pipeline at paper scale and, on the
+// first iteration, reports the headline reproduction numbers through b.Log
+// (visible with -v). The printed rows are the same ones cmd/experiments
+// emits; EXPERIMENTS.md records a reference snapshot.
+package tilt_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkTable2Workloads regenerates Table II: the six benchmark circuits
+// and their two-qubit gate counts.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if len(rows) != 6 {
+			b.Fatalf("Table II rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig6SwapInsertion regenerates Fig. 6: baseline vs LinQ swap
+// insertion on the long-distance benchmarks at head size 16.
+func BenchmarkFig6SwapInsertion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig6(rows))
+		}
+	}
+}
+
+// BenchmarkFig7MaxSwapLen regenerates Fig. 7: the MaxSwapLen sweep from 15
+// down to 8 on BV, QFT, and SQRT.
+func BenchmarkFig7MaxSwapLen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(16, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig7(rows))
+		}
+	}
+}
+
+// BenchmarkFig8Architectures regenerates Fig. 8: TILT-16/TILT-32/Ideal/QCCD
+// success rates over all six benchmarks (including the QCCD capacity sweep).
+func BenchmarkFig8Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig8(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Compilation regenerates Table III: compile times, move
+// counts, travel distances, and execution-time estimates at heads 16 and 32.
+func BenchmarkTable3Compilation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable3(rows))
+		}
+	}
+}
+
+// BenchmarkExtensionCooling regenerates the §VII sympathetic-cooling
+// ablation (success recovery vs cooling interval on QFT-64).
+func BenchmarkExtensionCooling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CoolingAblation(16, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatCooling(rows))
+		}
+	}
+}
+
+// BenchmarkExtensionScaling regenerates the §VII single-chain scaling study.
+func BenchmarkExtensionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ScalingStudy(16, 10, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatScaling(rows))
+		}
+	}
+}
+
+// BenchmarkExtensionModular regenerates the §VII MUSIQC modular study.
+func BenchmarkExtensionModular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ModularStudy(8, 10, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatModular(rows))
+		}
+	}
+}
+
+// BenchmarkAblationHeadSize sweeps head sizes beyond the paper's {16, 32}.
+func BenchmarkAblationHeadSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HeadSizeStudy("QFT", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatHeadStudy("QFT", rows))
+		}
+	}
+}
+
+// BenchmarkAblationPlacement compares initial-placement strategies.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PlacementAblation(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatPlacement(rows))
+		}
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the Eq. 1 lookahead discount.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AlphaAblation(16, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAlpha(rows))
+		}
+	}
+}
+
+// BenchmarkAblationOptimizer measures the peephole optimizer's effect.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OptimizeAblation(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatOptimize(rows))
+		}
+	}
+}
+
+// BenchmarkAblationScheduler compares Algorithm 2 against a sweeping head.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SchedulerAblation(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatScheduler(rows))
+		}
+	}
+}
+
+// BenchmarkSuiteShortDistance runs the §III-C application-class suite
+// (VQE, Ising, surface-code patches) across architectures.
+func BenchmarkSuiteShortDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ShortDistanceSuite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatSuite(rows))
+		}
+	}
+}
+
+// BenchmarkAdvantageSummary reproduces the abstract's headline numbers
+// ("up to 4.35x and 1.95x on average") from the Fig. 8 data.
+func BenchmarkAdvantageSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := experiments.AdvantageSummary(rows, 32)
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAdvantage(a, 32))
+		}
+	}
+}
+
+// BenchmarkRobustness re-checks the §VI-B orderings at ±2x noise constants.
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Robustness()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatRobustness(rows))
+		}
+	}
+}
+
+// BenchmarkPhysicsAddressing computes the §I execution-zone uniformity study
+// on the 64-ion equilibrium chain.
+func BenchmarkPhysicsAddressing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AddressingStudy(64, 16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAddressing(64, 16, rows))
+		}
+	}
+}
+
+// BenchmarkPhysicsGateMode reruns the benchmarks with FM-style chain-bound
+// gate times (the §III-B gate-selection argument).
+func BenchmarkPhysicsGateMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.GateModeAblation(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatGateMode(rows))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command experiments regenerates the paper's evaluation artifacts: Table II
+// (benchmark inventory), Fig. 6 (swap-insertion comparison), Fig. 7
+// (MaxSwapLen sweep), Fig. 8 (architecture comparison), and Table III
+// (compilation results). With no flags it runs everything.
+//
+// Usage:
+//
+//	experiments [-table2] [-fig6] [-fig7] [-fig8] [-table3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+)
+
+import "repro/internal/experiments"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		table2     = flag.Bool("table2", false, "regenerate Table II")
+		fig6       = flag.Bool("fig6", false, "regenerate Fig. 6")
+		fig7       = flag.Bool("fig7", false, "regenerate Fig. 7")
+		fig8       = flag.Bool("fig8", false, "regenerate Fig. 8")
+		table3     = flag.Bool("table3", false, "regenerate Table III")
+		extensions = flag.Bool("extensions", false, "run the §VII extension studies and ablations")
+	)
+	flag.Parse()
+	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions
+
+	if all || *table2 {
+		fmt.Println(experiments.FormatTable2(experiments.Table2()))
+	}
+	if all || *fig6 {
+		rows, err := experiments.Fig6(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFig6(rows))
+	}
+	if all || *fig7 {
+		rows, err := experiments.Fig7(16, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFig7(rows))
+	}
+	if all || *fig8 {
+		rows, err := experiments.Fig8()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFig8(rows))
+	}
+	if all || *table3 {
+		rows, err := experiments.Table3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+	}
+	if all || *extensions {
+		runExtensions()
+	}
+}
+
+// runExtensions prints the §VII extension studies and the LinQ design-choice
+// ablations.
+func runExtensions() {
+	cooling, err := experiments.CoolingAblation(16, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatCooling(cooling))
+
+	scaling, err := experiments.ScalingStudy(16, 10, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatScaling(scaling))
+
+	modular, err := experiments.ModularStudy(8, 10, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatModular(modular))
+
+	heads, err := experiments.HeadSizeStudy("QFT", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatHeadStudy("QFT", heads))
+
+	placement, err := experiments.PlacementAblation(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatPlacement(placement))
+
+	alpha, err := experiments.AlphaAblation(16, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatAlpha(alpha))
+
+	opt, err := experiments.OptimizeAblation(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatOptimize(opt))
+
+	sched, err := experiments.SchedulerAblation(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatScheduler(sched))
+
+	suite, err := experiments.ShortDistanceSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatSuite(suite))
+
+	fig8, err := experiments.Fig8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatAdvantage(experiments.AdvantageSummary(fig8, 32), 32))
+
+	robust, err := experiments.Robustness()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatRobustness(robust))
+
+	addr, err := experiments.AddressingStudy(64, 16, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatAddressing(64, 16, addr))
+
+	gates, err := experiments.GateModeAblation(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatGateMode(gates))
+}

@@ -1,0 +1,91 @@
+// Command linq compiles a Table II benchmark for a TILT device and reports
+// the compilation and simulation metrics (the per-application view of
+// Tables II–III and Fig. 6).
+//
+// Usage:
+//
+//	linq -bench QFT -ions 64 -head 16 [-maxswaplen 14] [-inserter linq|stochastic] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/swapins"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linq: ")
+
+	var (
+		bench      = flag.String("bench", "QFT", "benchmark name (ADDER, BV, QAOA, RCS, QFT, SQRT)")
+		ions       = flag.Int("ions", 0, "chain length (0 = benchmark width)")
+		head       = flag.Int("head", 16, "tape head size")
+		maxSwapLen = flag.Int("maxswaplen", 0, "max swap span (0 = head-1)")
+		alpha      = flag.Float64("alpha", 0, "Eq.1 lookahead discount (0 = default 0.7)")
+		inserter   = flag.String("inserter", "linq", "swap inserter: linq or stochastic")
+		seed       = flag.Int64("seed", 1, "seed for the stochastic inserter")
+		verbose    = flag.Bool("v", false, "print the tape itinerary")
+	)
+	flag.Parse()
+
+	bm, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := *ions
+	if n == 0 {
+		n = bm.Qubits()
+	}
+	cfg := core.Config{
+		Device:    device.TILT{NumIons: n, HeadSize: *head},
+		Placement: mapping.ProgramOrderPlacement,
+		Swap:      swapins.Options{MaxSwapLen: *maxSwapLen, Alpha: *alpha},
+	}
+	switch *inserter {
+	case "linq":
+		cfg.Inserter = swapins.LinQ{}
+	case "stochastic":
+		cfg.Inserter = swapins.Stochastic{Seed: *seed}
+	default:
+		log.Fatalf("unknown inserter %q", *inserter)
+	}
+
+	cr, sr, err := core.Run(bm.Circuit, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark      %s (%s)\n", bm.Name, bm.Comm)
+	fmt.Printf("qubits         %d on a %d-ion chain, head %d\n", bm.Qubits(), n, *head)
+	fmt.Printf("2Q gates       %d (CNOT-level)\n", decompose.TwoQubitGateCount(bm.Circuit))
+	fmt.Printf("native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
+	fmt.Printf("swaps          %d (opposing %d, ratio %.2f)\n",
+		cr.SwapCount, cr.OpposingSwaps, cr.OpposingRatio())
+	fmt.Printf("tape moves     %d, travel %d spacings\n", cr.Moves(), cr.DistSpacings())
+	fmt.Printf("t_swap         %v\n", cr.TSwap)
+	fmt.Printf("t_move         %v\n", cr.TMove)
+	fmt.Printf("success rate   %.6g (log %.4f)\n", sr.SuccessRate, sr.LogSuccess)
+	fmt.Printf("exec time      %.3f s\n", sr.ExecTimeUs/1e6)
+	fmt.Printf("mean 2Q fid    %.6f\n", sr.MeanTwoQubitFidelity)
+
+	if *verbose {
+		fmt.Fprintln(os.Stdout)
+		fmt.Fprintln(os.Stdout, trace.Summary(cr.Physical, cr.Schedule, cfg.Device))
+		fmt.Fprintln(os.Stdout)
+		fmt.Fprint(os.Stdout, trace.Timeline(cr.Schedule, cfg.Device))
+		fmt.Fprintln(os.Stdout)
+		prof := trace.Profile(cr.Physical, cr.Schedule, cfg.Device, noise.Default())
+		fmt.Fprint(os.Stdout, trace.FormatProfile(prof))
+	}
+}

@@ -1,0 +1,149 @@
+// Command tiltsim compiles and simulates a quantum circuit — a Table II
+// benchmark or an OpenQASM 2.0 file — on configurable TILT hardware and
+// noise, and can compare against the ideal and QCCD baselines.
+//
+// Usage:
+//
+//	tiltsim -bench QAOA -ions 64 -head 16
+//	tiltsim -qasm circuit.qasm -head 32 -gamma 2e-6 -epsilon 1e-4 -cooling 8
+//	tiltsim -bench QFT -compare           # adds Ideal TI and QCCD rows
+//	tiltsim -bench BV -emit out.qasm      # dump the compiled physical program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/qasm"
+	"repro/internal/qccd"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tiltsim: ")
+
+	var (
+		bench      = flag.String("bench", "", "Table II benchmark name")
+		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 input file")
+		ions       = flag.Int("ions", 0, "chain length (0 = circuit width)")
+		head       = flag.Int("head", 16, "tape head size")
+		maxSwapLen = flag.Int("maxswaplen", 0, "max swap span (0 = head-1)")
+		optimize   = flag.Bool("optimize", false, "run the peephole optimizer")
+		compare    = flag.Bool("compare", false, "also simulate Ideal TI and QCCD")
+		emit       = flag.String("emit", "", "write the compiled physical program as QASM")
+
+		gamma   = flag.Float64("gamma", 0, "background heating rate 1/µs (0 = default)")
+		epsilon = flag.Float64("epsilon", 0, "two-qubit residual error (0 = default)")
+		k0      = flag.Float64("k0", 0, "per-shuttle heating scale (0 = default)")
+		cooling = flag.Int("cooling", 0, "sympathetic cooling interval in moves (0 = off)")
+	)
+	flag.Parse()
+
+	c, name, err := loadCircuit(*bench, *qasmPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := *ions
+	if n == 0 {
+		n = c.NumQubits()
+	}
+
+	p := noise.Default()
+	if *gamma > 0 {
+		p.Gamma = *gamma
+	}
+	if *epsilon > 0 {
+		p.Epsilon = *epsilon
+	}
+	if *k0 > 0 {
+		p.K0 = *k0
+	}
+	p.CoolingInterval = *cooling
+
+	cfg := core.Config{
+		Device:    device.TILT{NumIons: n, HeadSize: *head},
+		Noise:     &p,
+		Placement: mapping.ProgramOrderPlacement,
+		Inserter:  swapins.LinQ{},
+		Swap:      swapins.Options{MaxSwapLen: *maxSwapLen},
+		Optimize:  *optimize,
+	}
+	cr, sr, err := core.Run(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("circuit        %s (%d qubits, %d gates, %d two-qubit at CNOT level)\n",
+		name, c.NumQubits(), c.Len(), decompose.TwoQubitGateCount(c))
+	fmt.Printf("device         TILT %d ions, head %d\n", n, *head)
+	if *optimize {
+		fmt.Printf("optimizer      removed %d gates (%d merges, %d cancellations, %d identities)\n",
+			cr.OptStats.Total(), cr.OptStats.MergedRotations,
+			cr.OptStats.CancelledPairs, cr.OptStats.DroppedIdentity)
+	}
+	fmt.Printf("swaps          %d (opposing ratio %.2f)\n", cr.SwapCount, cr.OpposingRatio())
+	fmt.Printf("tape moves     %d, travel %.0f µm\n",
+		cr.Moves(), float64(cr.DistSpacings())*p.IonSpacingUm)
+	fmt.Printf("success        %.6g (log %.4f)\n", sr.SuccessRate, sr.LogSuccess)
+	fmt.Printf("exec time      %.3f s\n", sr.ExecTimeUs/1e6)
+
+	if *compare {
+		ideal, err := core.RunIdeal(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ideal TI       %.6g (log %.4f)\n", ideal.SuccessRate, ideal.LogSuccess)
+		native := decompose.ToNative(c)
+		best, err := qccd.RunBestCapacity(native, n, nil, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("QCCD (cap %2d)  %.6g (log %.4f)\n",
+			best.Capacity, best.SuccessRate, best.LogSuccess)
+	}
+
+	if *emit != "" {
+		src, err := qasm.Write(cr.Physical)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*emit, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote compiled program to %s\n", *emit)
+	}
+}
+
+func loadCircuit(bench, qasmPath string) (*circuit.Circuit, string, error) {
+	switch {
+	case bench != "" && qasmPath != "":
+		return nil, "", fmt.Errorf("pass either -bench or -qasm, not both")
+	case bench != "":
+		bm, err := workloads.ByName(bench)
+		if err != nil {
+			return nil, "", err
+		}
+		return bm.Circuit, bm.Name, nil
+	case qasmPath != "":
+		src, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := qasm.Parse(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return c, qasmPath, nil
+	}
+	return nil, "", fmt.Errorf("pass -bench or -qasm (see -help)")
+}

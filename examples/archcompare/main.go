@@ -1,0 +1,56 @@
+// Architecture comparison: reproduce the Fig. 8 study for any benchmark —
+// TILT at two head sizes vs the ideal trapped-ion device vs the best QCCD
+// configuration from the paper's 15–35 capacity sweep.
+//
+// Usage: archcompare [-bench QFT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	tilt "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	benchName := flag.String("bench", "QFT", "ADDER, BV, QAOA, RCS, QFT, or SQRT")
+	flag.Parse()
+
+	bench, err := tilt.BenchmarkByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d qubits, %d two-qubit gates, %s\n\n",
+		bench.Name, bench.Qubits(), tilt.TwoQubitGateCount(bench.Circuit), bench.Comm)
+	fmt.Printf("%-28s %14s %8s %8s\n", "architecture", "success", "moves", "swaps")
+
+	for _, head := range []int{16, 32} {
+		compiled, metrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), head))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %14.4e %8d %8d\n",
+			fmt.Sprintf("TILT head %d", head), metrics.SuccessRate,
+			compiled.Moves(), compiled.SwapCount)
+	}
+
+	ideal, err := tilt.RunIdeal(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %14.4e %8d %8d\n", "ideal trapped ion", ideal.SuccessRate, 0, 0)
+
+	qr, err := tilt.RunQCCD(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %14.4e %8s %8s   (splits %d, hops %d)\n",
+		fmt.Sprintf("QCCD capacity %d", qr.Capacity), qr.SuccessRate, "-", "-",
+		qr.Splits, qr.Hops)
+
+	fmt.Println("\nPaper shape check (Fig. 8): TILT wins on short-distance traffic")
+	fmt.Println("(ADDER/BV/QAOA/RCS); QCCD wins on QFT's long-distance cascades;")
+	fmt.Println("the ideal device upper-bounds both.")
+}

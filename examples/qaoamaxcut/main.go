@@ -1,0 +1,92 @@
+// QAOA MaxCut: the workload class the paper's introduction motivates —
+// short-distance variational circuits where TILT shines. This example runs
+// the 64-qubit hardware-efficient ansatz across head sizes, tunes
+// MaxSwapLen with AutoTune, and compares against the QCCD baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tilt "repro"
+	"repro/internal/qsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	bench := tilt.BenchmarkQAOA()
+	fmt.Printf("%s: %d qubits, %d two-qubit gates (%s)\n\n",
+		bench.Name, bench.Qubits(), tilt.TwoQubitGateCount(bench.Circuit), bench.Comm)
+
+	// Head-size study: a wider execution zone needs fewer tape moves.
+	fmt.Println("head size study (64-ion chain):")
+	for _, head := range []int{8, 16, 24, 32} {
+		compiled, metrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(64, head))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  head %2d: swaps %3d, moves %3d, success %.4f, exec %.1f ms\n",
+			head, compiled.SwapCount, compiled.Moves(),
+			metrics.SuccessRate, metrics.ExecTimeUs/1000)
+	}
+
+	// MaxSwapLen tuning at head 16 (the paper's Fig. 7 procedure). QAOA
+	// needs no swaps under program-order placement, so the sweep confirms
+	// the parameter is inert here — compare with QFT where it matters.
+	trials, best, err := tilt.AutoTune(bench.Circuit, tilt.DefaultOptions(64, 16), []int{15, 12, 10, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMaxSwapLen tuning at head 16:")
+	for i, tr := range trials {
+		marker := " "
+		if i == best {
+			marker = "*"
+		}
+		fmt.Printf(" %s len %2d: swaps %3d, moves %3d, log-success %.3f\n",
+			marker, tr.MaxSwapLen, tr.SwapCount, tr.Moves, tr.LogSuccess)
+	}
+
+	// Architecture comparison: the paper's headline — TILT beats QCCD on
+	// repeated short-distance interaction patterns like QAOA.
+	_, tiltMetrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(64, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qr, err := tilt.RunQCCD(bench.Circuit, tilt.DefaultOptions(64, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTILT-16 success %.4f vs QCCD (best capacity %d) %.4f — TILT advantage %.2fx\n",
+		tiltMetrics.SuccessRate, qr.Capacity, qr.SuccessRate,
+		tiltMetrics.SuccessRate/qr.SuccessRate)
+
+	// Sanity-check the ansatz itself on a small instance: the exact MaxCut
+	// expectation of a 10-qubit path graph under the same circuit family,
+	// computed on the statevector simulator. A uniform random cut scores
+	// (n-1)/2 = 4.5; the ansatz should do better even with arbitrary
+	// (seeded, unoptimized) angles on at least one seed.
+	fmt.Println("\nsmall-instance MaxCut expectation (10-qubit path, exact statevector):")
+	bestE := 0.0
+	for seed := int64(1); seed <= 5; seed++ {
+		small := workloads.QAOAN(10, 2, seed)
+		s := qsim.NewState(10)
+		s.Run(small.Circuit)
+		e := s.Expectation(func(x int) float64 {
+			cut := 0
+			for q := 0; q+1 < 10; q++ {
+				if (x>>uint(q))&1 != (x>>uint(q+1))&1 {
+					cut++
+				}
+			}
+			return float64(cut)
+		})
+		fmt.Printf("  seed %d: E[cut] = %.3f\n", seed, e)
+		if e > bestE {
+			bestE = e
+		}
+	}
+	fmt.Printf("  best %.3f vs random-cut baseline 4.500\n", bestE)
+}

@@ -1,0 +1,152 @@
+// Package chain computes the classical equilibrium structure of a linear
+// ion crystal in a harmonic trap: N ions balancing the confining force
+// against mutual Coulomb repulsion (James, Appl. Phys. B 66, 181 (1998)).
+//
+// The paper's §I argues TILT benefits from operating only near the chain
+// center because "the ions in the center of a trap are more evenly spaced…
+// such an architecture has fewer issues with individual addressing and laser
+// pointing errors". This package makes that quantitative: equilibrium
+// positions, local spacings, and the RMS deviation of a window of ions from
+// the best-fit uniform beam grid — minimal at the center, growing toward the
+// edges (experiments.AddressingStudy).
+package chain
+
+import (
+	"fmt"
+	"math"
+)
+
+// EquilibriumPositions returns the dimensionless equilibrium positions
+// u_1 < … < u_n of n ions in a harmonic trap, satisfying
+//
+//	u_i = Σ_{j<i} 1/(u_i-u_j)² − Σ_{j>i} 1/(u_j-u_i)².
+//
+// Positions are in units of the characteristic length
+// (e²/4πε₀mω²)^(1/3); multiply by that scale for physical micrometres.
+// Solved by damped Newton iteration from a uniform initial guess.
+func EquilibriumPositions(n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chain: ion count %d < 1", n)
+	}
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	// Initial guess: uniform over the known equilibrium extent, which
+	// scales roughly like n^0.87 in characteristic lengths.
+	extent := 2.0 * math.Pow(float64(n), 0.56)
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = -extent/2 + extent*float64(i)/float64(n-1)
+	}
+
+	grad := make([]float64, n)
+	const (
+		maxIter = 50000
+		tol     = 1e-10
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient of the potential V = Σ u_i²/2 + Σ_{i<j} 1/|u_i-u_j|.
+		maxG := 0.0
+		for i := range u {
+			g := u[i]
+			for j := range u {
+				if j == i {
+					continue
+				}
+				d := u[i] - u[j]
+				s := 1.0
+				if d < 0 {
+					s = -1.0
+				}
+				g -= s / (d * d)
+			}
+			grad[i] = g
+			if a := math.Abs(g); a > maxG {
+				maxG = a
+			}
+		}
+		if maxG < tol {
+			return u, nil
+		}
+		// Damped Newton with a diagonal Hessian approximation:
+		// H_ii = 1 + Σ 2/|d|³ dominates the true Hessian row.
+		for i := range u {
+			h := 1.0
+			for j := range u {
+				if j == i {
+					continue
+				}
+				d := math.Abs(u[i] - u[j])
+				h += 2 / (d * d * d)
+			}
+			u[i] -= 0.5 * grad[i] / h
+		}
+	}
+	return nil, fmt.Errorf("chain: Newton iteration did not converge for n=%d", n)
+}
+
+// Spacings returns the n−1 gaps between adjacent equilibrium positions.
+func Spacings(u []float64) []float64 {
+	if len(u) < 2 {
+		return nil
+	}
+	out := make([]float64, len(u)-1)
+	for i := 0; i+1 < len(u); i++ {
+		out[i] = u[i+1] - u[i]
+	}
+	return out
+}
+
+// MinSpacing returns the smallest gap — always at the chain center — which
+// sets the individual-addressing beam-waist requirement.
+func MinSpacing(u []float64) float64 {
+	min := math.Inf(1)
+	for _, s := range Spacings(u) {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// UniformityRMS measures how far a window of ions deviates from the best-fit
+// uniform grid: the RMS residual of positions u[start:start+size] after
+// subtracting the least-squares line a + b·i. A fixed AOM beam array is a
+// uniform grid, so this residual is the per-ion laser pointing error the
+// window incurs (in characteristic lengths).
+func UniformityRMS(u []float64, start, size int) (float64, error) {
+	if size < 2 || start < 0 || start+size > len(u) {
+		return 0, fmt.Errorf("chain: window [%d,%d) outside chain of %d ions",
+			start, start+size, len(u))
+	}
+	// Least-squares fit of u_i against index i over the window.
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < size; i++ {
+		x := float64(i)
+		y := u[start+i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(size)
+	den := n*sxx - sx*sx
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	var ss float64
+	for i := 0; i < size; i++ {
+		r := u[start+i] - (a + b*float64(i))
+		ss += r * r
+	}
+	return math.Sqrt(ss / n), nil
+}
+
+// CenterWindow returns the start index of the size-ion window centered on
+// the chain.
+func CenterWindow(n, size int) int {
+	start := (n - size) / 2
+	if start < 0 {
+		start = 0
+	}
+	return start
+}

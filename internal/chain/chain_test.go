@@ -1,0 +1,172 @@
+package chain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoIonAnalytic(t *testing.T) {
+	// N=2: u = ±(1/4)^(1/3) (force balance u = 1/(2u)²).
+	u, err := EquilibriumPositions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.25, 1.0/3)
+	if math.Abs(u[1]-want) > 1e-9 || math.Abs(u[0]+want) > 1e-9 {
+		t.Errorf("2-ion positions %v, want ±%g", u, want)
+	}
+}
+
+func TestThreeIonAnalytic(t *testing.T) {
+	// N=3: outer ions at ±(5/4)^(1/3), center at 0 (James 1998).
+	u, err := EquilibriumPositions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1.25, 1.0/3)
+	if math.Abs(u[0]+want) > 1e-9 || math.Abs(u[1]) > 1e-9 || math.Abs(u[2]-want) > 1e-9 {
+		t.Errorf("3-ion positions %v, want [-%g 0 %g]", u, want, want)
+	}
+}
+
+func TestSingleIonAtOrigin(t *testing.T) {
+	u, err := EquilibriumPositions(1)
+	if err != nil || len(u) != 1 || u[0] != 0 {
+		t.Errorf("1-ion chain: %v, %v", u, err)
+	}
+}
+
+func TestChainSymmetryAndOrdering(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 64} {
+		u, err := EquilibriumPositions(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i+1 < n; i++ {
+			if u[i+1] <= u[i] {
+				t.Fatalf("n=%d: positions not strictly increasing at %d", n, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(u[i]+u[n-1-i]) > 1e-8 {
+				t.Fatalf("n=%d: not symmetric at %d: %g vs %g", n, i, u[i], u[n-1-i])
+			}
+		}
+	}
+}
+
+func TestSpacingMinimalAtCenter(t *testing.T) {
+	u, err := EquilibriumPositions(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Spacings(u)
+	// Spacings decrease from the edge to the center, then increase.
+	mid := len(s) / 2
+	for i := 0; i < mid; i++ {
+		if s[i+1] > s[i]+1e-9 {
+			t.Fatalf("spacing not decreasing toward center at %d: %g -> %g", i, s[i], s[i+1])
+		}
+	}
+	if MinSpacing(u) != s[mid] && MinSpacing(u) != s[mid-1] {
+		t.Errorf("min spacing not at center: min %g, center %g", MinSpacing(u), s[mid])
+	}
+}
+
+func TestMinSpacingScalesLikeJames(t *testing.T) {
+	// James 1998: min spacing ≈ 2.018/N^0.559 characteristic lengths.
+	for _, n := range []int{16, 32, 64} {
+		u, err := EquilibriumPositions(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MinSpacing(u)
+		want := 2.018 / math.Pow(float64(n), 0.559)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("n=%d: min spacing %g, James formula %g (rel %g)", n, got, want, rel)
+		}
+	}
+}
+
+func TestUniformityBestAtCenter(t *testing.T) {
+	// §I's claim: the central execution zone deviates least from a uniform
+	// beam grid.
+	u, err := EquilibriumPositions(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 16
+	center := CenterWindow(64, size)
+	centerRMS, err := UniformityRMS(u, center, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeRMS, err := UniformityRMS(u, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if centerRMS >= edgeRMS {
+		t.Errorf("center RMS %g not below edge RMS %g", centerRMS, edgeRMS)
+	}
+	// And by a healthy margin — the paper treats this as a design win.
+	if edgeRMS/centerRMS < 3 {
+		t.Errorf("center advantage only %.1fx; expected pronounced", edgeRMS/centerRMS)
+	}
+}
+
+func TestUniformityRMSValidation(t *testing.T) {
+	u := []float64{0, 1, 2}
+	if _, err := UniformityRMS(u, 0, 5); err == nil {
+		t.Error("oversized window should fail")
+	}
+	if _, err := UniformityRMS(u, -1, 2); err == nil {
+		t.Error("negative start should fail")
+	}
+	if _, err := UniformityRMS(u, 0, 1); err == nil {
+		t.Error("size-1 window should fail")
+	}
+	// A perfectly uniform chain has zero residual.
+	rms, err := UniformityRMS([]float64{0, 1, 2, 3}, 0, 4)
+	if err != nil || rms > 1e-12 {
+		t.Errorf("uniform chain RMS = %g, err %v", rms, err)
+	}
+}
+
+func TestEquilibriumRejectsBadCount(t *testing.T) {
+	if _, err := EquilibriumPositions(0); err == nil {
+		t.Error("0 ions should fail")
+	}
+}
+
+func TestPropertyForceBalance(t *testing.T) {
+	// At equilibrium, the net force on every ion is ~0.
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw)%30
+		u, err := EquilibriumPositions(n)
+		if err != nil {
+			return false
+		}
+		for i := range u {
+			force := -u[i]
+			for j := range u {
+				if j == i {
+					continue
+				}
+				d := u[i] - u[j]
+				s := 1.0
+				if d < 0 {
+					s = -1.0
+				}
+				force += s / (d * d)
+			}
+			if math.Abs(force) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

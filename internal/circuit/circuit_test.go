@@ -1,0 +1,307 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindArity(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want int
+	}{
+		{X, 1}, {H, 1}, {RZ, 1}, {CNOT, 2}, {CZ, 2}, {CP, 2}, {SWAP, 2},
+		{XX, 2}, {CCX, 3}, {Measure, 1},
+	}
+	for _, c := range cases {
+		if got := c.k.Arity(); got != c.want {
+			t.Errorf("%v.Arity() = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CNOT.String() != "cx" {
+		t.Errorf("CNOT.String() = %q, want cx", CNOT.String())
+	}
+	if Kind(999).String() != "kind(999)" {
+		t.Errorf("unknown kind string = %q", Kind(999).String())
+	}
+}
+
+func TestKindNative(t *testing.T) {
+	for _, k := range []Kind{RX, RY, RZ, XX} {
+		if !k.Native() {
+			t.Errorf("%v should be native", k)
+		}
+	}
+	for _, k := range []Kind{X, H, CNOT, CZ, SWAP, CCX} {
+		if k.Native() {
+			t.Errorf("%v should not be native", k)
+		}
+	}
+}
+
+func TestNewGateValidation(t *testing.T) {
+	if _, err := NewGate(CNOT, 0, 1); err == nil {
+		t.Error("CNOT with one qubit should fail")
+	}
+	if _, err := NewGate(CNOT, 0, 2, 2); err == nil {
+		t.Error("CNOT with repeated qubit should fail")
+	}
+	if _, err := NewGate(X, 0, -1); err == nil {
+		t.Error("negative qubit should fail")
+	}
+	if _, err := NewGate(X, 1.0, 3); err == nil {
+		t.Error("theta on non-parameterized gate should fail")
+	}
+	if _, err := NewGate(RX, math.NaN(), 0); err == nil {
+		t.Error("NaN theta should fail")
+	}
+	if _, err := NewGate(RX, math.Inf(1), 0); err == nil {
+		t.Error("Inf theta should fail")
+	}
+	if g, err := NewGate(XX, math.Pi/4, 0, 5); err != nil || g.Distance() != 5 {
+		t.Errorf("valid XX gate: %v, distance %d", err, g.Distance())
+	}
+}
+
+func TestGateDistancePanicsOnSingleQubit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Distance on 1-qubit gate should panic")
+		}
+	}()
+	g, _ := NewGate(X, 0, 0)
+	g.Distance()
+}
+
+func TestCircuitAddOutOfRange(t *testing.T) {
+	c := New(3)
+	g, _ := NewGate(X, 0, 5)
+	if err := c.Add(g); err == nil {
+		t.Error("adding gate on qubit 5 to 3-qubit circuit should fail")
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestDepthAndLayers(t *testing.T) {
+	c := New(4)
+	c.ApplyH(0)       // layer 1
+	c.ApplyCNOT(0, 1) // layer 2
+	c.ApplyCNOT(2, 3) // layer 1
+	c.ApplyCNOT(1, 2) // layer 3
+	c.ApplyX(0)       // layer 3
+	if got := c.Depth(); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+	layers := c.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("len(Layers) = %d, want 3", len(layers))
+	}
+	if len(layers[0]) != 2 || len(layers[1]) != 1 || len(layers[2]) != 2 {
+		t.Errorf("layer sizes = %d/%d/%d, want 2/1/2",
+			len(layers[0]), len(layers[1]), len(layers[2]))
+	}
+	depths := c.GateDepths()
+	want := []int{1, 2, 1, 3, 3}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Errorf("GateDepths[%d] = %d, want %d", i, depths[i], w)
+		}
+	}
+}
+
+func TestCountsAndDistance(t *testing.T) {
+	c := New(8)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 7)
+	c.ApplyCNOT(1, 2)
+	c.ApplySWAP(3, 4)
+	c.ApplyRZ(0.5, 5)
+	if got := c.TwoQubitCount(); got != 3 {
+		t.Errorf("TwoQubitCount = %d, want 3", got)
+	}
+	if got := c.CountKind(CNOT); got != 2 {
+		t.Errorf("CountKind(CNOT) = %d, want 2", got)
+	}
+	if got := c.MaxTwoQubitDistance(); got != 7 {
+		t.Errorf("MaxTwoQubitDistance = %d, want 7", got)
+	}
+	counts := c.GateCounts()
+	if counts[H] != 1 || counts[CNOT] != 2 || counts[SWAP] != 1 || counts[RZ] != 1 {
+		t.Errorf("GateCounts = %v", counts)
+	}
+}
+
+func TestMaxTwoQubitDistanceEmpty(t *testing.T) {
+	c := New(4)
+	c.ApplyH(0)
+	if got := c.MaxTwoQubitDistance(); got != 0 {
+		t.Errorf("MaxTwoQubitDistance = %d, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(3)
+	c.ApplyCNOT(0, 1)
+	d := c.Clone()
+	d.Gates()[0].Qubits[0] = 2
+	if c.Gate(0).Qubits[0] != 0 {
+		t.Error("Clone shares qubit slices with original")
+	}
+	d.ApplyX(2)
+	if c.Len() != 1 {
+		t.Error("Clone shares gate slice growth with original")
+	}
+}
+
+func TestQubitGateLists(t *testing.T) {
+	c := New(3)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(1, 2)
+	lists := c.QubitGateLists()
+	if len(lists[0]) != 2 || len(lists[1]) != 2 || len(lists[2]) != 1 {
+		t.Errorf("QubitGateLists sizes = %d/%d/%d", len(lists[0]), len(lists[1]), len(lists[2]))
+	}
+	if lists[1][0] != 1 || lists[1][1] != 2 {
+		t.Errorf("qubit 1 list = %v, want [1 2]", lists[1])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New(3)
+	c.ApplyCNOT(0, 2)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit failed Validate: %v", err)
+	}
+	// Hand-corrupt a gate.
+	c.Gates()[0].Qubits[1] = 9
+	if err := c.Validate(); err == nil {
+		t.Error("corrupted circuit passed Validate")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New(2)
+	c.ApplyH(0)
+	c.ApplyCP(math.Pi/2, 0, 1)
+	s := c.String()
+	if !strings.Contains(s, "qreg q[2]") || !strings.Contains(s, "h q0") ||
+		!strings.Contains(s, "cp(") {
+		t.Errorf("String output unexpected:\n%s", s)
+	}
+}
+
+// randomCircuit builds a pseudo-random valid circuit for property tests.
+func randomCircuit(rng *rand.Rand, n, gates int) *Circuit {
+	c := New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.ApplyH(rng.Intn(n))
+		case 1:
+			c.ApplyRZ(rng.Float64()*2*math.Pi, rng.Intn(n))
+		case 2:
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.ApplyCNOT(a, b)
+		case 3:
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.ApplyXX(math.Pi/4, a, b)
+		}
+	}
+	return c
+}
+
+func TestPropertyDepthBounds(t *testing.T) {
+	f := func(seed int64, nRaw, gRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%8
+		gates := int(gRaw) % 50
+		c := randomCircuit(rng, n, gates)
+		d := c.Depth()
+		if gates == 0 {
+			return d == 0
+		}
+		// Depth is at least ceil(len/num-parallel-slots) and at most len.
+		return d >= 1 && d <= c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLayersPartitionGates(t *testing.T) {
+	f := func(seed int64, nRaw, gRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%8
+		c := randomCircuit(rng, n, int(gRaw)%60)
+		layers := c.Layers()
+		seen := make(map[int]bool)
+		for _, layer := range layers {
+			used := make(map[int]bool)
+			for _, gi := range layer {
+				if seen[gi] {
+					return false // duplicate gate across layers
+				}
+				seen[gi] = true
+				for _, q := range c.Gate(gi).Qubits {
+					if used[q] {
+						return false // qubit conflict within a layer
+					}
+					used[q] = true
+				}
+			}
+		}
+		return len(seen) == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(seed int64, gRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 5, int(gRaw)%40)
+		d := c.Clone()
+		if c.Len() != d.Len() || c.NumQubits() != d.NumQubits() {
+			return false
+		}
+		for i := 0; i < c.Len(); i++ {
+			a, b := c.Gate(i), d.Gate(i)
+			if a.Kind != b.Kind || a.Theta != b.Theta || len(a.Qubits) != len(b.Qubits) {
+				return false
+			}
+			for j := range a.Qubits {
+				if a.Qubits[j] != b.Qubits[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package core implements LinQ, the paper's compiler + simulator toolflow
+// for the TILT architecture (Fig. 4): native-gate decomposition, initial
+// qubit placement, swap insertion, tape-movement scheduling, and noisy
+// simulation, with per-phase compile timings for Table III.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/optimize"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/swapins"
+)
+
+// Config selects the device, noise model, and compiler strategies for one
+// LinQ run. The zero value of each optional field picks the paper default.
+type Config struct {
+	// Device is the target TILT machine (required).
+	Device device.TILT
+	// Noise parameterizes the Eq. 3–5 models. The zero value means
+	// noise.Default().
+	Noise *noise.Params
+	// Placement picks the initial-mapping heuristic (default greedy).
+	Placement mapping.Strategy
+	// Inserter picks the swap-insertion strategy; nil means swapins.LinQ.
+	Inserter swapins.Inserter
+	// Swap carries swap-insertion options (MaxSwapLen, Alpha, Lookahead).
+	Swap swapins.Options
+	// Optimize enables the peephole optimizer on the native circuit before
+	// swap insertion (rotation merging, self-inverse cancellation).
+	Optimize bool
+}
+
+// NoiseParams resolves the config's noise model (Default when unset).
+func (cfg Config) NoiseParams() noise.Params {
+	if cfg.Noise != nil {
+		return *cfg.Noise
+	}
+	return noise.Default()
+}
+
+func (cfg Config) inserter() swapins.Inserter {
+	if cfg.Inserter != nil {
+		return cfg.Inserter
+	}
+	return swapins.LinQ{}
+}
+
+// CompileResult is a fully compiled TILT program with its statistics.
+type CompileResult struct {
+	// Native is the input lowered to {RX, RY, RZ, XX} (logical qubits).
+	Native *circuit.Circuit
+	// Physical is the executable circuit over tape slots, with SWAPs.
+	Physical *circuit.Circuit
+	// Schedule is the tape itinerary for Physical.
+	Schedule *schedule.Schedule
+	// Swap-insertion statistics (Fig. 6 metrics).
+	SwapCount     int
+	OpposingSwaps int
+	// Mappings before and after swap insertion.
+	InitialMapping *mapping.Mapping
+	FinalMapping   *mapping.Mapping
+	// TSwap and TMove are the wall-clock compile times of the swap
+	// insertion and tape-scheduling phases (Table III's t_swap, t_move).
+	TSwap time.Duration
+	TMove time.Duration
+	// OptStats reports peephole-optimizer eliminations (zero unless
+	// Config.Optimize was set).
+	OptStats optimize.Stats
+}
+
+// OpposingRatio returns OpposingSwaps/SwapCount (0 when no swaps).
+func (r *CompileResult) OpposingRatio() float64 {
+	if r.SwapCount == 0 {
+		return 0
+	}
+	return float64(r.OpposingSwaps) / float64(r.SwapCount)
+}
+
+// Moves returns the scheduled tape-move count.
+func (r *CompileResult) Moves() int { return r.Schedule.Moves }
+
+// DistSpacings returns the scheduled tape travel in ion spacings.
+func (r *CompileResult) DistSpacings() int { return r.Schedule.Dist }
+
+// Compile runs the LinQ pipeline on a logical circuit: decompose → place →
+// insert swaps → schedule. The input circuit may contain any gate kind the
+// decomposer understands (including Toffolis).
+func Compile(c *circuit.Circuit, cfg Config) (*CompileResult, error) {
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits() > cfg.Device.NumIons {
+		return nil, fmt.Errorf("core: circuit width %d exceeds chain %d",
+			c.NumQubits(), cfg.Device.NumIons)
+	}
+	native := decompose.ToNative(c)
+	var optStats optimize.Stats
+	if cfg.Optimize {
+		native, optStats = optimize.Run(native)
+	}
+
+	m0, err := mapping.Initial(native, cfg.Device.NumIons, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	ins, err := cfg.inserter().Insert(native, m0, cfg.Device, cfg.Swap)
+	if err != nil {
+		return nil, err
+	}
+	tSwap := time.Since(t0)
+
+	t1 := time.Now()
+	sched, err := schedule.Tape(ins.Physical, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	tMove := time.Since(t1)
+
+	return &CompileResult{
+		Native:         native,
+		Physical:       ins.Physical,
+		Schedule:       sched,
+		SwapCount:      ins.SwapCount,
+		OpposingSwaps:  ins.OpposingSwaps,
+		InitialMapping: ins.InitialMapping,
+		FinalMapping:   ins.FinalMapping,
+		TSwap:          tSwap,
+		TMove:          tMove,
+		OptStats:       optStats,
+	}, nil
+}
+
+// Simulate evaluates a compiled program under the config's noise model.
+func (r *CompileResult) Simulate(cfg Config) (*sim.Result, error) {
+	return sim.Simulate(r.Physical, r.Schedule, cfg.Device, cfg.NoiseParams())
+}
+
+// Run compiles and simulates in one call.
+func Run(c *circuit.Circuit, cfg Config) (*CompileResult, *sim.Result, error) {
+	cr, err := Compile(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr, err := cr.Simulate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cr, sr, nil
+}
+
+// RunIdeal evaluates the circuit on an ideal fully connected trapped-ion
+// device of the same chain length (the Fig. 8 upper bound): decomposition
+// and initial placement only, no swaps or moves. The placement matters even
+// without routing because the Eq. 3 gate time — and hence the Γτ error term
+// — grows with the ion separation on the chain.
+func RunIdeal(c *circuit.Circuit, cfg Config) (*sim.Result, error) {
+	native := decompose.ToNative(c)
+	// With no routing, the placement objective is exactly the weighted
+	// distance sum the greedy heuristic minimizes; program order (built for
+	// sweep-style routing) has no advantage here.
+	m0, err := mapping.Initial(native, cfg.Device.NumIons, mapping.GreedyPlacement)
+	if err != nil {
+		return nil, err
+	}
+	mapped := circuit.New(cfg.Device.NumIons)
+	for _, g := range native.Gates() {
+		qs := make([]int, len(g.Qubits))
+		for i, q := range g.Qubits {
+			qs[i] = m0.Phys(q)
+		}
+		mapped.MustAdd(g.Kind, g.Theta, qs...)
+	}
+	return sim.SimulateIdeal(mapped, device.IdealTI{NumIons: cfg.Device.NumIons}, cfg.NoiseParams())
+}
+
+// TuneResult records one MaxSwapLen trial of the Fig. 7 sweep.
+type TuneResult struct {
+	MaxSwapLen int
+	SwapCount  int
+	Moves      int
+	LogSuccess float64
+}
+
+// AutoTune implements the paper's "iterate the LinQ procedure to find the
+// best choice" (§IV-C): it compiles the circuit at every candidate
+// MaxSwapLen and returns the trials plus the index of the best one by
+// success rate. An empty candidate list sweeps HeadSize−1 down to
+// HeadSize/2.
+func AutoTune(c *circuit.Circuit, cfg Config, candidates []int) ([]TuneResult, int, error) {
+	if len(candidates) == 0 {
+		for l := cfg.Device.HeadSize - 1; l >= cfg.Device.HeadSize/2 && l >= 1; l-- {
+			candidates = append(candidates, l)
+		}
+	}
+	results := make([]TuneResult, 0, len(candidates))
+	best := -1
+	for _, l := range candidates {
+		trial := cfg
+		trial.Swap.MaxSwapLen = l
+		cr, sr, err := Run(c, trial)
+		if err != nil {
+			return nil, -1, fmt.Errorf("core: AutoTune at MaxSwapLen=%d: %w", l, err)
+		}
+		results = append(results, TuneResult{
+			MaxSwapLen: l,
+			SwapCount:  cr.SwapCount,
+			Moves:      cr.Moves(),
+			LogSuccess: sr.LogSuccess,
+		})
+		if best == -1 || sr.LogSuccess > results[best].LogSuccess {
+			best = len(results) - 1
+		}
+	}
+	return results, best, nil
+}

@@ -1,0 +1,30 @@
+package decompose
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// BenchmarkToNativeQFT measures lowering the 64-qubit QFT to the trapped-ion
+// native set.
+func BenchmarkToNativeQFT(b *testing.B) {
+	bm := workloads.QFT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := ToNative(bm.Circuit); c.Len() == 0 {
+			b.Fatal("empty decomposition")
+		}
+	}
+}
+
+// BenchmarkToNativeAdder measures lowering the Toffoli-heavy adder.
+func BenchmarkToNativeAdder(b *testing.B) {
+	bm := workloads.Adder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := ToNative(bm.Circuit); c.Len() == 0 {
+			b.Fatal("empty decomposition")
+		}
+	}
+}

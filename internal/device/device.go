@@ -1,0 +1,110 @@
+// Package device describes the machine models evaluated in the paper: the
+// TILT linear-tape trap, the ideal fully connected trapped-ion device, and
+// the QCCD multi-trap device of Murali et al. used as the Fig. 8 baseline.
+package device
+
+import "fmt"
+
+// TILT is a linear-tape trapped-ion device: NumIons ions in one chain, a
+// fixed laser head covering HeadSize contiguous ions (the execution zone).
+type TILT struct {
+	NumIons  int
+	HeadSize int
+}
+
+// Validate checks the specification is physically meaningful.
+func (t TILT) Validate() error {
+	if t.NumIons < 2 {
+		return fmt.Errorf("device: TILT needs ≥2 ions, got %d", t.NumIons)
+	}
+	if t.HeadSize < 2 {
+		return fmt.Errorf("device: TILT head size %d < 2", t.HeadSize)
+	}
+	if t.HeadSize > t.NumIons {
+		return fmt.Errorf("device: TILT head size %d exceeds chain length %d",
+			t.HeadSize, t.NumIons)
+	}
+	return nil
+}
+
+// MaxGateDistance is the largest two-qubit gate distance executable under
+// the head: both ions must fit in an L-ion window, so L−1 spacings.
+func (t TILT) MaxGateDistance() int { return t.HeadSize - 1 }
+
+// Executable reports whether a two-qubit gate spanning d ion spacings can be
+// executed (possibly after a tape move) without swap insertion.
+func (t TILT) Executable(d int) bool { return d >= 0 && d <= t.MaxGateDistance() }
+
+// NumPositions is the number of distinct head positions (leftmost covered
+// slot ranges over [0, NumIons−HeadSize]).
+func (t TILT) NumPositions() int { return t.NumIons - t.HeadSize + 1 }
+
+// PositionsFor returns the inclusive range [lo, hi] of head positions at
+// which a gate occupying physical slots [qlo, qhi] is executable, and
+// ok=false if the span exceeds the head.
+func (t TILT) PositionsFor(qlo, qhi int) (lo, hi int, ok bool) {
+	if qlo > qhi {
+		qlo, qhi = qhi, qlo
+	}
+	if qhi-qlo > t.MaxGateDistance() || qlo < 0 || qhi >= t.NumIons {
+		return 0, 0, false
+	}
+	lo = qhi - t.HeadSize + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi = qlo
+	if max := t.NumIons - t.HeadSize; hi > max {
+		hi = max
+	}
+	return lo, hi, true
+}
+
+// IdealTI is a fully connected trapped-ion device: every pair of the NumIons
+// ions can interact directly, with no shuttling (the Fig. 8 upper bound).
+type IdealTI struct {
+	NumIons int
+}
+
+// Validate checks the specification.
+func (d IdealTI) Validate() error {
+	if d.NumIons < 2 {
+		return fmt.Errorf("device: IdealTI needs ≥2 ions, got %d", d.NumIons)
+	}
+	return nil
+}
+
+// QCCD is a linear multi-trap quantum charge-coupled device: NumTraps traps
+// in a row, each holding up to Capacity ions, connected by shuttling
+// segments. Cross-trap interaction requires swap-to-edge, split, shuttle,
+// and merge primitives (paper Fig. 3).
+type QCCD struct {
+	NumQubits int
+	Capacity  int
+}
+
+// Validate checks the specification. The paper sweeps Capacity over [15,35].
+func (d QCCD) Validate() error {
+	if d.NumQubits < 2 {
+		return fmt.Errorf("device: QCCD needs ≥2 qubits, got %d", d.NumQubits)
+	}
+	if d.Capacity < 2 {
+		return fmt.Errorf("device: QCCD capacity %d < 2", d.Capacity)
+	}
+	return nil
+}
+
+// NumTraps returns the trap count: enough traps of the given capacity to
+// hold every qubit with at least one free slot per trap for transit (a full
+// trap cannot accept a shuttled ion).
+func (d QCCD) NumTraps() int {
+	eff := d.Capacity - 1
+	if eff < 1 {
+		eff = 1
+	}
+	n := (d.NumQubits + eff - 1) / eff
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTILTValidate(t *testing.T) {
+	cases := []struct {
+		spec TILT
+		ok   bool
+	}{
+		{TILT{64, 16}, true},
+		{TILT{64, 32}, true},
+		{TILT{64, 64}, true},
+		{TILT{1, 2}, false},
+		{TILT{64, 1}, false},
+		{TILT{16, 32}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%+v: Validate() = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestTILTExecutable(t *testing.T) {
+	d := TILT{NumIons: 64, HeadSize: 16}
+	if !d.Executable(15) {
+		t.Error("distance 15 should be executable under a 16-ion head")
+	}
+	if d.Executable(16) {
+		t.Error("distance 16 should not be executable under a 16-ion head")
+	}
+	if d.Executable(-1) {
+		t.Error("negative distance should not be executable")
+	}
+	if got := d.MaxGateDistance(); got != 15 {
+		t.Errorf("MaxGateDistance = %d, want 15", got)
+	}
+	if got := d.NumPositions(); got != 49 {
+		t.Errorf("NumPositions = %d, want 49", got)
+	}
+}
+
+func TestPositionsForFig5(t *testing.T) {
+	// Paper Fig. 5: with head size L, a gate of distance L−1 has exactly
+	// one valid position; distance L−3 has three.
+	d := TILT{NumIons: 64, HeadSize: 16}
+	lo, hi, ok := d.PositionsFor(10, 25) // distance 15 = L−1
+	if !ok || hi-lo != 0 {
+		t.Errorf("distance L-1: positions [%d,%d] ok=%v, want exactly one", lo, hi, ok)
+	}
+	lo, hi, ok = d.PositionsFor(10, 23) // distance 13 = L−3
+	if !ok || hi-lo != 2 {
+		t.Errorf("distance L-3: positions [%d,%d] ok=%v, want three", lo, hi, ok)
+	}
+	if _, _, ok := d.PositionsFor(0, 16); ok {
+		t.Error("distance 16 should have no valid positions")
+	}
+	if _, _, ok := d.PositionsFor(-1, 5); ok {
+		t.Error("out-of-range slot should have no valid positions")
+	}
+}
+
+func TestPositionsForClampsAtEdges(t *testing.T) {
+	d := TILT{NumIons: 64, HeadSize: 16}
+	lo, hi, ok := d.PositionsFor(0, 1)
+	if !ok || lo != 0 {
+		t.Errorf("edge gate positions [%d,%d] ok=%v, want lo=0", lo, hi, ok)
+	}
+	lo, hi, ok = d.PositionsFor(62, 63)
+	if !ok || hi != 48 {
+		t.Errorf("far-edge gate positions [%d,%d] ok=%v, want hi=48", lo, hi, ok)
+	}
+	// Reversed argument order must normalize.
+	lo2, hi2, ok2 := d.PositionsFor(63, 62)
+	if lo != lo2 || hi != hi2 || ok != ok2 {
+		t.Error("PositionsFor not symmetric in argument order")
+	}
+}
+
+func TestPropertyPositionsCoverGate(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		d := TILT{NumIons: 64, HeadSize: 16}
+		a := int(aRaw) % 64
+		b := int(bRaw) % 64
+		if a == b {
+			return true
+		}
+		lo, hi, ok := d.PositionsFor(a, b)
+		qlo, qhi := a, b
+		if qlo > qhi {
+			qlo, qhi = qhi, qlo
+		}
+		if qhi-qlo > d.MaxGateDistance() {
+			return !ok
+		}
+		if !ok || lo > hi {
+			return false
+		}
+		// Every returned position must cover both qubits.
+		for p := lo; p <= hi; p++ {
+			if p > qlo || qhi > p+d.HeadSize-1 {
+				return false
+			}
+		}
+		// Positions just outside must not.
+		if lo > 0 && qhi <= lo-1+d.HeadSize-1 && lo-1 <= qlo {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdealTIValidate(t *testing.T) {
+	if err := (IdealTI{NumIons: 64}).Validate(); err != nil {
+		t.Errorf("valid IdealTI failed: %v", err)
+	}
+	if err := (IdealTI{NumIons: 1}).Validate(); err == nil {
+		t.Error("1-ion IdealTI should fail")
+	}
+}
+
+func TestQCCDValidateAndTraps(t *testing.T) {
+	if err := (QCCD{NumQubits: 64, Capacity: 16}).Validate(); err != nil {
+		t.Errorf("valid QCCD failed: %v", err)
+	}
+	if err := (QCCD{NumQubits: 1, Capacity: 16}).Validate(); err == nil {
+		t.Error("1-qubit QCCD should fail")
+	}
+	if err := (QCCD{NumQubits: 64, Capacity: 1}).Validate(); err == nil {
+		t.Error("capacity-1 QCCD should fail")
+	}
+	// 64 qubits, capacity 16 -> 15 usable per trap -> 5 traps.
+	if got := (QCCD{NumQubits: 64, Capacity: 16}).NumTraps(); got != 5 {
+		t.Errorf("NumTraps = %d, want 5", got)
+	}
+	if got := (QCCD{NumQubits: 64, Capacity: 35}).NumTraps(); got != 2 {
+		t.Errorf("NumTraps(35) = %d, want 2", got)
+	}
+}

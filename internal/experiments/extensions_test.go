@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoolingAblationMonotone(t *testing.T) {
+	rows, err := CoolingAblation(16, []int{0, 32, 8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More frequent cooling never hurts: log success must be
+	// non-decreasing along the sweep 0 (off) -> 1 (every move).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LogSuccess < rows[i-1].LogSuccess-1e-9 {
+			t.Errorf("interval %d (%g) worse than %d (%g)",
+				rows[i].Interval, rows[i].LogSuccess,
+				rows[i-1].Interval, rows[i-1].LogSuccess)
+		}
+	}
+	// And the effect is material on QFT: cooling every move should win
+	// by many orders of magnitude over no cooling.
+	if gain := rows[3].LogSuccess - rows[0].LogSuccess; gain < 5 {
+		t.Errorf("cooling gain only %g nats; expected a large recovery", gain)
+	}
+	if out := FormatCooling(rows); !strings.Contains(out, "interval") {
+		t.Error("FormatCooling malformed")
+	}
+}
+
+func TestScalingStudyDegradesWithChainLength(t *testing.T) {
+	rows, err := ScalingStudy(16, 4, []int{32, 64, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LogSuccess >= rows[i-1].LogSuccess {
+			t.Errorf("n=%d (%g) should be worse than n=%d (%g): √n heating",
+				rows[i].Ions, rows[i].LogSuccess, rows[i-1].Ions, rows[i-1].LogSuccess)
+		}
+	}
+	if out := FormatScaling(rows); !strings.Contains(out, "ions") {
+		t.Error("FormatScaling malformed")
+	}
+}
+
+func TestModularStudyCrossover(t *testing.T) {
+	rows, err := ModularStudy(8, 10, []int{48, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 96 qubits and 10 rounds the two-module machine wins (§VII).
+	big := rows[1]
+	if big.TwoModuleLog <= big.MonolithicLog {
+		t.Errorf("96q: 2 modules (%g) should beat monolithic (%g)",
+			big.TwoModuleLog, big.MonolithicLog)
+	}
+	// Four modules pay more photonic links than two on a path graph.
+	if big.FourCross <= big.TwoCross {
+		t.Errorf("cross gates: 4 modules (%d) should exceed 2 modules (%d)",
+			big.FourCross, big.TwoCross)
+	}
+	if out := FormatModular(rows); !strings.Contains(out, "monolithic") {
+		t.Error("FormatModular malformed")
+	}
+}
+
+func TestHeadSizeStudyImproves(t *testing.T) {
+	rows, err := HeadSizeStudy("QFT", []int{8, 16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LogSuccess < rows[i-1].LogSuccess {
+			t.Errorf("head %d (%g) worse than head %d (%g)",
+				rows[i].Head, rows[i].LogSuccess, rows[i-1].Head, rows[i-1].LogSuccess)
+		}
+		if rows[i].Moves > rows[i-1].Moves {
+			t.Errorf("head %d uses more moves than head %d", rows[i].Head, rows[i-1].Head)
+		}
+	}
+	// Full-chain head: no swaps at all.
+	if last := rows[len(rows)-1]; last.Swaps != 0 {
+		t.Errorf("head 64 should need no swaps, got %d", last.Swaps)
+	}
+	// Heads wider than the register are skipped.
+	short, err := HeadSizeStudy("SQRT", []int{16, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 1 {
+		t.Errorf("oversize head not skipped: %d rows", len(short))
+	}
+	if out := FormatHeadStudy("QFT", rows); !strings.Contains(out, "QFT") {
+		t.Error("FormatHeadStudy malformed")
+	}
+}
+
+func TestPlacementAblationShapes(t *testing.T) {
+	rows, err := PlacementAblation(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Program order is the pipeline default: it must stay within a
+		// few nats of the best strategy on every long-distance benchmark
+		// (it can narrowly trade places with identity on QFT, whose
+		// natural order already matches the cascade).
+		best := r.ProgOrderLog
+		if r.IdentityLog > best {
+			best = r.IdentityLog
+		}
+		if r.GreedyLog > best {
+			best = r.GreedyLog
+		}
+		if r.ProgOrderLog < best-5 {
+			t.Errorf("%s: program order (%g) more than 5 nats behind best (%g)",
+				r.Bench, r.ProgOrderLog, best)
+		}
+	}
+	// For BV the gap versus greedy is the paper-shaped one: ancilla sweep
+	// versus thrash.
+	for _, r := range rows {
+		if r.Bench == "BV" && r.ProgOrderLog <= r.GreedyLog {
+			t.Errorf("BV: program order (%g) should beat greedy (%g)",
+				r.ProgOrderLog, r.GreedyLog)
+		}
+	}
+	if out := FormatPlacement(rows); !strings.Contains(out, "program-order") {
+		t.Error("FormatPlacement malformed")
+	}
+}
+
+func TestAlphaAblationProducesOpposingSwaps(t *testing.T) {
+	rows, err := AlphaAblation(16, []float64{0.1, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The default discount must not be worse than the near-greedy one.
+	if rows[1].LogSuccess < rows[0].LogSuccess {
+		t.Errorf("α=0.7 (%g) loses to α=0.1 (%g)", rows[1].LogSuccess, rows[0].LogSuccess)
+	}
+	if out := FormatAlpha(rows); !strings.Contains(out, "alpha") {
+		t.Error("FormatAlpha malformed")
+	}
+}
+
+func TestOptimizeAblationNeverHurts(t *testing.T) {
+	rows, err := OptimizeAblation(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	shrunk := false
+	for _, r := range rows {
+		if r.GatesAfter > r.GatesBefore {
+			t.Errorf("%s: optimizer grew the circuit %d -> %d",
+				r.Bench, r.GatesBefore, r.GatesAfter)
+		}
+		if r.GatesAfter < r.GatesBefore {
+			shrunk = true
+		}
+		// Gate elimination interacts with the downstream heuristics
+		// (different depths shift swap and schedule choices), so allow a
+		// small regression but catch anything structural.
+		if r.OptLog < r.PlainLog-3 {
+			t.Errorf("%s: optimization materially hurt success (%g -> %g)",
+				r.Bench, r.PlainLog, r.OptLog)
+		}
+	}
+	if !shrunk {
+		t.Error("optimizer eliminated nothing on any benchmark")
+	}
+	if out := FormatOptimize(rows); !strings.Contains(out, "opt-success") {
+		t.Error("FormatOptimize malformed")
+	}
+}
+
+func TestSchedulerAblationGreedyWins(t *testing.T) {
+	rows, err := SchedulerAblation(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GreedyMoves > r.SweepMoves {
+			t.Errorf("%s: greedy moves %d > sweep %d", r.Bench, r.GreedyMoves, r.SweepMoves)
+		}
+		if r.GreedyLog < r.SweepLog-1e-9 {
+			t.Errorf("%s: greedy success (%g) below sweep (%g)",
+				r.Bench, r.GreedyLog, r.SweepLog)
+		}
+	}
+	if out := FormatScheduler(rows); len(out) == 0 {
+		t.Error("FormatScheduler empty")
+	}
+}

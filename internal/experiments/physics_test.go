@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func TestAddressingStudyCenterIsBest(t *testing.T) {
+	rows, err := AddressingStudy(64, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	center := chain.CenterWindow(64, 16)
+	var centerRMS, minRMS float64
+	minRMS = -1
+	for _, r := range rows {
+		if r.WindowStart == center {
+			centerRMS = r.RMS
+		}
+		if minRMS < 0 || r.RMS < minRMS {
+			minRMS = r.RMS
+		}
+	}
+	if centerRMS == 0 {
+		t.Fatal("center window missing from study")
+	}
+	// §I: the centered execution zone is the most uniform placement.
+	if centerRMS > minRMS*1.001 {
+		t.Errorf("center RMS %g is not the minimum (%g)", centerRMS, minRMS)
+	}
+	// And the edge is distinctly worse.
+	if rows[0].RMS < 2*centerRMS {
+		t.Errorf("edge RMS %g not clearly above center %g", rows[0].RMS, centerRMS)
+	}
+	if out := FormatAddressing(64, 16, rows); !strings.Contains(out, "uniformity") {
+		t.Error("FormatAddressing malformed")
+	}
+}
+
+func TestGateModeAblationAMWins(t *testing.T) {
+	rows, err := GateModeAblation(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// §III-B: FM's chain-length-bound gate time costs fidelity (the
+		// Γτ term) and wall-clock on every benchmark.
+		if r.FMLog > r.AMLog {
+			t.Errorf("%s: FM (%g) beat AM (%g)", r.Bench, r.FMLog, r.AMLog)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("%s: FM/AM time ratio %g, want > 1", r.Bench, r.Speedup)
+		}
+	}
+	if out := FormatGateMode(rows); !strings.Contains(out, "FM/AM") {
+		t.Error("FormatGateMode malformed")
+	}
+}

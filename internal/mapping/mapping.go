@@ -1,0 +1,330 @@
+// Package mapping maintains the logical-to-physical qubit assignment used by
+// swap insertion (paper §IV-C) and provides the initial-placement heuristics
+// LinQ adopts from prior qubit-mapping work (Li et al., Itoko et al.).
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Mapping is a bijection between logical qubits and physical slots on the
+// linear tape. Physical slots may outnumber logical qubits; the surplus
+// slots map to surplus logical indices so the bijection stays total.
+type Mapping struct {
+	l2p []int // logical -> physical
+	p2l []int // physical -> logical
+}
+
+// Identity returns the identity mapping over n slots.
+func Identity(n int) *Mapping {
+	if n <= 0 {
+		panic(fmt.Sprintf("mapping: non-positive size %d", n))
+	}
+	m := &Mapping{l2p: make([]int, n), p2l: make([]int, n)}
+	for i := 0; i < n; i++ {
+		m.l2p[i] = i
+		m.p2l[i] = i
+	}
+	return m
+}
+
+// FromLogicalToPhysical builds a mapping from an explicit l2p permutation.
+func FromLogicalToPhysical(l2p []int) (*Mapping, error) {
+	n := len(l2p)
+	if n == 0 {
+		return nil, fmt.Errorf("mapping: empty permutation")
+	}
+	m := &Mapping{l2p: make([]int, n), p2l: make([]int, n)}
+	for i := range m.p2l {
+		m.p2l[i] = -1
+	}
+	for l, p := range l2p {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("mapping: slot %d out of range [0,%d)", p, n)
+		}
+		if m.p2l[p] != -1 {
+			return nil, fmt.Errorf("mapping: slot %d assigned twice", p)
+		}
+		m.l2p[l] = p
+		m.p2l[p] = l
+	}
+	return m, nil
+}
+
+// Len returns the register size.
+func (m *Mapping) Len() int { return len(m.l2p) }
+
+// Phys returns the physical slot of logical qubit l.
+func (m *Mapping) Phys(l int) int { return m.l2p[l] }
+
+// Logical returns the logical qubit at physical slot p.
+func (m *Mapping) Logical(p int) int { return m.p2l[p] }
+
+// SwapPhysical exchanges the logical occupants of two physical slots
+// (the effect of a SWAP gate executed at those slots).
+func (m *Mapping) SwapPhysical(p1, p2 int) {
+	l1, l2 := m.p2l[p1], m.p2l[p2]
+	m.p2l[p1], m.p2l[p2] = l2, l1
+	m.l2p[l1], m.l2p[l2] = p2, p1
+}
+
+// Clone deep-copies the mapping.
+func (m *Mapping) Clone() *Mapping {
+	out := &Mapping{l2p: make([]int, len(m.l2p)), p2l: make([]int, len(m.p2l))}
+	copy(out.l2p, m.l2p)
+	copy(out.p2l, m.p2l)
+	return out
+}
+
+// LogicalToPhysical returns a copy of the l2p permutation.
+func (m *Mapping) LogicalToPhysical() []int {
+	out := make([]int, len(m.l2p))
+	copy(out, m.l2p)
+	return out
+}
+
+// GateDistance returns the physical distance of a two-qubit gate on logical
+// qubits (a, b).
+func (m *Mapping) GateDistance(a, b int) int {
+	d := m.l2p[a] - m.l2p[b]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Validate checks bijectivity (useful after hand construction or as a test
+// invariant).
+func (m *Mapping) Validate() error {
+	n := len(m.l2p)
+	if len(m.p2l) != n {
+		return fmt.Errorf("mapping: l2p/p2l size mismatch %d/%d", n, len(m.p2l))
+	}
+	for l, p := range m.l2p {
+		if p < 0 || p >= n {
+			return fmt.Errorf("mapping: logical %d at invalid slot %d", l, p)
+		}
+		if m.p2l[p] != l {
+			return fmt.Errorf("mapping: inverse mismatch at logical %d", l)
+		}
+	}
+	return nil
+}
+
+// Strategy selects an initial-placement heuristic.
+type Strategy int
+
+// Available initial-placement strategies.
+const (
+	// IdentityPlacement keeps logical qubit i at slot i.
+	IdentityPlacement Strategy = iota
+	// GreedyPlacement arranges qubits on the line so that frequently
+	// interacting pairs sit close together: a weighted linear-arrangement
+	// heuristic seeded at the heaviest-interacting qubit, growing the line
+	// by appending, at whichever end is cheaper, the unplaced qubit with
+	// the strongest ties to the placed set.
+	GreedyPlacement
+	// ProgramOrderPlacement lays qubits out in order of first appearance
+	// in a two-qubit gate. Circuits that stream interactions across the
+	// register (BV's ancilla fan-in, QFT's cascade) then execute as a
+	// left-to-right sweep, which Algorithm 1 turns into a handful of
+	// long-range swaps instead of ping-ponging (paper §IV-C adopts
+	// history-aware placements from prior mapping work for this reason).
+	ProgramOrderPlacement
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case IdentityPlacement:
+		return "identity"
+	case GreedyPlacement:
+		return "greedy"
+	case ProgramOrderPlacement:
+		return "program-order"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Initial builds an initial mapping for the circuit over numSlots physical
+// slots (numSlots ≥ c.NumQubits()).
+func Initial(c *circuit.Circuit, numSlots int, s Strategy) (*Mapping, error) {
+	if numSlots < c.NumQubits() {
+		return nil, fmt.Errorf("mapping: %d slots cannot hold %d qubits",
+			numSlots, c.NumQubits())
+	}
+	switch s {
+	case IdentityPlacement:
+		return Identity(numSlots), nil
+	case GreedyPlacement:
+		return greedy(c, numSlots), nil
+	case ProgramOrderPlacement:
+		return programOrder(c, numSlots), nil
+	}
+	return nil, fmt.Errorf("mapping: unknown strategy %v", s)
+}
+
+// greedy implements the weighted linear-arrangement heuristic.
+func greedy(c *circuit.Circuit, numSlots int) *Mapping {
+	n := c.NumQubits()
+	// Interaction weights between logical qubits.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	totals := make([]float64, n)
+	for _, g := range c.Gates() {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		w[a][b]++
+		w[b][a]++
+		totals[a]++
+		totals[b]++
+	}
+
+	// Seed with the heaviest qubit; deterministic tie-break by index.
+	seed := 0
+	for q := 1; q < n; q++ {
+		if totals[q] > totals[seed] {
+			seed = q
+		}
+	}
+
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	order = append(order, seed)
+	placed[seed] = true
+
+	attach := make([]float64, n) // weight to the placed set
+	for q := 0; q < n; q++ {
+		if q != seed {
+			attach[q] = w[q][seed]
+		}
+	}
+
+	for len(order) < n {
+		// Strongest unplaced qubit; ties broken by total weight then index
+		// for determinism.
+		best := -1
+		for q := 0; q < n; q++ {
+			if placed[q] {
+				continue
+			}
+			if best == -1 || attach[q] > attach[best] ||
+				(attach[q] == attach[best] && totals[q] > totals[best]) {
+				best = q
+			}
+		}
+		// Append at whichever end costs less: cost of an end is the
+		// weighted distance from best to every placed qubit if appended
+		// there.
+		var costL, costR float64
+		for i, q := range order {
+			if w[best][q] == 0 {
+				continue
+			}
+			costL += w[best][q] * float64(i+1)          // distance if prepended
+			costR += w[best][q] * float64(len(order)-i) // distance if appended
+		}
+		if costL < costR {
+			order = append([]int{best}, order...)
+		} else {
+			order = append(order, best)
+		}
+		placed[best] = true
+		for q := 0; q < n; q++ {
+			if !placed[q] {
+				attach[q] += w[q][best]
+			}
+		}
+	}
+
+	// Order index i -> physical slot i; surplus slots take surplus logical
+	// ids in ascending order.
+	l2p := make([]int, numSlots)
+	for i := range l2p {
+		l2p[i] = -1
+	}
+	for slot, q := range order {
+		l2p[q] = slot
+	}
+	next := n
+	for l := n; l < numSlots; l++ {
+		l2p[l] = next
+		next++
+	}
+	m, err := FromLogicalToPhysical(l2p)
+	if err != nil {
+		panic(fmt.Sprintf("mapping: greedy produced invalid permutation: %v", err))
+	}
+	return m
+}
+
+// programOrder places qubits by first appearance in a two-qubit gate, then
+// first appearance in any gate, then index.
+func programOrder(c *circuit.Circuit, numSlots int) *Mapping {
+	n := c.NumQubits()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for _, g := range c.Gates() {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		for _, q := range g.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+	}
+	for _, g := range c.Gates() {
+		for _, q := range g.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		if !seen[q] {
+			order = append(order, q)
+		}
+	}
+
+	l2p := make([]int, numSlots)
+	for slot, q := range order {
+		l2p[q] = slot
+	}
+	for l := n; l < numSlots; l++ {
+		l2p[l] = l
+	}
+	m, err := FromLogicalToPhysical(l2p)
+	if err != nil {
+		panic(fmt.Sprintf("mapping: program order produced invalid permutation: %v", err))
+	}
+	return m
+}
+
+// Cost returns the interaction-weighted distance Σ w(a,b)·|pos(a)−pos(b)|
+// of a mapping for a circuit — the objective the placement heuristics lower.
+func Cost(c *circuit.Circuit, m *Mapping) float64 {
+	var cost float64
+	for _, g := range c.Gates() {
+		if g.IsTwoQubit() {
+			cost += float64(m.GateDistance(g.Qubits[0], g.Qubits[1]))
+		}
+	}
+	return cost
+}
+
+// PhysicalToLogical returns a copy of the p2l permutation: logical qubits in
+// physical-slot order (a debugging and reporting aid).
+func (m *Mapping) PhysicalToLogical() []int {
+	out := make([]int, len(m.p2l))
+	copy(out, m.p2l)
+	return out
+}

@@ -1,0 +1,274 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/workloads"
+)
+
+func TestIdentity(t *testing.T) {
+	m := Identity(8)
+	for i := 0; i < 8; i++ {
+		if m.Phys(i) != i || m.Logical(i) != i {
+			t.Fatalf("identity broken at %d", i)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Identity(0) should panic")
+		}
+	}()
+	Identity(0)
+}
+
+func TestFromLogicalToPhysical(t *testing.T) {
+	m, err := FromLogicalToPhysical([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phys(0) != 2 || m.Logical(2) != 0 {
+		t.Error("permutation not honored")
+	}
+	if _, err := FromLogicalToPhysical([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate slot should fail")
+	}
+	if _, err := FromLogicalToPhysical([]int{0, 5, 1}); err == nil {
+		t.Error("out-of-range slot should fail")
+	}
+	if _, err := FromLogicalToPhysical(nil); err == nil {
+		t.Error("empty permutation should fail")
+	}
+}
+
+func TestSwapPhysical(t *testing.T) {
+	m := Identity(4)
+	m.SwapPhysical(1, 3)
+	if m.Logical(1) != 3 || m.Logical(3) != 1 {
+		t.Error("SwapPhysical did not exchange occupants")
+	}
+	if m.Phys(3) != 1 || m.Phys(1) != 3 {
+		t.Error("SwapPhysical did not update l2p")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateDistance(t *testing.T) {
+	m := Identity(10)
+	if d := m.GateDistance(2, 7); d != 5 {
+		t.Errorf("GateDistance = %d, want 5", d)
+	}
+	if d := m.GateDistance(7, 2); d != 5 {
+		t.Errorf("GateDistance reversed = %d, want 5", d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(4)
+	c := m.Clone()
+	c.SwapPhysical(0, 1)
+	if m.Logical(0) != 0 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestGreedyPlacementReducesCost(t *testing.T) {
+	// BV: every data qubit talks to the far-end ancilla. Greedy placement
+	// should bring the ancilla to the middle of the active block, roughly
+	// halving the weighted cost versus identity.
+	bm := workloads.BVSecret(mustOnes(15))
+	c := bm.Circuit
+	id := Identity(c.NumQubits())
+	g, err := Initial(c, c.NumQubits(), GreedyPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("greedy mapping invalid: %v", err)
+	}
+	if Cost(c, g) >= Cost(c, id) {
+		t.Errorf("greedy cost %g not below identity cost %g", Cost(c, g), Cost(c, id))
+	}
+}
+
+func TestGreedyHandlesSurplusSlots(t *testing.T) {
+	bm := workloads.GHZ(5)
+	m, err := Initial(bm.Circuit, 9, GreedyPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 9 {
+		t.Fatalf("mapping size = %d, want 9", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mapping with surplus invalid: %v", err)
+	}
+}
+
+func TestInitialRejectsTooFewSlots(t *testing.T) {
+	bm := workloads.GHZ(5)
+	if _, err := Initial(bm.Circuit, 3, GreedyPlacement); err == nil {
+		t.Error("too few slots should fail")
+	}
+	if _, err := Initial(bm.Circuit, 5, Strategy(99)); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if IdentityPlacement.String() != "identity" || GreedyPlacement.String() != "greedy" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still stringify")
+	}
+}
+
+func TestPropertySwapSequencePreservesBijection(t *testing.T) {
+	f := func(seed int64, swapsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Identity(12)
+		for i := 0; i < int(swapsRaw)%40; i++ {
+			a, b := rng.Intn(12), rng.Intn(12)
+			if a != b {
+				m.SwapPhysical(a, b)
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGreedyIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		bm := workloads.Random(10, 25, seed)
+		m, err := Initial(bm.Circuit, 10, GreedyPlacement)
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostCountsOnlyTwoQubitGates(t *testing.T) {
+	c := circuit.New(4)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 3)
+	if got := Cost(c, Identity(4)); got != 3 {
+		t.Errorf("Cost = %g, want 3", got)
+	}
+}
+
+func TestPhysicalToLogicalCopy(t *testing.T) {
+	m := Identity(3)
+	s := m.PhysicalToLogical()
+	s[0] = 99
+	if m.Logical(0) == 99 {
+		t.Error("PhysicalToLogical returned a live reference")
+	}
+}
+
+func mustOnes(n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+func TestGreedyPrependsWhenLeftEndCheaper(t *testing.T) {
+	// A star interaction graph pulls later qubits to both ends: build a
+	// circuit whose best growth direction flips, exercising the prepend
+	// branch of the greedy placement.
+	c := circuit.New(5)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(0, 2)
+	c.ApplyCNOT(1, 3) // 3 attaches to 1, which sits at one end
+	c.ApplyCNOT(0, 4)
+	m, err := Initial(c, 5, GreedyPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Qubit 3's only partner is 1; they must end up adjacent or the
+	// prepend/append cost comparison is broken.
+	if d := m.GateDistance(1, 3); d > 2 {
+		t.Errorf("greedy left qubits 1 and 3 at distance %d", d)
+	}
+}
+
+func TestProgramOrderPlacement(t *testing.T) {
+	// BV shape: data qubits first-used in order, ancilla woven in at its
+	// first 2Q appearance.
+	c := circuit.New(5)
+	c.ApplyH(4) // 1Q use should not beat 2Q order
+	c.ApplyCNOT(2, 4)
+	c.ApplyCNOT(0, 4)
+	c.ApplyCNOT(1, 4)
+	m, err := Initial(c, 5, ProgramOrderPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 2Q gate touches 2 then 4: slots 0 and 1.
+	if m.Phys(2) != 0 || m.Phys(4) != 1 {
+		t.Errorf("program order start = q2@%d q4@%d, want 0,1", m.Phys(2), m.Phys(4))
+	}
+	// Qubit 3 never appears in a gate: placed last.
+	if m.Phys(3) != 4 {
+		t.Errorf("untouched qubit at slot %d, want 4", m.Phys(3))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramOrderWithSurplusSlots(t *testing.T) {
+	c := circuit.New(3)
+	c.ApplyCNOT(2, 0)
+	m, err := Initial(c, 6, ProgramOrderPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phys(2) != 0 || m.Phys(0) != 1 {
+		t.Errorf("2Q-first ordering broken: q2@%d q0@%d", m.Phys(2), m.Phys(0))
+	}
+}
+
+func TestGreedyOnOneQubitOnlyCircuit(t *testing.T) {
+	// No two-qubit gates at all: greedy must still produce a valid
+	// bijection (all weights zero).
+	c := circuit.New(4)
+	c.ApplyH(0)
+	c.ApplyH(3)
+	m, err := Initial(c, 4, GreedyPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+func compileSmall(t *testing.T, n, head int, bm workloads.Benchmark) (*core.CompileResult, core.Config) {
+	t.Helper()
+	cfg := core.Config{
+		Device:    device.TILT{NumIons: n, HeadSize: head},
+		Placement: mapping.ProgramOrderPlacement,
+		Inserter:  swapins.LinQ{},
+	}
+	cr, err := core.Compile(bm.Circuit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr, cfg
+}
+
+func TestCleanProbabilityMatchesAnalytic(t *testing.T) {
+	// A deep small circuit with real heating: the MC estimate must land
+	// within ~4 standard errors of the analytic product.
+	cr, cfg := compileSmall(t, 12, 4, workloads.QFTN(12))
+	p := noise.Default()
+	p.Epsilon = 2e-4 // mild inflation keeps the clean probability mid-range
+	analytic, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic < 0.05 || analytic > 0.95 {
+		t.Fatalf("test wants a mid-range clean probability, got %g", analytic)
+	}
+	est, se, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(est - analytic); d > 4*se+1e-9 {
+		t.Errorf("MC %g ± %g vs analytic %g: off by %g", est, se, analytic, d)
+	}
+}
+
+func TestCleanProbabilityAgreesWithSimSimulate(t *testing.T) {
+	// The independent event-stream accounting must reproduce the analytic
+	// simulator's success rate (the cross-validation this package exists
+	// for). sim's product includes the same per-gate fidelities.
+	cr, cfg := compileSmall(t, 12, 4, workloads.QFTN(12))
+	p := noise.Default()
+	simRes, err := cr.Simulate(core.Config{Device: cfg.Device, Noise: &p,
+		Placement: cfg.Placement, Inserter: cfg.Inserter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(analytic-simRes.SuccessRate) / simRes.SuccessRate; rel > 1e-9 {
+		t.Errorf("event-stream analytic %g != sim.Simulate %g (rel %g)",
+			analytic, simRes.SuccessRate, rel)
+	}
+}
+
+func TestCleanProbabilityHonorsCooling(t *testing.T) {
+	cr, cfg := compileSmall(t, 12, 4, workloads.QFTN(12))
+	base := noise.Default()
+	cooled := noise.Default()
+	cooled.CoolingInterval = 1
+	aBase, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCooled, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, cooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aCooled <= aBase {
+		t.Errorf("cooling should raise clean probability: %g vs %g", aCooled, aBase)
+	}
+}
+
+func TestStateFidelityTracksAnalytic(t *testing.T) {
+	// With moderate error rates, the depolarizing-injection fidelity must
+	// be at least the zero-event probability (error trajectories still
+	// overlap the ideal state sometimes) and well below 1.
+	cr, cfg := compileSmall(t, 10, 4, workloads.GHZ(10))
+	p := noise.Default()
+	p.Epsilon = 5e-3
+	analytic, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, se, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < analytic-4*se-1e-9 {
+		t.Errorf("state fidelity %g ± %g below clean probability %g", est, se, analytic)
+	}
+	if est >= 1 {
+		t.Errorf("state fidelity %g should be damped below 1", est)
+	}
+}
+
+func TestStateFidelityPerfectWithoutNoise(t *testing.T) {
+	cr, cfg := compileSmall(t, 8, 4, workloads.GHZ(8))
+	p := noise.Default()
+	p.Gamma, p.Epsilon, p.K0, p.OneQubitError = 0, 0, 0, 0
+	est, se, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1) > 1e-9 || se > 1e-9 {
+		t.Errorf("noiseless fidelity = %g ± %g, want exactly 1", est, se)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	cr, cfg := compileSmall(t, 8, 4, workloads.GHZ(8))
+	p := noise.Default()
+	if _, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
+		t.Error("zero shots should fail")
+	}
+	if _, _, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
+		t.Error("zero shots should fail")
+	}
+	wide := device.TILT{NumIons: 32, HeadSize: 8}
+	crWide, err := core.Compile(workloads.GHZ(32).Circuit, core.Config{
+		Device: wide, Placement: mapping.ProgramOrderPlacement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := StateFidelity(crWide.Physical, crWide.Schedule, wide, p, 10, 1); err == nil {
+		t.Error("StateFidelity above 16 ions should fail")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cr, cfg := compileSmall(t, 10, 4, workloads.GHZ(10))
+	p := noise.Default()
+	a, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("MC not deterministic for fixed seed: %g vs %g", a, b)
+	}
+}

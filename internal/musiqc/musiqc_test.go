@@ -1,0 +1,187 @@
+package musiqc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/noise"
+	"repro/internal/workloads"
+)
+
+func spec2x9() Spec {
+	return Spec{Modules: 2, IonsPerModule: 9, HeadSize: 4, Link: DefaultLink()}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if err := spec2x9().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Modules: 0, IonsPerModule: 9, HeadSize: 4, Link: DefaultLink()},
+		{Modules: 2, IonsPerModule: 2, HeadSize: 2, Link: DefaultLink()},
+		{Modules: 2, IonsPerModule: 9, HeadSize: 1, Link: DefaultLink()},
+		{Modules: 2, IonsPerModule: 9, HeadSize: 10, Link: DefaultLink()},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	l := DefaultLink()
+	l.EPRFidelity = 1.5
+	if err := l.Validate(); err == nil {
+		t.Error("EPRFidelity > 1 validated")
+	}
+	l = DefaultLink()
+	l.SuccessProb = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero success probability validated")
+	}
+}
+
+func TestDataQubits(t *testing.T) {
+	if got := spec2x9().DataQubits(); got != 16 {
+		t.Errorf("DataQubits = %d, want 16", got)
+	}
+}
+
+func TestLocalCircuitNoCrossGates(t *testing.T) {
+	// All gates inside module 0: no EPR pairs, success equals a single
+	// TILT module's.
+	c := circuit.New(16)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(2, 3)
+	r, err := Run(c, spec2x9(), noise.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossGates != 0 {
+		t.Errorf("CrossGates = %d, want 0", r.CrossGates)
+	}
+	if r.SuccessRate <= 0 || r.SuccessRate > 1 {
+		t.Errorf("success = %g", r.SuccessRate)
+	}
+}
+
+func TestCrossGateConsumesEPR(t *testing.T) {
+	c := circuit.New(16)
+	c.ApplyCNOT(0, 8) // module 0 -> module 1
+	r, err := Run(c, spec2x9(), noise.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossGates != 1 {
+		t.Fatalf("CrossGates = %d, want 1", r.CrossGates)
+	}
+	// Success is bounded above by the EPR fidelity.
+	if r.SuccessRate > DefaultLink().EPRFidelity {
+		t.Errorf("success %g exceeds EPR fidelity bound", r.SuccessRate)
+	}
+	// Expected latency includes the heralding wait.
+	minLatency := DefaultLink().AttemptUs / DefaultLink().SuccessProb
+	if r.ExecTimeUs < minLatency {
+		t.Errorf("exec time %g below EPR latency %g", r.ExecTimeUs, minLatency)
+	}
+}
+
+func TestMoreCrossTrafficLowersSuccess(t *testing.T) {
+	mk := func(cross int) *circuit.Circuit {
+		c := circuit.New(16)
+		for i := 0; i < cross; i++ {
+			c.ApplyCNOT(i%8, 8+i%8)
+		}
+		return c
+	}
+	p := noise.Default()
+	r1, err := Run(mk(2), spec2x9(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mk(10), spec2x9(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.LogSuccess >= r1.LogSuccess {
+		t.Errorf("10 cross gates (%g) should be worse than 2 (%g)",
+			r2.LogSuccess, r1.LogSuccess)
+	}
+}
+
+func TestRejectsWideCircuit(t *testing.T) {
+	c := circuit.New(64)
+	if _, err := Run(c, spec2x9(), noise.Default()); err == nil {
+		t.Error("circuit wider than data capacity should fail")
+	}
+}
+
+func TestRejectsTernaryGate(t *testing.T) {
+	c := circuit.New(16)
+	c.ApplyCCX(0, 1, 8)
+	if _, err := Run(c, spec2x9(), noise.Default()); err == nil {
+		t.Error("cross-module arity-3 gate should fail (decompose first)")
+	}
+}
+
+func TestPerModuleLogsSumToTotal(t *testing.T) {
+	bm := workloads.QAOAN(16, 1, 3)
+	nat := decompose.ToNative(bm.Circuit)
+	spec := spec2x9()
+	r, err := Run(nat, spec, noise.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local float64
+	for _, l := range r.PerModuleLog {
+		local += l
+	}
+	want := local + float64(r.CrossGates)*math.Log(spec.Link.EPRFidelity)
+	if math.Abs(want-r.LogSuccess) > 1e-9 {
+		t.Errorf("log breakdown %g != total %g", want, r.LogSuccess)
+	}
+}
+
+func TestModularVsMonolithicCrossover(t *testing.T) {
+	// §VII's motivation: splitting one long hot chain into two cooler
+	// modules pays off once shuttle heating dominates, but not before —
+	// there is a genuine crossover, which this test pins from both sides.
+	p := noise.Default()
+
+	// Small and shallow: the photonic links cost more than they save.
+	smallBm := workloads.QAOAN(48, 4, 9)
+	smallNat := decompose.ToNative(smallBm.Circuit)
+	monoSmall := monolithicLog(t, smallNat, 48, 8, p)
+	modSmall, err := Run(smallNat, Spec{Modules: 2, IonsPerModule: 25, HeadSize: 8, Link: DefaultLink()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modSmall.LogSuccess >= monoSmall {
+		t.Errorf("QAOA-48x4: modular (%g) should lose to monolithic (%g)",
+			modSmall.LogSuccess, monoSmall)
+	}
+
+	// Large and deep: the 96-ion chain's heating dominates and the
+	// modular machine wins decisively.
+	bigBm := workloads.QAOAN(96, 10, 9)
+	bigNat := decompose.ToNative(bigBm.Circuit)
+	monoBig := monolithicLog(t, bigNat, 96, 8, p)
+	modBig, err := Run(bigNat, Spec{Modules: 2, IonsPerModule: 49, HeadSize: 8, Link: DefaultLink()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modBig.LogSuccess <= monoBig {
+		t.Errorf("QAOA-96x10: modular (%g) should beat monolithic (%g)",
+			modBig.LogSuccess, monoBig)
+	}
+}
+
+func monolithicLog(t *testing.T, c *circuit.Circuit, ions, head int, p noise.Params) float64 {
+	t.Helper()
+	r, err := Monolithic(c, ions, head, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,242 @@
+// Package optimize implements peephole circuit optimizations for the LinQ
+// pipeline: merging adjacent rotations about the same axis, cancelling
+// adjacent self-inverse gate pairs, and dropping identity rotations. Every
+// rewrite preserves the circuit unitary exactly (up to global phase), which
+// the package tests verify against the statevector simulator.
+//
+// On the TILT native set these rewrites matter doubly: each removed
+// two-qubit gate eliminates an Eq. 4 error contribution, and shorter
+// circuits schedule into fewer tape moves.
+package optimize
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// angleEps is the threshold below which a rotation angle (mod 2π) is
+// considered the identity. Rotations by exactly 2π flip global phase only.
+const angleEps = 1e-12
+
+// Stats reports what one optimization pass removed.
+type Stats struct {
+	MergedRotations int // pairs of same-axis rotations fused
+	CancelledPairs  int // adjacent self-inverse pairs removed
+	DroppedIdentity int // zero-angle rotations and explicit identities
+}
+
+// Total returns the number of gates eliminated.
+func (s Stats) Total() int {
+	// Each merged pair removes one gate; each cancelled pair two.
+	return s.MergedRotations + 2*s.CancelledPairs + s.DroppedIdentity
+}
+
+// Run applies the peephole passes to a fixpoint and returns the optimized
+// circuit plus cumulative statistics. The input circuit is not modified.
+func Run(c *circuit.Circuit) (*circuit.Circuit, Stats) {
+	cur := c.Clone()
+	var total Stats
+	for {
+		next, stats := pass(cur)
+		total.MergedRotations += stats.MergedRotations
+		total.CancelledPairs += stats.CancelledPairs
+		total.DroppedIdentity += stats.DroppedIdentity
+		if stats.Total() == 0 {
+			return next, total
+		}
+		cur = next
+	}
+}
+
+// pass performs one left-to-right sweep. It maintains, per qubit, the index
+// of the last emitted gate touching it; a candidate gate can interact with
+// that gate iff it is the immediately preceding gate on every operand
+// (adjacency in the dependency DAG, not merely in the gate list).
+func pass(c *circuit.Circuit) (*circuit.Circuit, Stats) {
+	var stats Stats
+	gates := make([]circuit.Gate, 0, c.Len())
+	last := make([]int, c.NumQubits()) // last emitted index per qubit
+	for i := range last {
+		last[i] = -1
+	}
+
+	emit := func(g circuit.Gate) {
+		gates = append(gates, g)
+		for _, q := range g.Qubits {
+			last[q] = len(gates) - 1
+		}
+	}
+	// remove deletes the gate at idx — the last gate on each of its own
+	// qubits, though gates on other qubits may follow it — and repairs the
+	// per-qubit indices.
+	remove := func(idx int) {
+		g := gates[idx]
+		gates = append(gates[:idx], gates[idx+1:]...)
+		for q := range last {
+			if last[q] > idx {
+				last[q]--
+			}
+		}
+		for _, q := range g.Qubits {
+			last[q] = -1
+			for j := idx - 1; j >= 0; j-- {
+				if touches(gates[j], q) {
+					last[q] = j
+					break
+				}
+			}
+		}
+	}
+
+	for _, g := range c.Gates() {
+		// Drop identities outright.
+		if g.Kind == circuit.I {
+			stats.DroppedIdentity++
+			continue
+		}
+		if isRotation(g.Kind) && identityAngle(g.Theta) {
+			stats.DroppedIdentity++
+			continue
+		}
+
+		prev := adjacentPredecessor(gates, last, g)
+		if prev >= 0 {
+			pg := gates[prev]
+			// Same-axis rotation merging.
+			if isRotation(g.Kind) && pg.Kind == g.Kind && pg.Qubits[0] == g.Qubits[0] {
+				merged := normalizeAngle(pg.Theta + g.Theta)
+				remove(prev)
+				stats.MergedRotations++
+				if identityAngle(merged) {
+					stats.DroppedIdentity++
+					continue
+				}
+				emit(circuit.Gate{Kind: g.Kind, Qubits: g.Qubits, Theta: merged})
+				continue
+			}
+			// Self-inverse pair cancellation.
+			if cancels(pg, g) {
+				remove(prev)
+				stats.CancelledPairs++
+				continue
+			}
+		}
+		emit(g)
+	}
+
+	out := circuit.New(c.NumQubits())
+	for _, g := range gates {
+		out.MustAdd(g.Kind, g.Theta, g.Qubits...)
+	}
+	return out, stats
+}
+
+// adjacentPredecessor returns the index of the gate immediately preceding g
+// on all of g's qubits, or -1 if g's operands last met different gates (or
+// none), or if the predecessor touches a different qubit set.
+func adjacentPredecessor(gates []circuit.Gate, last []int, g circuit.Gate) int {
+	prev := last[g.Qubits[0]]
+	if prev < 0 {
+		return -1
+	}
+	for _, q := range g.Qubits[1:] {
+		if last[q] != prev {
+			return -1
+		}
+	}
+	// The predecessor must also touch exactly the same qubit set, or a
+	// cancellation/merge would illegally commute through other qubits.
+	if len(gates[prev].Qubits) != len(g.Qubits) {
+		return -1
+	}
+	return prev
+}
+
+func touches(g circuit.Gate, q int) bool {
+	for _, qq := range g.Qubits {
+		if qq == q {
+			return true
+		}
+	}
+	return false
+}
+
+func isRotation(k circuit.Kind) bool {
+	switch k {
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.XX, circuit.CP:
+		return true
+	}
+	return false
+}
+
+// identityAngle reports whether a rotation by theta is the identity up to
+// global phase. Single-qubit rotations and XX have period 2π up to phase;
+// CP has period 2π exactly.
+func identityAngle(theta float64) bool {
+	m := math.Mod(math.Abs(theta), 2*math.Pi)
+	return m < angleEps || 2*math.Pi-m < angleEps
+}
+
+// normalizeAngle wraps an angle into (−2π, 2π) to keep merged angles tidy.
+func normalizeAngle(theta float64) float64 {
+	return math.Mod(theta, 2*math.Pi)
+}
+
+// cancels reports whether two adjacent gates on identical operand lists
+// compose to the identity (up to global phase).
+func cancels(a, b circuit.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	switch {
+	// Symmetric self-inverse two-qubit gates: operand order irrelevant.
+	case a.Kind == circuit.CZ && b.Kind == circuit.CZ,
+		a.Kind == circuit.SWAP && b.Kind == circuit.SWAP:
+		return sameSet(a.Qubits, b.Qubits)
+	// Directional self-inverse gates: operands must match exactly.
+	case a.Kind == circuit.CNOT && b.Kind == circuit.CNOT,
+		a.Kind == circuit.CCX && b.Kind == circuit.CCX:
+		return sameSeq(a.Qubits, b.Qubits)
+	// Single-qubit involutions.
+	case a.Qubits[0] == b.Qubits[0] && len(a.Qubits) == 1:
+		switch {
+		case a.Kind == circuit.X && b.Kind == circuit.X,
+			a.Kind == circuit.Y && b.Kind == circuit.Y,
+			a.Kind == circuit.Z && b.Kind == circuit.Z,
+			a.Kind == circuit.H && b.Kind == circuit.H:
+			return true
+		case a.Kind == circuit.S && b.Kind == circuit.Sdg,
+			a.Kind == circuit.Sdg && b.Kind == circuit.S,
+			a.Kind == circuit.T && b.Kind == circuit.Tdg,
+			a.Kind == circuit.Tdg && b.Kind == circuit.T:
+			return true
+		}
+	}
+	return false
+}
+
+func sameSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	switch len(a) {
+	case 1:
+		return a[0] == b[0]
+	case 2:
+		return (a[0] == b[0] && a[1] == b[1]) || (a[0] == b[1] && a[1] == b[0])
+	}
+	return sameSeq(a, b)
+}

@@ -1,0 +1,219 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/qsim"
+	"repro/internal/workloads"
+)
+
+func TestMergeAdjacentRotations(t *testing.T) {
+	c := circuit.New(1)
+	c.ApplyRZ(0.3, 0)
+	c.ApplyRZ(0.4, 0)
+	out, stats := Run(c)
+	if out.Len() != 1 {
+		t.Fatalf("gates = %d, want 1", out.Len())
+	}
+	if got := out.Gate(0).Theta; math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("merged theta = %g, want 0.7", got)
+	}
+	if stats.MergedRotations != 1 {
+		t.Errorf("MergedRotations = %d, want 1", stats.MergedRotations)
+	}
+	if !qsim.EquivalentUpToPhase(c, out, 3, 1) {
+		t.Error("merge changed the unitary")
+	}
+}
+
+func TestMergeToIdentityDropsBoth(t *testing.T) {
+	c := circuit.New(1)
+	c.ApplyRX(1.1, 0)
+	c.ApplyRX(-1.1, 0)
+	out, stats := Run(c)
+	if out.Len() != 0 {
+		t.Fatalf("gates = %d, want 0", out.Len())
+	}
+	if stats.Total() != 2 {
+		t.Errorf("Total = %d, want 2", stats.Total())
+	}
+}
+
+func TestCancelSelfInversePairs(t *testing.T) {
+	c := circuit.New(3)
+	c.ApplyH(0)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCZ(1, 2)
+	c.ApplyCZ(2, 1) // symmetric: still cancels
+	c.ApplyS(0)
+	c.ApplySdg(0)
+	c.ApplyCCX(0, 1, 2)
+	c.ApplyCCX(0, 1, 2)
+	out, stats := Run(c)
+	if out.Len() != 0 {
+		t.Fatalf("gates = %d, want 0:\n%s", out.Len(), out)
+	}
+	if stats.CancelledPairs != 5 {
+		t.Errorf("CancelledPairs = %d, want 5", stats.CancelledPairs)
+	}
+}
+
+func TestReversedCNOTDoesNotCancel(t *testing.T) {
+	c := circuit.New(2)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCNOT(1, 0)
+	out, _ := Run(c)
+	if out.Len() != 2 {
+		t.Fatalf("CNOT(0,1);CNOT(1,0) must survive, got %d gates", out.Len())
+	}
+}
+
+func TestInterveningGateBlocksCancellation(t *testing.T) {
+	c := circuit.New(2)
+	c.ApplyH(0)
+	c.ApplyX(1) // touches a different qubit: H...H still adjacent on qubit 0
+	c.ApplyH(0)
+	out, _ := Run(c)
+	if out.Len() != 1 {
+		t.Fatalf("H X(other) H should fold to X, got %d gates", out.Len())
+	}
+	c2 := circuit.New(2)
+	c2.ApplyCNOT(0, 1)
+	c2.ApplyX(1) // blocks: X is between the pair on qubit 1
+	c2.ApplyCNOT(0, 1)
+	out2, _ := Run(c2)
+	if out2.Len() != 3 {
+		t.Fatalf("blocked pair must survive, got %d gates", out2.Len())
+	}
+	if !qsim.EquivalentUpToPhase(c2, out2, 3, 2) {
+		t.Error("blocked case changed the unitary")
+	}
+}
+
+func TestDropIdentityRotations(t *testing.T) {
+	c := circuit.New(1)
+	c.ApplyRZ(0, 0)
+	c.ApplyRY(2*math.Pi, 0)
+	c.MustAdd(circuit.I, 0, 0)
+	c.ApplyRX(0.5, 0)
+	out, stats := Run(c)
+	if out.Len() != 1 || out.Gate(0).Kind != circuit.RX {
+		t.Fatalf("expected only the RX to survive, got:\n%s", out)
+	}
+	if stats.DroppedIdentity != 3 {
+		t.Errorf("DroppedIdentity = %d, want 3", stats.DroppedIdentity)
+	}
+}
+
+func TestXXRotationsMerge(t *testing.T) {
+	c := circuit.New(2)
+	c.ApplyXX(math.Pi/8, 0, 1)
+	c.ApplyXX(math.Pi/8, 0, 1)
+	out, _ := Run(c)
+	if out.Len() != 1 {
+		t.Fatalf("XX merge failed: %d gates", out.Len())
+	}
+	if got := out.Gate(0).Theta; math.Abs(got-math.Pi/4) > 1e-12 {
+		t.Errorf("merged XX theta = %g", got)
+	}
+	if !qsim.EquivalentUpToPhase(c, out, 3, 3) {
+		t.Error("XX merge changed the unitary")
+	}
+}
+
+func TestFixpointCascade(t *testing.T) {
+	// X H H X: the inner H pair cancels, exposing the X pair.
+	c := circuit.New(1)
+	c.ApplyX(0)
+	c.ApplyH(0)
+	c.ApplyH(0)
+	c.ApplyX(0)
+	out, stats := Run(c)
+	if out.Len() != 0 {
+		t.Fatalf("cascade failed: %d gates remain", out.Len())
+	}
+	if stats.CancelledPairs != 2 {
+		t.Errorf("CancelledPairs = %d, want 2", stats.CancelledPairs)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	c := circuit.New(1)
+	c.ApplyH(0)
+	c.ApplyH(0)
+	Run(c)
+	if c.Len() != 2 {
+		t.Error("optimizer mutated its input")
+	}
+}
+
+func TestNativeDecompositionShrinks(t *testing.T) {
+	// The paper's CNOT lowering produces adjacent rotations at CNOT
+	// boundaries; on QFT the optimizer should reclaim a measurable slice.
+	bm := workloads.QFTN(10)
+	nat := decompose.ToNative(bm.Circuit)
+	out, stats := Run(nat)
+	if out.Len() >= nat.Len() {
+		t.Fatalf("no shrink: %d -> %d", nat.Len(), out.Len())
+	}
+	if stats.Total() == 0 {
+		t.Error("stats report no eliminations despite shrink")
+	}
+	if out.TwoQubitCount() > nat.TwoQubitCount() {
+		t.Error("two-qubit count grew")
+	}
+	if !qsim.EquivalentUpToPhase(nat, out, 2, 4) {
+		t.Error("optimization changed the QFT unitary")
+	}
+}
+
+func TestPropertyOptimizerPreservesUnitary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		c := circuit.New(n)
+		kinds := []circuit.Kind{
+			circuit.X, circuit.Y, circuit.Z, circuit.H, circuit.S, circuit.Sdg,
+			circuit.T, circuit.Tdg, circuit.RX, circuit.RY, circuit.RZ,
+			circuit.CNOT, circuit.CZ, circuit.SWAP, circuit.XX, circuit.CP,
+		}
+		for i := 0; i < 25; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			qs := rng.Perm(n)[:k.Arity()]
+			theta := 0.0
+			if k.Parameterized() {
+				// Bias toward repeats and inverses to exercise rewrites.
+				switch rng.Intn(3) {
+				case 0:
+					theta = math.Pi / 4
+				case 1:
+					theta = -math.Pi / 4
+				default:
+					theta = rng.Float64() * 2 * math.Pi
+				}
+			}
+			g, err := circuit.NewGate(k, theta, qs...)
+			if err != nil {
+				return false
+			}
+			if err := c.Add(g); err != nil {
+				return false
+			}
+		}
+		out, _ := Run(c)
+		if out.Len() > c.Len() {
+			return false
+		}
+		return qsim.EquivalentUpToPhase(c, out, 2, seed^0x9e37)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

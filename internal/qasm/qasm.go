@@ -1,0 +1,343 @@
+// Package qasm reads and writes the OpenQASM 2.0 subset that covers the
+// LinQ toolflow's gate set, so circuits can enter the pipeline from files
+// produced by mainstream front ends (Qiskit, ScaffCC exports).
+//
+// Supported statements:
+//
+//	OPENQASM 2.0;                   // header (optional)
+//	include "qelib1.inc";           // ignored
+//	qreg q[64];                     // exactly one register
+//	creg c[64];                     // accepted, ignored
+//	h q[0]; x q[1]; y/z/s/sdg/t/tdg
+//	rx(theta) q[0]; ry(...); rz(...);
+//	cx q[0],q[1]; cz ...; swap ...; ccx q[0],q[1],q[2];
+//	cp(theta) q[0],q[1];  cu1(theta) q[0],q[1];   // synonyms
+//	rxx(theta) q[0],q[1];                          // XX interaction
+//	measure q[0] -> c[0];
+//	barrier ...;                    // ignored
+//	// line comments
+//
+// Angle expressions support decimal literals, pi, unary minus, and the
+// binary operators * and / (e.g. -pi/4, 3*pi/8, 0.25).
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Parse converts OpenQASM 2.0 source text into a circuit.
+func Parse(src string) (*circuit.Circuit, error) {
+	p := &parser{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := p.statement(stmt); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if p.c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return p.c, nil
+}
+
+type parser struct {
+	c       *circuit.Circuit
+	regName string
+}
+
+func (p *parser) statement(stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"),
+		strings.HasPrefix(stmt, "barrier"), strings.HasPrefix(stmt, "creg"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		return p.qreg(stmt)
+	case strings.HasPrefix(stmt, "measure"):
+		return p.measure(stmt)
+	}
+	return p.gate(stmt)
+}
+
+func (p *parser) qreg(stmt string) error {
+	if p.c != nil {
+		return fmt.Errorf("multiple qreg declarations")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+	open := strings.Index(rest, "[")
+	closeB := strings.Index(rest, "]")
+	if open < 1 || closeB < open {
+		return fmt.Errorf("malformed qreg %q", stmt)
+	}
+	name := strings.TrimSpace(rest[:open])
+	n, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : closeB]))
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad qreg size in %q", stmt)
+	}
+	p.regName = name
+	p.c = circuit.New(n)
+	return nil
+}
+
+func (p *parser) measure(stmt string) error {
+	if p.c == nil {
+		return fmt.Errorf("measure before qreg")
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "measure"))
+	if i := strings.Index(rest, "->"); i >= 0 {
+		rest = rest[:i]
+	}
+	q, err := p.qubit(strings.TrimSpace(rest))
+	if err != nil {
+		return err
+	}
+	p.c.ApplyMeasure(q)
+	return nil
+}
+
+// gateNames maps QASM mnemonics (with synonyms) to kinds.
+var gateNames = map[string]circuit.Kind{
+	"id": circuit.I, "x": circuit.X, "y": circuit.Y, "z": circuit.Z,
+	"h": circuit.H, "s": circuit.S, "sdg": circuit.Sdg,
+	"t": circuit.T, "tdg": circuit.Tdg,
+	"rx": circuit.RX, "ry": circuit.RY, "rz": circuit.RZ,
+	"u1": circuit.RZ, // u1(λ) equals rz(λ) up to global phase
+	"cx": circuit.CNOT, "cnot": circuit.CNOT, "cz": circuit.CZ,
+	"cp": circuit.CP, "cu1": circuit.CP,
+	"swap": circuit.SWAP, "rxx": circuit.XX,
+	"ccx": circuit.CCX, "toffoli": circuit.CCX,
+}
+
+func (p *parser) gate(stmt string) error {
+	if p.c == nil {
+		return fmt.Errorf("gate before qreg")
+	}
+	name := stmt
+	theta := 0.0
+	hasAngle := false
+	args := ""
+	if i := strings.IndexAny(stmt, " \t("); i >= 0 {
+		name = stmt[:i]
+		rest := strings.TrimSpace(stmt[i:])
+		if strings.HasPrefix(rest, "(") {
+			closeB := strings.Index(rest, ")")
+			if closeB < 0 {
+				return fmt.Errorf("unterminated angle in %q", stmt)
+			}
+			var err error
+			theta, err = parseAngle(rest[1:closeB])
+			if err != nil {
+				return err
+			}
+			hasAngle = true
+			args = strings.TrimSpace(rest[closeB+1:])
+		} else {
+			args = rest
+		}
+	}
+	kind, ok := gateNames[name]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	if kind.Parameterized() && !hasAngle {
+		return fmt.Errorf("gate %q requires an angle parameter", name)
+	}
+	if args == "" {
+		return fmt.Errorf("gate %q missing operands", name)
+	}
+
+	var qs []int
+	for _, a := range strings.Split(args, ",") {
+		q, err := p.qubit(strings.TrimSpace(a))
+		if err != nil {
+			return err
+		}
+		qs = append(qs, q)
+	}
+	if !kind.Parameterized() {
+		theta = 0
+	}
+	g, err := circuit.NewGate(kind, theta, qs...)
+	if err != nil {
+		return err
+	}
+	return p.c.Add(g)
+}
+
+func (p *parser) qubit(ref string) (int, error) {
+	open := strings.Index(ref, "[")
+	closeB := strings.Index(ref, "]")
+	if open < 1 || closeB < open {
+		return 0, fmt.Errorf("malformed qubit reference %q", ref)
+	}
+	name := strings.TrimSpace(ref[:open])
+	if name != p.regName {
+		return 0, fmt.Errorf("unknown register %q (declared %q)", name, p.regName)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(ref[open+1 : closeB]))
+	if err != nil {
+		return 0, fmt.Errorf("bad qubit index in %q", ref)
+	}
+	if idx < 0 || idx >= p.c.NumQubits() {
+		return 0, fmt.Errorf("qubit %d out of range [0,%d)", idx, p.c.NumQubits())
+	}
+	return idx, nil
+}
+
+// parseAngle evaluates the angle grammar: term (('*'|'/') term)* with terms
+// pi, decimal literals, and a leading unary minus.
+func parseAngle(expr string) (float64, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, fmt.Errorf("empty angle")
+	}
+	neg := false
+	if strings.HasPrefix(expr, "-") {
+		neg = true
+		expr = strings.TrimSpace(expr[1:])
+	}
+	// Tokenize into terms and operators, left to right.
+	val := 0.0
+	cur := strings.Builder{}
+	ops := []byte{'*'} // pretend the first term is multiplied into 1
+	terms := []string{}
+	for i := 0; i < len(expr); i++ {
+		ch := expr[i]
+		if ch == '*' || ch == '/' {
+			terms = append(terms, strings.TrimSpace(cur.String()))
+			cur.Reset()
+			ops = append(ops, ch)
+			continue
+		}
+		cur.WriteByte(ch)
+	}
+	terms = append(terms, strings.TrimSpace(cur.String()))
+	if len(terms) != len(ops) {
+		return 0, fmt.Errorf("malformed angle %q", expr)
+	}
+	val = 1
+	for i, term := range terms {
+		v, err := parseTerm(term)
+		if err != nil {
+			return 0, err
+		}
+		switch ops[i] {
+		case '*':
+			val *= v
+		case '/':
+			if v == 0 {
+				return 0, fmt.Errorf("division by zero in angle %q", expr)
+			}
+			val /= v
+		}
+	}
+	if neg {
+		val = -val
+	}
+	return val, nil
+}
+
+func parseTerm(term string) (float64, error) {
+	if term == "pi" || term == "PI" || term == "π" {
+		return math.Pi, nil
+	}
+	v, err := strconv.ParseFloat(term, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad angle term %q", term)
+	}
+	return v, nil
+}
+
+// Write renders a circuit as OpenQASM 2.0 source.
+func Write(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits())
+	hasMeasure := false
+	for _, g := range c.Gates() {
+		if g.Kind == circuit.Measure {
+			hasMeasure = true
+		}
+	}
+	if hasMeasure {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits())
+	}
+	for _, g := range c.Gates() {
+		name, err := mnemonic(g.Kind)
+		if err != nil {
+			return "", err
+		}
+		if g.Kind == circuit.Measure {
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])
+			continue
+		}
+		b.WriteString(name)
+		if g.Kind.Parameterized() {
+			fmt.Fprintf(&b, "(%s)", formatAngle(g.Theta))
+		}
+		for i, q := range g.Qubits {
+			if i == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	return b.String(), nil
+}
+
+func mnemonic(k circuit.Kind) (string, error) {
+	switch k {
+	case circuit.I:
+		return "id", nil
+	case circuit.X, circuit.Y, circuit.Z, circuit.H, circuit.S, circuit.Sdg,
+		circuit.T, circuit.Tdg, circuit.RX, circuit.RY, circuit.RZ,
+		circuit.CZ, circuit.CP, circuit.SWAP, circuit.CCX:
+		return k.String(), nil
+	case circuit.CNOT:
+		return "cx", nil
+	case circuit.XX:
+		return "rxx", nil
+	case circuit.Measure:
+		return "measure", nil
+	}
+	return "", fmt.Errorf("qasm: no mnemonic for kind %v", k)
+}
+
+// formatAngle renders common π fractions symbolically, everything else as a
+// decimal — keeping round-trips exact for the decompositions' angles.
+func formatAngle(theta float64) string {
+	for _, f := range []struct {
+		val float64
+		txt string
+	}{
+		{math.Pi, "pi"}, {-math.Pi, "-pi"},
+		{math.Pi / 2, "pi/2"}, {-math.Pi / 2, "-pi/2"},
+		{math.Pi / 4, "pi/4"}, {-math.Pi / 4, "-pi/4"},
+		{math.Pi / 8, "pi/8"}, {-math.Pi / 8, "-pi/8"},
+	} {
+		if theta == f.val {
+			return f.txt
+		}
+	}
+	return strconv.FormatFloat(theta, 'g', 17, 64)
+}

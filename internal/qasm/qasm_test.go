@@ -1,0 +1,220 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/qsim"
+	"repro/internal/workloads"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+// prepare a Bell pair and measure
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+barrier q;
+measure q[0] -> c[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 3 {
+		t.Fatalf("qubits = %d, want 3", c.NumQubits())
+	}
+	wantKinds := []circuit.Kind{circuit.H, circuit.CNOT, circuit.RZ, circuit.Measure}
+	if c.Len() != len(wantKinds) {
+		t.Fatalf("gates = %d, want %d", c.Len(), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if c.Gate(i).Kind != k {
+			t.Errorf("gate %d kind %v, want %v", i, c.Gate(i).Kind, k)
+		}
+	}
+	if got := c.Gate(2).Theta; math.Abs(got-math.Pi/4) > 1e-15 {
+		t.Errorf("rz theta = %g, want pi/4", got)
+	}
+}
+
+func TestParseAngleForms(t *testing.T) {
+	cases := map[string]float64{
+		"pi":      math.Pi,
+		"-pi":     -math.Pi,
+		"pi/2":    math.Pi / 2,
+		"-pi/4":   -math.Pi / 4,
+		"3*pi/8":  3 * math.Pi / 8,
+		"0.25":    0.25,
+		"-1.5e-3": -1.5e-3,
+		"2*pi":    2 * math.Pi,
+		"pi/2/2":  math.Pi / 4,
+	}
+	for expr, want := range cases {
+		got, err := parseAngle(expr)
+		if err != nil {
+			t.Errorf("parseAngle(%q): %v", expr, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("parseAngle(%q) = %g, want %g", expr, got, want)
+		}
+	}
+}
+
+func TestParseAngleErrors(t *testing.T) {
+	for _, expr := range []string{"", "pi/0", "foo", "1**2", "pi+1"} {
+		if _, err := parseAngle(expr); err == nil {
+			t.Errorf("parseAngle(%q) should fail", expr)
+		}
+	}
+}
+
+func TestParseSynonyms(t *testing.T) {
+	src := "qreg q[3]; cnot q[0],q[1]; cu1(pi/2) q[0],q[1]; u1(pi) q[2]; toffoli q[0],q[1],q[2];"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []circuit.Kind{circuit.CNOT, circuit.CP, circuit.RZ, circuit.CCX}
+	for i, k := range kinds {
+		if c.Gate(i).Kind != k {
+			t.Errorf("gate %d kind %v, want %v", i, c.Gate(i).Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-qreg":       "h q[0];",
+		"double-qreg":   "qreg q[2]; qreg r[2];",
+		"bad-gate":      "qreg q[2]; frob q[0];",
+		"bad-ref":       "qreg q[2]; h q0;",
+		"wrong-reg":     "qreg q[2]; h r[0];",
+		"out-of-range":  "qreg q[2]; h q[5];",
+		"repeat-qubit":  "qreg q[2]; cx q[1],q[1];",
+		"missing-angle": "qreg q[2]; rx q[0];",
+		"empty":         "",
+		"bad-size":      "qreg q[zero];",
+		"unterminated":  "qreg q[2]; rx(pi q[0];",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse should fail for %q", name, src)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	c := circuit.New(4)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 1)
+	c.ApplyCP(math.Pi/8, 1, 2)
+	c.ApplyXX(math.Pi/4, 2, 3)
+	c.ApplyRZ(-math.Pi/2, 3)
+	c.ApplyCCX(0, 1, 2)
+	c.ApplySWAP(0, 3)
+	c.ApplyTdg(1)
+
+	src, err := Write(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, src)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("round trip changed gate count %d -> %d", c.Len(), back.Len())
+	}
+	if !qsim.EquivalentUpToPhase(c, back, 3, 17) {
+		t.Error("round trip changed the unitary")
+	}
+}
+
+func TestWriteMeasureEmitsCreg(t *testing.T) {
+	c := circuit.New(2)
+	c.ApplyH(0)
+	c.ApplyMeasure(0)
+	src, err := Write(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "creg c[2];") || !strings.Contains(src, "measure q[0] -> c[0];") {
+		t.Errorf("measurement output malformed:\n%s", src)
+	}
+}
+
+func TestRXXRoundTrip(t *testing.T) {
+	src := "qreg q[2]; rxx(pi/4) q[0],q[1];"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gate(0).Kind != circuit.XX || c.Gate(0).Theta != math.Pi/4 {
+		t.Errorf("rxx parsed as %v(%g)", c.Gate(0).Kind, c.Gate(0).Theta)
+	}
+}
+
+func TestWorkloadsRoundTrip(t *testing.T) {
+	// Every Table II generator must survive a QASM round trip untouched in
+	// gate structure (smaller instances keep the test fast).
+	for _, bm := range []workloads.Benchmark{
+		workloads.AdderN(3),
+		workloads.BVSecret([]bool{true, false, true}),
+		workloads.QAOAN(6, 2, 1),
+		workloads.RCSGrid(2, 3, 4, 1),
+		workloads.QFTN(5),
+		workloads.GroverN(4, 0b1010, 1),
+	} {
+		src, err := Write(bm.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if back.Len() != bm.Circuit.Len() || back.NumQubits() != bm.Circuit.NumQubits() {
+			t.Errorf("%s: round trip changed shape", bm.Name)
+		}
+		if !qsim.EquivalentUpToPhase(bm.Circuit, back, 2, 5) {
+			t.Errorf("%s: round trip changed the unitary", bm.Name)
+		}
+	}
+}
+
+func TestPropertyRandomCircuitsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		bm := workloads.Random(6, 10, seed)
+		src, err := Write(bm.Circuit)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		return qsim.EquivalentUpToPhase(bm.Circuit, back, 2, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatementsOnOneLine(t *testing.T) {
+	c, err := Parse("qreg q[2]; h q[0]; cx q[0],q[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("gates = %d, want 2", c.Len())
+	}
+}

@@ -1,0 +1,37 @@
+package qccd
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/noise"
+	"repro/internal/workloads"
+)
+
+// BenchmarkRunQFT measures the QCCD machine model on the shuttle-heavy QFT.
+func BenchmarkRunQFT(b *testing.B) {
+	bm := workloads.QFT()
+	nat := decompose.ToNative(bm.Circuit)
+	dev := device.QCCD{NumQubits: 64, Capacity: 17}
+	p := noise.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(nat, dev, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCapacitySweepQAOA measures the full Fig. 8 capacity sweep on QAOA.
+func BenchmarkCapacitySweepQAOA(b *testing.B) {
+	bm := workloads.QAOA()
+	nat := decompose.ToNative(bm.Circuit)
+	p := noise.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBestCapacity(nat, 64, nil, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

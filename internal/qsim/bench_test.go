@@ -1,0 +1,30 @@
+package qsim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// BenchmarkRunQFT16 measures statevector simulation of a 16-qubit QFT —
+// the verification substrate's hot path.
+func BenchmarkRunQFT16(b *testing.B) {
+	bm := workloads.QFTN(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewState(16)
+		s.Run(bm.Circuit)
+	}
+}
+
+// BenchmarkEquivalenceCheck measures one unitary-equivalence trial on an
+// 8-qubit random circuit pair.
+func BenchmarkEquivalenceCheck(b *testing.B) {
+	bm := workloads.Random(8, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !EquivalentUpToPhase(bm.Circuit, bm.Circuit, 1, int64(i)) {
+			b.Fatal("self-equivalence failed")
+		}
+	}
+}

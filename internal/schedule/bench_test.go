@@ -1,0 +1,54 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+// BenchmarkTapeQFT measures Algorithm 2 on the compiled QFT-64 (head 16) —
+// the paper's t_move hot spot.
+func BenchmarkTapeQFT(b *testing.B) {
+	bm := workloads.QFT()
+	nat := decompose.ToNative(bm.Circuit)
+	dev := device.TILT{NumIons: 64, HeadSize: 16}
+	m0, err := mapping.Initial(nat, 64, mapping.ProgramOrderPlacement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := (swapins.LinQ{}).Insert(nat, m0, dev, swapins.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tape(r.Physical, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepQFT measures the naive baseline scheduler on the same input.
+func BenchmarkSweepQFT(b *testing.B) {
+	bm := workloads.QFT()
+	nat := decompose.ToNative(bm.Circuit)
+	dev := device.TILT{NumIons: 64, HeadSize: 16}
+	m0, err := mapping.Initial(nat, 64, mapping.ProgramOrderPlacement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := (swapins.LinQ{}).Insert(nat, m0, dev, swapins.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(r.Physical, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

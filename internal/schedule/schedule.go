@@ -1,0 +1,228 @@
+// Package schedule implements the paper's tape-movement scheduling
+// (Algorithm 2): repeatedly place the laser head at the position that can
+// execute the most pending gates, execute that maximal dependency-closed
+// set, and move on, until every gate has run. Minimizing head placements
+// minimizes shuttle-induced heating, the dominant error source of Eq. 4.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Step is one head placement and the gates executed there, in execution
+// order (a valid topological order of the dependency DAG restricted to the
+// window).
+type Step struct {
+	Pos   int
+	Gates []int
+}
+
+// Schedule is a complete tape itinerary for a physical circuit.
+type Schedule struct {
+	Steps []Step
+	// Moves counts head placements, including the initial one (the paper's
+	// Table III counts BV at 64/L placements).
+	Moves int
+	// Dist is the total travel between consecutive placements in ion
+	// spacings (the initial placement contributes no travel).
+	Dist int
+}
+
+// Tape schedules the physical circuit c on the device. Every two-qubit gate
+// must already satisfy the head constraint (run swap insertion first);
+// otherwise an error naming the offending gate is returned.
+func Tape(c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits() > dev.NumIons {
+		return nil, fmt.Errorf("schedule: circuit width %d exceeds chain %d",
+			c.NumQubits(), dev.NumIons)
+	}
+	for i, g := range c.Gates() {
+		if g.IsTwoQubit() && g.Distance() > dev.MaxGateDistance() {
+			return nil, fmt.Errorf("schedule: gate %d (%s) spans %d > head limit %d",
+				i, g, g.Distance(), dev.MaxGateDistance())
+		}
+		if len(g.Qubits) > 2 {
+			return nil, fmt.Errorf("schedule: gate %d (%s) has arity %d", i, g, len(g.Qubits))
+		}
+	}
+
+	s := newScheduler(c, dev)
+	sched := &Schedule{}
+	cur := -1
+	for s.remaining > 0 {
+		pos, gates := s.bestPosition(cur)
+		if len(gates) == 0 {
+			// Cannot happen when every gate fits some window; defensive.
+			return nil, fmt.Errorf("schedule: no executable gates at any head position (%d remaining)", s.remaining)
+		}
+		s.commit(gates)
+		sched.Steps = append(sched.Steps, Step{Pos: pos, Gates: gates})
+		if cur >= 0 {
+			d := pos - cur
+			if d < 0 {
+				d = -d
+			}
+			sched.Dist += d
+		}
+		cur = pos
+	}
+	sched.Moves = len(sched.Steps)
+	return sched, nil
+}
+
+// scheduler holds the frontier state: for each qubit, the index into its
+// gate list of the next unexecuted gate.
+type scheduler struct {
+	c         *circuit.Circuit
+	dev       device.TILT
+	lists     [][]int // per-qubit ordered gate indices
+	listPos   [][]int // per-gate, per-operand: index within each qubit list
+	ptr       []int   // per-qubit frontier
+	remaining int
+	scratch   []int // reusable frontier copy
+}
+
+func newScheduler(c *circuit.Circuit, dev device.TILT) *scheduler {
+	s := &scheduler{
+		c:         c,
+		dev:       dev,
+		lists:     make([][]int, dev.NumIons),
+		listPos:   make([][]int, c.Len()),
+		ptr:       make([]int, dev.NumIons),
+		remaining: c.Len(),
+		scratch:   make([]int, dev.NumIons),
+	}
+	for i, g := range c.Gates() {
+		s.listPos[i] = make([]int, len(g.Qubits))
+		for j, q := range g.Qubits {
+			s.listPos[i][j] = len(s.lists[q])
+			s.lists[q] = append(s.lists[q], i)
+		}
+	}
+	return s
+}
+
+// bestPosition evaluates every head position and returns the one executing
+// the most gates (Eq. 2 score), tie-breaking toward the nearest position to
+// cur and then the leftmost — both deterministic.
+func (s *scheduler) bestPosition(cur int) (int, []int) {
+	bestPos := 0
+	var bestGates []int
+	bestDist := 1 << 30
+	for p := 0; p <= s.dev.NumIons-s.dev.HeadSize; p++ {
+		gates := s.executableAt(p)
+		d := 0
+		if cur >= 0 {
+			d = p - cur
+			if d < 0 {
+				d = -d
+			}
+		}
+		if len(gates) > len(bestGates) ||
+			(len(gates) == len(bestGates) && len(gates) > 0 && d < bestDist) {
+			bestPos, bestGates, bestDist = p, gates, d
+		}
+	}
+	return bestPos, bestGates
+}
+
+// executableAt returns the maximal dependency-closed set of pending gates
+// that fit under the head at position p, in a valid execution order.
+// It simulates frontier consumption on a scratch copy of the per-qubit
+// pointers, looping to a fixpoint: a gate executes when it is the next
+// pending gate on every operand and all operands lie inside the window.
+func (s *scheduler) executableAt(p int) []int {
+	local := s.scratch
+	copy(local, s.ptr)
+	var out []int
+	hi := p + s.dev.HeadSize - 1
+	for {
+		progressed := false
+		for q := p; q <= hi && q < s.dev.NumIons; q++ {
+			for local[q] < len(s.lists[q]) {
+				gi := s.lists[q][local[q]]
+				g := s.c.Gate(gi)
+				ready := true
+				for j, oq := range g.Qubits {
+					if oq < p || oq > hi || local[oq] != s.listPos[gi][j] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					break
+				}
+				for _, oq := range g.Qubits {
+					local[oq]++
+				}
+				out = append(out, gi)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// commit advances the real frontier over the chosen gate set.
+func (s *scheduler) commit(gates []int) {
+	for _, gi := range gates {
+		for _, q := range s.c.Gate(gi).Qubits {
+			s.ptr[q]++
+		}
+	}
+	s.remaining -= len(gates)
+}
+
+// Validate checks a schedule against its circuit and device: every gate
+// appears exactly once, fits its step's window, and respects per-qubit
+// program order. Exposed for tests and for defensive callers.
+func (sched *Schedule) Validate(c *circuit.Circuit, dev device.TILT) error {
+	seen := make([]bool, c.Len())
+	// Per-qubit order check uses each qubit's list index.
+	listIdx := make([]int, dev.NumIons)
+	lists := make([][]int, dev.NumIons)
+	for i, g := range c.Gates() {
+		for _, q := range g.Qubits {
+			lists[q] = append(lists[q], i)
+		}
+	}
+	for si, st := range sched.Steps {
+		if st.Pos < 0 || st.Pos > dev.NumIons-dev.HeadSize {
+			return fmt.Errorf("schedule: step %d position %d out of range", si, st.Pos)
+		}
+		for _, gi := range st.Gates {
+			if gi < 0 || gi >= c.Len() {
+				return fmt.Errorf("schedule: step %d references gate %d", si, gi)
+			}
+			if seen[gi] {
+				return fmt.Errorf("schedule: gate %d scheduled twice", gi)
+			}
+			seen[gi] = true
+			g := c.Gate(gi)
+			for _, q := range g.Qubits {
+				if q < st.Pos || q > st.Pos+dev.HeadSize-1 {
+					return fmt.Errorf("schedule: step %d gate %d qubit %d outside window [%d,%d]",
+						si, gi, q, st.Pos, st.Pos+dev.HeadSize-1)
+				}
+				if lists[q][listIdx[q]] != gi {
+					return fmt.Errorf("schedule: gate %d violates program order on qubit %d", gi, q)
+				}
+				listIdx[q]++
+			}
+		}
+	}
+	for gi, ok := range seen {
+		if !ok {
+			return fmt.Errorf("schedule: gate %d never scheduled", gi)
+		}
+	}
+	return nil
+}

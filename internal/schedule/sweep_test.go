@@ -1,0 +1,129 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+func TestSweepCoversAllGates(t *testing.T) {
+	dev := device.TILT{NumIons: 16, HeadSize: 4}
+	bm := workloads.QFTN(12)
+	r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(16), dev, swapins.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sweep(r.Physical, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(r.Physical, dev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepHandlesExactSpanGate(t *testing.T) {
+	// A gate whose only valid position is odd — the case that forces
+	// unit-granularity stops.
+	dev := device.TILT{NumIons: 8, HeadSize: 4}
+	c := circuit.New(8)
+	c.ApplyCNOT(1, 4) // span 3 = head−1, only position 1 works
+	s, err := Sweep(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(c, dev); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps[0].Pos != 1 {
+		t.Errorf("gate scheduled at position %d, want 1", s.Steps[0].Pos)
+	}
+}
+
+func TestSweepRejectsOversizedGate(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 4}
+	c := circuit.New(8)
+	c.ApplyCNOT(0, 7)
+	if _, err := Sweep(c, dev); err == nil {
+		t.Error("oversized gate should be rejected")
+	}
+	ccx := circuit.New(8)
+	ccx.ApplyCCX(0, 1, 2)
+	if _, err := Sweep(ccx, dev); err == nil {
+		t.Error("arity-3 gate should be rejected")
+	}
+	if _, err := Sweep(circuit.New(16), dev); err == nil {
+		t.Error("wide circuit should be rejected")
+	}
+}
+
+func TestSweepEmptyCircuit(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 4}
+	s, err := Sweep(circuit.New(8), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Moves != 0 {
+		t.Errorf("Moves = %d, want 0", s.Moves)
+	}
+}
+
+func TestGreedyBeatsOrMatchesSweep(t *testing.T) {
+	// Algorithm 2's whole point: fewer placements than a blind sweep.
+	dev := device.TILT{NumIons: 64, HeadSize: 16}
+	bm := workloads.QAOA()
+	r, err := (swapins.LinQ{}).Insert(decomposeArity2(t, bm), mapping.Identity(64), dev, swapins.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Tape(r.Physical, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := Sweep(r.Physical, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Moves > sweep.Moves {
+		t.Errorf("greedy used %d moves, sweep %d; Algorithm 2 should not lose",
+			greedy.Moves, sweep.Moves)
+	}
+}
+
+func TestPropertySweepAlwaysValid(t *testing.T) {
+	f := func(seed int64, headRaw uint8) bool {
+		n := 12
+		head := 3 + int(headRaw)%4
+		dev := device.TILT{NumIons: n, HeadSize: head}
+		bm := workloads.Random(n, 15, seed)
+		r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
+		if err != nil {
+			return false
+		}
+		s, err := Sweep(r.Physical, dev)
+		if err != nil {
+			return false
+		}
+		return s.Validate(r.Physical, dev) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// decomposeArity2 returns the benchmark circuit, asserting it is already at
+// arity ≤ 2 (QAOA emits only CNOT/RZ/RX/H).
+func decomposeArity2(t *testing.T, bm workloads.Benchmark) *circuit.Circuit {
+	t.Helper()
+	for _, g := range bm.Circuit.Gates() {
+		if len(g.Qubits) > 2 {
+			t.Fatalf("benchmark %s has arity-3 gates", bm.Name)
+		}
+	}
+	return bm.Circuit
+}

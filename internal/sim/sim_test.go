@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/schedule"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+func compile(t *testing.T, c *circuit.Circuit, dev device.TILT) (*circuit.Circuit, *schedule.Schedule) {
+	t.Helper()
+	r, err := (swapins.LinQ{}).Insert(c, mapping.Identity(dev.NumIons), dev, swapins.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Tape(r.Physical, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Physical, s
+}
+
+func TestSingleGateFidelityMatchesEq4(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 8}
+	p := noise.Default()
+	c := circuit.New(8)
+	c.ApplyXX(math.Pi/4, 0, 3)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One move (the initial placement), so quanta = k(8).
+	k := p.ShuttleQuanta(8)
+	want := 1 - p.TwoQubitError(p.GateTime(3), k)
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f", res.SuccessRate, want)
+	}
+	if res.TwoQubitGates != 1 || res.OneQubitGates != 0 || res.SwapGates != 0 {
+		t.Errorf("census = %d/%d/%d", res.OneQubitGates, res.TwoQubitGates, res.SwapGates)
+	}
+}
+
+func TestSwapCostsThreeTwoQubitGates(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 8}
+	p := noise.Default()
+	c := circuit.New(8)
+	c.ApplySWAP(0, 2)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.ShuttleQuanta(8)
+	e := p.TwoQubitError(p.GateTime(2), k)
+	want := math.Pow(1-e, 3)
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f", res.SuccessRate, want)
+	}
+	if res.SwapGates != 1 {
+		t.Errorf("SwapGates = %d, want 1", res.SwapGates)
+	}
+}
+
+func TestLaterMovesDegradeFidelity(t *testing.T) {
+	// Two identical gates in distant windows: the second executes after
+	// one more move, so it must contribute a lower fidelity.
+	dev := device.TILT{NumIons: 32, HeadSize: 4}
+	p := noise.Default()
+	c := circuit.New(32)
+	c.ApplyXX(math.Pi/4, 0, 1)
+	c.ApplyXX(math.Pi/4, 30, 31)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 2 {
+		t.Fatalf("Moves = %d, want 2", res.Moves)
+	}
+	k := p.ShuttleQuanta(32)
+	f1 := 1 - p.TwoQubitError(p.GateTime(1), 1*k)
+	f2 := 1 - p.TwoQubitError(p.GateTime(1), 2*k)
+	if f2 >= f1 {
+		t.Fatal("test premise broken: second move should be worse")
+	}
+	want := f1 * f2
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f", res.SuccessRate, want)
+	}
+}
+
+func TestCoolingIntervalRestoresFidelity(t *testing.T) {
+	// With sympathetic cooling every move, quanta never accumulate.
+	dev := device.TILT{NumIons: 64, HeadSize: 8}
+	bm := workloads.QFTN(16)
+	p := noise.Default()
+	phys, sched := compile(t, decomposed(bm.Circuit), dev)
+	base, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CoolingInterval = 1
+	cooled, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cooled.LogSuccess <= base.LogSuccess {
+		t.Errorf("cooling did not help: cooled=%g base=%g",
+			cooled.LogSuccess, base.LogSuccess)
+	}
+}
+
+func TestOneQubitGatesUseConstantError(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 8}
+	p := noise.Default()
+	c := circuit.New(8)
+	for i := 0; i < 5; i++ {
+		c.ApplyRX(0.1, i)
+	}
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1-p.OneQubitError, 5)
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f", res.SuccessRate, want)
+	}
+}
+
+func TestExecTimeIncludesMovesAndGates(t *testing.T) {
+	dev := device.TILT{NumIons: 32, HeadSize: 4}
+	p := noise.Default()
+	c := circuit.New(32)
+	c.ApplyXX(math.Pi/4, 0, 1)
+	c.ApplyXX(math.Pi/4, 30, 31)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moveTime := p.MoveTime(sched.Dist)
+	gateTime := 2 * p.GateTime(1)
+	want := moveTime + gateTime
+	if math.Abs(res.ExecTimeUs-want) > 1e-9 {
+		t.Errorf("ExecTimeUs = %g, want %g", res.ExecTimeUs, want)
+	}
+}
+
+func TestParallelGatesShareWallClock(t *testing.T) {
+	// Two disjoint gates in one window should take one gate time, not two.
+	dev := device.TILT{NumIons: 8, HeadSize: 8}
+	p := noise.Default()
+	c := circuit.New(8)
+	c.ApplyXX(math.Pi/4, 0, 1)
+	c.ApplyXX(math.Pi/4, 2, 3)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.GateTime(1); math.Abs(res.ExecTimeUs-want) > 1e-9 {
+		t.Errorf("ExecTimeUs = %g, want %g (parallel execution)", res.ExecTimeUs, want)
+	}
+}
+
+func TestLogSuccessStaysFiniteOnDeepCircuits(t *testing.T) {
+	dev := device.TILT{NumIons: 24, HeadSize: 8}
+	bm := workloads.QFTN(24)
+	phys, sched := compile(t, decomposed(bm.Circuit), dev)
+	res, err := Simulate(phys, sched, dev, noise.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.LogSuccess, 0) || math.IsNaN(res.LogSuccess) {
+		t.Fatalf("LogSuccess = %g", res.LogSuccess)
+	}
+	if res.LogSuccess >= 0 {
+		t.Errorf("LogSuccess = %g, want < 0", res.LogSuccess)
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	dev := device.TILT{NumIons: 8, HeadSize: 4}
+	c := circuit.New(8)
+	c.ApplyH(0)
+	sched := &schedule.Schedule{} // empty: misses the gate
+	if _, err := Simulate(c, sched, dev, noise.Default()); err == nil {
+		t.Error("schedule missing gates should be rejected")
+	}
+	good, err := schedule.Tape(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := noise.Default()
+	bad.Gamma = -1
+	if _, err := Simulate(c, good, dev, bad); err == nil {
+		t.Error("invalid noise params should be rejected")
+	}
+}
+
+func TestSimulateIdealNoHeating(t *testing.T) {
+	p := noise.Default()
+	dev := device.IdealTI{NumIons: 8}
+	c := circuit.New(8)
+	c.ApplyXX(math.Pi/4, 0, 7)
+	res, err := SimulateIdeal(c, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - p.TwoQubitError(p.GateTime(7), 0)
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("ideal success = %.15f, want %.15f", res.SuccessRate, want)
+	}
+	if res.Moves != 0 {
+		t.Errorf("ideal Moves = %d, want 0", res.Moves)
+	}
+}
+
+func TestIdealBeatsTILT(t *testing.T) {
+	bm := workloads.QFTN(16)
+	c := decomposed(bm.Circuit)
+	dev := device.TILT{NumIons: 16, HeadSize: 4}
+	p := noise.Default()
+	phys, sched := compile(t, c, dev)
+	tilt, err := Simulate(phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := SimulateIdeal(c, device.IdealTI{NumIons: 16}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.LogSuccess <= tilt.LogSuccess {
+		t.Errorf("ideal (%g) should beat TILT (%g)", ideal.LogSuccess, tilt.LogSuccess)
+	}
+}
+
+func TestPropertySuccessRateInUnitInterval(t *testing.T) {
+	f := func(seed int64, headRaw uint8) bool {
+		n := 12
+		dev := device.TILT{NumIons: n, HeadSize: 3 + int(headRaw)%5}
+		bm := workloads.Random(n, 15, seed)
+		r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
+		if err != nil {
+			return false
+		}
+		s, err := schedule.Tape(r.Physical, dev)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(r.Physical, s, dev, noise.Default())
+		if err != nil {
+			return false
+		}
+		return res.SuccessRate >= 0 && res.SuccessRate <= 1 &&
+			res.LogSuccess <= 0 && res.ExecTimeUs >= 0 &&
+			res.MeanTwoQubitFidelity >= 0 && res.MeanTwoQubitFidelity <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// decomposed lowers a benchmark circuit to arity ≤ 2 for the pipeline.
+func decomposed(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits())
+	for _, g := range c.Gates() {
+		if len(g.Qubits) <= 2 {
+			out.MustAdd(g.Kind, g.Theta, g.Qubits...)
+			continue
+		}
+		// Only CCX appears at arity 3 in workloads; route through a fresh
+		// SWAP-free identity — tests use QFT (no CCX), so panic loudly.
+		panic("decomposed: unexpected arity-3 gate in test workload")
+	}
+	return out
+}

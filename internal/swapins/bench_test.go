@@ -1,0 +1,46 @@
+package swapins
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/workloads"
+)
+
+// BenchmarkLinQInsertQFT measures Algorithm 1 on the paper's heaviest
+// workload (QFT-64, head 16).
+func BenchmarkLinQInsertQFT(b *testing.B) {
+	bm := workloads.QFT()
+	nat := decompose.ToNative(bm.Circuit)
+	dev := device.TILT{NumIons: 64, HeadSize: 16}
+	m0, err := mapping.Initial(nat, 64, mapping.ProgramOrderPlacement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LinQ{}).Insert(nat, m0, dev, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStochasticInsertQFT measures the §VI-A baseline on the same
+// workload.
+func BenchmarkStochasticInsertQFT(b *testing.B) {
+	bm := workloads.QFT()
+	nat := decompose.ToNative(bm.Circuit)
+	dev := device.TILT{NumIons: 64, HeadSize: 16}
+	m0, err := mapping.Initial(nat, 64, mapping.ProgramOrderPlacement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Stochastic{Trials: 8, Seed: 1}).Insert(nat, m0, dev, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

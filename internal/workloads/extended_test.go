@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qsim"
+)
+
+func TestVQEStructure(t *testing.T) {
+	bm := VQE(8, 3, 1)
+	// 3 entangling layers of 7 CNOTs each.
+	if got := bm.Circuit.TwoQubitCount(); got != 21 {
+		t.Errorf("VQE 2Q count = %d, want 21", got)
+	}
+	// Nearest-neighbor only.
+	if d := bm.Circuit.MaxTwoQubitDistance(); d != 1 {
+		t.Errorf("VQE max distance = %d, want 1", d)
+	}
+	// Deterministic per seed.
+	again := VQE(8, 3, 1)
+	if again.Circuit.Len() != bm.Circuit.Len() {
+		t.Error("VQE not deterministic")
+	}
+	for i := 0; i < bm.Circuit.Len(); i++ {
+		if bm.Circuit.Gate(i).Theta != again.Circuit.Gate(i).Theta {
+			t.Fatal("VQE angles not deterministic")
+		}
+	}
+}
+
+func TestIsingMatchesExactEvolution(t *testing.T) {
+	// For a 2-qubit system a single Trotter step is exact (ZZ and the
+	// single-qubit X terms commute with themselves; one step of
+	// exp(iJdt ZZ)·exp(ihdt ΣX) is exactly what the circuit implements).
+	// Verify the ZZ block alone against the analytic operator.
+	c := Ising(2, 1, 0.3, 0).Circuit
+	s := qsim.NewState(2)
+	s.ApplyGate(mustX(t, 0)) // |01>
+	s.Run(c)
+	// exp(-iH t) with H = -J Z0 Z1: on |01> (eigenvalue ZZ = -1),
+	// phase exp(-i*J*dt*(-1)*(-1))... overall |01> picks up e^{-iJdt·(+1)}
+	// for H = -J ZZ, E = -J·(ZZ=-1) = +J → phase e^{-i(+0.3)t=1}. The
+	// probability must remain 1 regardless of phase.
+	if p := s.Probability(0b01); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("Ising ZZ block changed populations: P = %g", p)
+	}
+	// And the relative phase between |00> and |01> must match 2*J*dt.
+	a := qsim.NewState(2)
+	a.ApplyGate(mustH(t, 0)) // (|00>+|01>)/√2
+	a.Run(c)
+	amp := a.Amplitudes()
+	rel := cmplx.Phase(amp[0b01] / amp[0b00])
+	want := 2 * 0.3 // phase difference between ZZ eigenvalues ±1 sectors
+	if math.Abs(math.Abs(rel)-want) > 1e-9 {
+		t.Fatalf("Ising relative phase = %g, want ±%g", rel, want)
+	}
+}
+
+func TestIsingStructure(t *testing.T) {
+	bm := Ising(10, 5, 0.2, 0.1)
+	if got := bm.Circuit.TwoQubitCount(); got != 2*9*5 {
+		t.Errorf("Ising 2Q count = %d, want 90", got)
+	}
+	if d := bm.Circuit.MaxTwoQubitDistance(); d != 1 {
+		t.Errorf("Ising max distance = %d, want 1", d)
+	}
+}
+
+func TestSurfaceCodeZSyndromesDeterministic(t *testing.T) {
+	// One round on |0...0> data: every Z-stabilizer ancilla must measure 0
+	// with certainty (the state is a +1 eigenstate of every Z check).
+	bm := SurfaceCode(1)
+	if bm.Qubits() != 17 {
+		t.Fatalf("d3 round register = %d, want 17", bm.Qubits())
+	}
+	s := qsim.NewState(17)
+	s.Run(bm.Circuit)
+	// Marginal probability that any of ancillas 9..12 (Z checks) is 1.
+	var bad float64
+	zMask := 0
+	for a := 9; a <= 12; a++ {
+		zMask |= 1 << uint(a)
+	}
+	for i, amp := range s.Amplitudes() {
+		if i&zMask != 0 {
+			bad += real(amp)*real(amp) + imag(amp)*imag(amp)
+		}
+	}
+	if bad > 1e-9 {
+		t.Fatalf("Z syndromes fired on codeword-free state: P = %g", bad)
+	}
+}
+
+func TestSurfaceCodeDetectsInjectedError(t *testing.T) {
+	// Inject X on data qubit 4 (in the support of both bulk Z checks);
+	// both must fire with certainty.
+	prep := circuit.New(17)
+	prep.ApplyX(4)
+	for _, g := range SurfaceCode(1).Circuit.Gates() {
+		prep.MustAdd(g.Kind, g.Theta, g.Qubits...)
+	}
+	s := qsim.NewState(17)
+	s.Run(prep)
+	// Z-check 0 (ancilla 9) covers {0,1,3,4}; Z-check 1 (ancilla 10)
+	// covers {4,5,7,8}: both must read 1.
+	var good float64
+	for i, amp := range s.Amplitudes() {
+		if i&(1<<9) != 0 && i&(1<<10) != 0 {
+			good += real(amp)*real(amp) + imag(amp)*imag(amp)
+		}
+	}
+	if math.Abs(good-1) > 1e-9 {
+		t.Fatalf("X error not detected: P(both Z checks fire) = %g", good)
+	}
+}
+
+func TestSurfaceCodeRegisterAndReuse(t *testing.T) {
+	// Ancillas are reused, so the register stays at 17 regardless of
+	// round count; 8 measurements per round.
+	bm := SurfaceCode(6)
+	if bm.Qubits() != 17 {
+		t.Errorf("6-round register = %d, want 17 (reused ancillas)", bm.Qubits())
+	}
+	if got := bm.Circuit.CountKind(circuit.Measure); got != 48 {
+		t.Errorf("measurements = %d, want 48", got)
+	}
+	if bm.Comm != CommShort {
+		t.Errorf("surface code comm = %q", bm.Comm)
+	}
+}
+
+func TestSurfaceCodePatchesAreIndependent(t *testing.T) {
+	bm := SurfaceCodePatches(3, 2)
+	if bm.Qubits() != 51 {
+		t.Fatalf("3-patch register = %d, want 51", bm.Qubits())
+	}
+	// No gate may cross a patch boundary.
+	for i, g := range bm.Circuit.Gates() {
+		patch := -1
+		for _, q := range g.Qubits {
+			p := q / 17
+			if patch == -1 {
+				patch = p
+			} else if p != patch {
+				t.Fatalf("gate %d (%s) crosses patches", i, g)
+			}
+		}
+	}
+}
+
+func TestShortDistanceSuite(t *testing.T) {
+	suite := ShortDistanceSuite()
+	if len(suite) != 3 {
+		t.Fatalf("suite size = %d, want 3", len(suite))
+	}
+	names := map[string]bool{}
+	for _, bm := range suite {
+		names[bm.Name] = true
+		if bm.Qubits() < 32 {
+			t.Errorf("%s: only %d qubits", bm.Name, bm.Qubits())
+		}
+		if bm.Comm != CommNearest && bm.Comm != CommShort {
+			t.Errorf("%s: comm %q not short-distance", bm.Name, bm.Comm)
+		}
+	}
+	for _, want := range []string{"VQE", "ISING", "SURFACE"} {
+		if !names[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}
+
+func TestExtendedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"vqe":     func() { VQE(1, 1, 0) },
+		"ising":   func() { Ising(2, 0, 0.1, 0.1) },
+		"surface": func() { SurfaceCode(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func mustH(t *testing.T, q int) circuit.Gate {
+	t.Helper()
+	g, err := circuit.NewGate(circuit.H, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,420 @@
+// Package workloads generates the NISQ benchmark circuits of Table II from
+// first principles: ADDER (Cuccaro ripple-carry), BV (Bernstein–Vazirani),
+// QAOA (hardware-efficient MaxCut ansatz), RCS (Google-style random circuit
+// sampling on an 8×8 grid), QFT (quantum Fourier transform), and SQRT
+// (Grover-search kernel).
+//
+// Each generator matches the paper's qubit count and communication pattern
+// exactly; two-qubit gate counts (measured at the CNOT level, the paper's
+// convention) land within a few percent of Table II — residual differences
+// come from Toffoli/UMA decomposition choices that the paper does not pin
+// down and are recorded in EXPERIMENTS.md.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Comm classifies a benchmark's dominant two-qubit communication pattern
+// (Table II, "Communication" column).
+type Comm string
+
+// Communication pattern categories used by Table II.
+const (
+	CommShort   Comm = "Short-distance gates"
+	CommLong    Comm = "Long-distance gates"
+	CommNearest Comm = "Nearest-neighbor gates"
+)
+
+// Benchmark bundles a generated circuit with its Table II metadata.
+type Benchmark struct {
+	Name    string
+	Comm    Comm
+	Circuit *circuit.Circuit
+}
+
+// Qubits returns the register width.
+func (b Benchmark) Qubits() int { return b.Circuit.NumQubits() }
+
+// Adder returns the paper's ADDER benchmark: a 31-bit Cuccaro ripple-carry
+// adder over 64 qubits (carry-in + 31 a-bits + 31 b-bits + carry-out).
+func Adder() Benchmark { return AdderN(31) }
+
+// AdderN builds an n-bit Cuccaro adder over 2n+2 qubits. The register layout
+// interleaves the operands — cin, b0, a0, b1, a1, ..., cout — so every MAJ
+// and UMA block touches three adjacent qubits (the short-distance pattern the
+// paper relies on).
+//
+// Semantics: with |a> in the a-qubits and |b> in the b-qubits, the circuit
+// maps b <- a+b (mod 2^n) and sets cout to the carry.
+func AdderN(n int) Benchmark {
+	if n < 1 {
+		panic(fmt.Sprintf("workloads: adder width %d < 1", n))
+	}
+	c := circuit.New(2*n + 2)
+	cin := 0
+	b := func(i int) int { return 1 + 2*i }
+	a := func(i int) int { return 2 + 2*i }
+	cout := 2*n + 1
+
+	maj := func(x, y, z int) {
+		c.ApplyCNOT(z, y)
+		c.ApplyCNOT(z, x)
+		c.ApplyCCX(x, y, z)
+	}
+	uma := func(x, y, z int) {
+		c.ApplyCCX(x, y, z)
+		c.ApplyCNOT(z, x)
+		c.ApplyCNOT(x, y)
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < n; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.ApplyCNOT(a(n-1), cout)
+	for i := n - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+
+	return Benchmark{Name: "ADDER", Comm: CommShort, Circuit: c}
+}
+
+// BV returns the paper's Bernstein–Vazirani benchmark on 64 qubits: 63 data
+// qubits plus one phase-kickback ancilla at the far end of the register, with
+// the all-ones secret string (the worst case: every data qubit talks to the
+// ancilla, giving the long-distance pattern of Table II).
+func BV() Benchmark {
+	secret := make([]bool, 63)
+	for i := range secret {
+		secret[i] = true
+	}
+	return BVSecret(secret)
+}
+
+// BVSecret builds a Bernstein–Vazirani circuit for the given secret string.
+// The register has len(secret) data qubits plus one ancilla (the last qubit).
+func BVSecret(secret []bool) Benchmark {
+	n := len(secret)
+	if n < 1 {
+		panic("workloads: empty BV secret")
+	}
+	c := circuit.New(n + 1)
+	anc := n
+	for q := 0; q < n; q++ {
+		c.ApplyH(q)
+	}
+	c.ApplyX(anc)
+	c.ApplyH(anc)
+	for q, bit := range secret {
+		if bit {
+			c.ApplyCNOT(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.ApplyH(q)
+	}
+	return Benchmark{Name: "BV", Comm: CommLong, Circuit: c}
+}
+
+// QAOA returns the paper's QAOA benchmark: a 10-round hardware-efficient
+// MaxCut ansatz on a 64-qubit linear graph (2·63·10 = 1260 two-qubit gates,
+// matching Table II exactly).
+func QAOA() Benchmark { return QAOAN(64, 10, 2021) }
+
+// QAOAN builds a p-round hardware-efficient QAOA MaxCut ansatz on an
+// n-qubit path graph. Each round applies ZZ(γ) = CNOT·RZ·CNOT on every edge
+// followed by an RX(β) mixer on every qubit; angles are pseudo-random but
+// deterministic for the given seed (the compiler study only depends on the
+// circuit structure, not the variational optimum).
+func QAOAN(n, p int, seed int64) Benchmark {
+	if n < 2 || p < 1 {
+		panic(fmt.Sprintf("workloads: invalid QAOA size n=%d p=%d", n, p))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.ApplyH(q)
+	}
+	for r := 0; r < p; r++ {
+		gamma := rng.Float64() * math.Pi
+		beta := rng.Float64() * math.Pi
+		for q := 0; q+1 < n; q++ {
+			c.ApplyCNOT(q, q+1)
+			c.ApplyRZ(2*gamma, q+1)
+			c.ApplyCNOT(q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.ApplyRX(2*beta, q)
+		}
+	}
+	return Benchmark{Name: "QAOA", Comm: CommNearest, Circuit: c}
+}
+
+// RCS returns the paper's random-circuit-sampling benchmark: 20 cycles on an
+// 8×8 qubit grid (5 sweeps of the 4 staggered CZ patterns: 5·(32+24+32+24) =
+// 560 two-qubit gates, matching Table II exactly).
+func RCS() Benchmark { return RCSGrid(8, 8, 20, 2021) }
+
+// RCSGrid builds a Google-style random circuit on a rows×cols grid mapped to
+// a line row-major: every cycle applies a random single-qubit gate from
+// {√X, √Y, T} to each qubit followed by CZs on one of four staggered
+// nearest-neighbor patterns (horizontal even/odd, vertical even/odd).
+func RCSGrid(rows, cols, cycles int, seed int64) Benchmark {
+	if rows < 1 || cols < 1 || cycles < 0 {
+		panic(fmt.Sprintf("workloads: invalid RCS grid %dx%d cycles=%d", rows, cols, cycles))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	c := circuit.New(n)
+	at := func(r, col int) int { return r*cols + col }
+
+	for q := 0; q < n; q++ {
+		c.ApplyH(q)
+	}
+	for cyc := 0; cyc < cycles; cyc++ {
+		for q := 0; q < n; q++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.ApplyRX(math.Pi/2, q) // √X
+			case 1:
+				c.ApplyRY(math.Pi/2, q) // √Y
+			case 2:
+				c.ApplyT(q)
+			}
+		}
+		switch cyc % 4 {
+		case 0: // horizontal, even columns
+			for r := 0; r < rows; r++ {
+				for col := 0; col+1 < cols; col += 2 {
+					c.ApplyCZ(at(r, col), at(r, col+1))
+				}
+			}
+		case 1: // horizontal, odd columns
+			for r := 0; r < rows; r++ {
+				for col := 1; col+1 < cols; col += 2 {
+					c.ApplyCZ(at(r, col), at(r, col+1))
+				}
+			}
+		case 2: // vertical, even rows
+			for r := 0; r+1 < rows; r += 2 {
+				for col := 0; col < cols; col++ {
+					c.ApplyCZ(at(r, col), at(r+1, col))
+				}
+			}
+		case 3: // vertical, odd rows
+			for r := 1; r+1 < rows; r += 2 {
+				for col := 0; col < cols; col++ {
+					c.ApplyCZ(at(r, col), at(r+1, col))
+				}
+			}
+		}
+	}
+	return Benchmark{Name: "RCS", Comm: CommNearest, Circuit: c}
+}
+
+// QFT returns the paper's 64-qubit quantum Fourier transform
+// (64·63/2 = 2016 controlled-phase gates → 4032 two-qubit gates at the CNOT
+// level, matching Table II exactly).
+func QFT() Benchmark { return QFTN(64) }
+
+// QFTN builds the textbook n-qubit QFT: an H on each qubit followed by the
+// cascade of controlled-phase rotations CP(π/2^k). The terminal qubit
+// reversal is omitted (the paper's gate count implies the same choice).
+func QFTN(n int) Benchmark {
+	if n < 1 {
+		panic(fmt.Sprintf("workloads: QFT width %d < 1", n))
+	}
+	c := circuit.New(n)
+	for i := 0; i < n; i++ {
+		c.ApplyH(i)
+		for j := i + 1; j < n; j++ {
+			theta := math.Pi / math.Pow(2, float64(j-i))
+			c.ApplyCP(theta, j, i)
+		}
+	}
+	return Benchmark{Name: "QFT", Comm: CommLong, Circuit: c}
+}
+
+// SQRT returns the paper's SQRT benchmark stand-in: a 78-qubit Grover-search
+// kernel (one iteration over a 40-qubit search register with a 38-qubit
+// Toffoli-ladder workspace). The original ScaffCC sqrt benchmark — Grover
+// search for a square root — is not published as a gate list; this kernel
+// reproduces its Table II width (78), its ~1k two-qubit gate budget, and its
+// defining long-distance communication pattern: the oracle's Toffoli ladder
+// consumes the search register in natural order while the diffusion ladder
+// consumes it in a strided order, so no linear placement can localize both
+// phases (MCZ is invariant under control reordering, so semantics are
+// unchanged). See DESIGN.md §2 for the substitution record.
+func SQRT() Benchmark {
+	b := groverPermuted(40, 0x5A5A5A5A5A, 1, stridedOrder(40, 17))
+	b.Name = "SQRT"
+	b.Comm = CommLong
+	return b
+}
+
+// stridedOrder returns the permutation i -> i·stride mod m (stride coprime
+// to m), used to shear the diffusion ladder across the register.
+func stridedOrder(m, stride int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = (i * stride) % m
+	}
+	return out
+}
+
+// GroverN builds a Grover search circuit over m search qubits with the given
+// target basis state and iteration count. Multi-controlled-Z gates are
+// synthesized with a Toffoli ladder over m−2 ancilla qubits, so the register
+// width is 2m−2 (m ≥ 3).
+func GroverN(m int, target uint64, iterations int) Benchmark {
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	return groverPermuted(m, target, iterations, order)
+}
+
+// groverPermuted is GroverN with the diffusion ladder consuming the search
+// register in the given control order (a permutation of [0,m)).
+func groverPermuted(m int, target uint64, iterations int, diffusionOrder []int) Benchmark {
+	if m < 3 {
+		panic(fmt.Sprintf("workloads: Grover needs ≥3 search qubits, got %d", m))
+	}
+	if iterations < 1 {
+		panic(fmt.Sprintf("workloads: Grover iterations %d < 1", iterations))
+	}
+	if len(diffusionOrder) != m {
+		panic("workloads: diffusion order must permute the search register")
+	}
+	n := 2*m - 2
+	c := circuit.New(n)
+	search := make([]int, m)
+	for i := range search {
+		search[i] = i
+	}
+	permuted := make([]int, m)
+	for i, j := range diffusionOrder {
+		permuted[i] = search[j]
+	}
+	anc := make([]int, m-2)
+	for i := range anc {
+		anc[i] = m + i
+	}
+
+	for _, q := range search {
+		c.ApplyH(q)
+	}
+	for it := 0; it < iterations; it++ {
+		// Oracle: phase-flip the target basis state.
+		flipZeros(c, search, target)
+		mcz(c, search, anc)
+		flipZeros(c, search, target)
+		// Diffusion: reflect about the uniform superposition.
+		for _, q := range search {
+			c.ApplyH(q)
+			c.ApplyX(q)
+		}
+		mcz(c, permuted, anc)
+		for _, q := range search {
+			c.ApplyX(q)
+			c.ApplyH(q)
+		}
+	}
+	return Benchmark{Name: "GROVER", Comm: CommLong, Circuit: c}
+}
+
+// flipZeros wraps X gates around the qubits whose target bit is 0 so the
+// subsequent MCZ fires exactly on |target>.
+func flipZeros(c *circuit.Circuit, search []int, target uint64) {
+	for i, q := range search {
+		if target&(1<<uint(i)) == 0 {
+			c.ApplyX(q)
+		}
+	}
+}
+
+// mcz applies a multi-controlled Z across all search qubits (phase-flips the
+// all-ones state of the search register) using a standard compute/uncompute
+// Toffoli ladder over the ancillas. len(anc) must be len(search)-2.
+func mcz(c *circuit.Circuit, search, anc []int) {
+	m := len(search)
+	if m == 2 {
+		c.ApplyCZ(search[0], search[1])
+		return
+	}
+	if len(anc) < m-2 {
+		panic(fmt.Sprintf("workloads: mcz needs %d ancillas, got %d", m-2, len(anc)))
+	}
+	// Compute AND chain: anc[i] accumulates search[0..i+1].
+	c.ApplyCCX(search[0], search[1], anc[0])
+	for i := 2; i < m-1; i++ {
+		c.ApplyCCX(search[i], anc[i-2], anc[i-1])
+	}
+	// Phase flip conditioned on all controls.
+	c.ApplyCZ(anc[m-3], search[m-1])
+	// Uncompute.
+	for i := m - 2; i >= 2; i-- {
+		c.ApplyCCX(search[i], anc[i-2], anc[i-1])
+	}
+	c.ApplyCCX(search[0], search[1], anc[0])
+}
+
+// All returns the six Table II benchmarks in paper order.
+func All() []Benchmark {
+	return []Benchmark{Adder(), BV(), QAOA(), RCS(), QFT(), SQRT()}
+}
+
+// ByName returns the named Table II benchmark (case-sensitive paper names:
+// ADDER, BV, QAOA, RCS, QFT, SQRT).
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// GHZ builds an n-qubit GHZ-state preparation circuit (used by examples and
+// tests as a minimal entangling workload).
+func GHZ(n int) Benchmark {
+	if n < 2 {
+		panic(fmt.Sprintf("workloads: GHZ width %d < 2", n))
+	}
+	c := circuit.New(n)
+	c.ApplyH(0)
+	for q := 0; q+1 < n; q++ {
+		c.ApplyCNOT(q, q+1)
+	}
+	return Benchmark{Name: "GHZ", Comm: CommNearest, Circuit: c}
+}
+
+// Random builds a seeded random circuit over n qubits with the given number
+// of two-qubit gates and a mix of single-qubit rotations, for fuzz-style
+// compiler tests. Two-qubit endpoints are uniform over the register, so the
+// distance distribution spans short through long range.
+func Random(n, twoQubit int, seed int64) Benchmark {
+	if n < 2 {
+		panic(fmt.Sprintf("workloads: random width %d < 2", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for i := 0; i < twoQubit; i++ {
+		if rng.Intn(3) == 0 {
+			c.ApplyRZ(rng.Float64()*2*math.Pi, rng.Intn(n))
+		}
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		for b == a {
+			b = rng.Intn(n)
+		}
+		c.ApplyCNOT(a, b)
+	}
+	return Benchmark{Name: "RANDOM", Comm: CommLong, Circuit: c}
+}

@@ -1,0 +1,292 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/qsim"
+)
+
+// TestAdderComputesSums exhaustively checks the 2-bit Cuccaro adder and spot
+// checks the 3-bit one: with |a>|b> prepared, the b register must end in
+// a+b mod 2^n and cout must carry.
+func TestAdderComputesSums(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		bm := AdderN(n)
+		c := bm.Circuit
+		width := c.NumQubits()
+		for a := 0; a < 1<<uint(n); a++ {
+			for b := 0; b < 1<<uint(n); b++ {
+				s := qsim.NewState(width)
+				// Prepare operands: a bits at qubits 2+2i, b bits at 1+2i.
+				prep := make([]bool, width)
+				for i := 0; i < n; i++ {
+					if a&(1<<uint(i)) != 0 {
+						prep[2+2*i] = true
+					}
+					if b&(1<<uint(i)) != 0 {
+						prep[1+2*i] = true
+					}
+				}
+				for q, on := range prep {
+					if on {
+						s.ApplyGate(mustX(t, q))
+					}
+				}
+				s.Run(c)
+				sum := a + b
+				want := 0
+				for i := 0; i < n; i++ {
+					if sum&(1<<uint(i)) != 0 {
+						want |= 1 << uint(1+2*i) // b bits hold the sum
+					}
+					if a&(1<<uint(i)) != 0 {
+						want |= 1 << uint(2+2*i) // a bits preserved
+					}
+				}
+				if sum&(1<<uint(n)) != 0 {
+					want |= 1 << uint(2*n+1) // carry out
+				}
+				if p := s.Probability(want); math.Abs(p-1) > 1e-9 {
+					t.Fatalf("adder n=%d: %d+%d gave P(want)=%g", n, a, b, p)
+				}
+			}
+		}
+	}
+}
+
+// TestBVRecoversSecret runs a 5-data-qubit BV and checks the data register
+// measures the secret with probability 1.
+func TestBVRecoversSecret(t *testing.T) {
+	secret := []bool{true, false, true, true, false}
+	bm := BVSecret(secret)
+	s := qsim.NewState(bm.Qubits())
+	s.Run(bm.Circuit)
+	// Marginalize over the ancilla (qubit 5): sum probability of both
+	// ancilla values for the secret data pattern.
+	data := 0
+	for i, bit := range secret {
+		if bit {
+			data |= 1 << uint(i)
+		}
+	}
+	p := s.Probability(data) + s.Probability(data|1<<5)
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("BV: P(secret) = %g, want 1", p)
+	}
+}
+
+// TestQFTMatchesDFT checks the 4-qubit QFT against the explicit discrete
+// Fourier transform of basis states. Because the generator processes qubit 0
+// first and omits the terminal swaps, it computes the DFT of the
+// bit-reversed input in natural output order:
+// amp[y] = exp(2πi·rev(x)·y/2^n)/√2^n.
+func TestQFTMatchesDFT(t *testing.T) {
+	n := 4
+	bm := QFTN(n)
+	dim := 1 << uint(n)
+	for _, x := range []int{0, 1, 5, 10, 15} {
+		s := qsim.NewState(n)
+		for i := 0; i < n; i++ {
+			if x&(1<<uint(i)) != 0 {
+				s.ApplyGate(mustX(t, i))
+			}
+		}
+		s.Run(bm.Circuit)
+		amps := s.Amplitudes()
+		rx := reverseBits(x, n)
+		for y := 0; y < dim; y++ {
+			want := cmplx.Exp(complex(0, 2*math.Pi*float64(rx*y)/float64(dim))) /
+				complex(math.Sqrt(float64(dim)), 0)
+			if cmplx.Abs(amps[y]-want) > 1e-9 {
+				t.Fatalf("QFT(%d qubits) input %d: amp[%d] = %v, want %v",
+					n, x, y, amps[y], want)
+			}
+		}
+	}
+}
+
+func reverseBits(x, n int) int {
+	r := 0
+	for i := 0; i < n; i++ {
+		if x&(1<<uint(i)) != 0 {
+			r |= 1 << uint(n-1-i)
+		}
+	}
+	return r
+}
+
+// TestGroverAmplifiesTarget runs 2 iterations over 3 search qubits and
+// checks the target probability approaches the analytic value (~0.945).
+func TestGroverAmplifiesTarget(t *testing.T) {
+	target := uint64(0b101)
+	bm := GroverN(3, target, 2)
+	s := qsim.NewState(bm.Qubits())
+	s.Run(bm.Circuit)
+	// Marginalize over ancillas (they uncompute to |0>, so the joint state
+	// should concentrate on target with ancillas clear).
+	p := s.Probability(int(target))
+	if p < 0.9 {
+		t.Fatalf("Grover: P(target) = %g, want > 0.9", p)
+	}
+}
+
+// TestGroverAncillasRestored verifies the Toffoli ladder uncomputes cleanly:
+// total probability mass with any ancilla set must be ~0.
+func TestGroverAncillasRestored(t *testing.T) {
+	bm := GroverN(4, 0b1011, 1)
+	s := qsim.NewState(bm.Qubits())
+	s.Run(bm.Circuit)
+	var dirty float64
+	ancMask := ((1 << uint(bm.Qubits())) - 1) &^ ((1 << 4) - 1)
+	for i, a := range s.Amplitudes() {
+		if i&ancMask != 0 {
+			dirty += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if dirty > 1e-9 {
+		t.Fatalf("Grover ancillas not restored: leaked probability %g", dirty)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	cases := []struct {
+		bm         Benchmark
+		wantQubits int
+		paper2Q    int
+		tolerance  float64 // allowed relative deviation from the paper count
+		comm       Comm
+	}{
+		{Adder(), 64, 545, 0.10, CommShort},
+		{BV(), 64, 64, 0.03, CommLong},
+		{QAOA(), 64, 1260, 0, CommNearest},
+		{RCS(), 64, 560, 0, CommNearest},
+		{QFT(), 64, 4032, 0, CommLong},
+		{SQRT(), 78, 1028, 0.12, CommLong},
+	}
+	for _, c := range cases {
+		if got := c.bm.Qubits(); got != c.wantQubits {
+			t.Errorf("%s: qubits = %d, want %d", c.bm.Name, got, c.wantQubits)
+		}
+		got := decompose.TwoQubitGateCount(c.bm.Circuit)
+		dev := math.Abs(float64(got-c.paper2Q)) / float64(c.paper2Q)
+		if dev > c.tolerance {
+			t.Errorf("%s: 2Q count = %d, paper %d (deviation %.1f%% > %.0f%%)",
+				c.bm.Name, got, c.paper2Q, dev*100, c.tolerance*100)
+		}
+		if c.bm.Comm != c.comm {
+			t.Errorf("%s: comm = %q, want %q", c.bm.Name, c.bm.Comm, c.comm)
+		}
+	}
+}
+
+func TestAllReturnsSixInPaperOrder(t *testing.T) {
+	names := []string{"ADDER", "BV", "QAOA", "RCS", "QFT", "SQRT"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() returned %d benchmarks, want %d", len(all), len(names))
+	}
+	for i, want := range names {
+		if all[i].Name != want {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("QFT")
+	if err != nil || b.Name != "QFT" {
+		t.Errorf("ByName(QFT) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestGHZPreparesCatState(t *testing.T) {
+	bm := GHZ(4)
+	s := qsim.NewState(4)
+	s.Run(bm.Circuit)
+	p0 := s.Probability(0)
+	p1 := s.Probability(0b1111)
+	if math.Abs(p0-0.5) > 1e-9 || math.Abs(p1-0.5) > 1e-9 {
+		t.Errorf("GHZ probabilities = %g, %g, want 0.5 each", p0, p1)
+	}
+}
+
+func TestRCSGridPatternCounts(t *testing.T) {
+	// 4 cycles on 4x4: patterns give 8, 4, 8, 4 CZs.
+	bm := RCSGrid(4, 4, 4, 7)
+	cz := 0
+	for _, g := range bm.Circuit.Gates() {
+		if g.IsTwoQubit() {
+			cz++
+		}
+	}
+	if cz != 24 {
+		t.Errorf("RCS 4x4x4 CZ count = %d, want 24", cz)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a := Random(10, 20, 5)
+	b := Random(10, 20, 5)
+	if a.Circuit.Len() != b.Circuit.Len() {
+		t.Fatal("Random not deterministic in length")
+	}
+	for i := 0; i < a.Circuit.Len(); i++ {
+		ga, gb := a.Circuit.Gate(i), b.Circuit.Gate(i)
+		if ga.Kind != gb.Kind || ga.Theta != gb.Theta {
+			t.Fatalf("Random gate %d differs", i)
+		}
+	}
+}
+
+func TestQAOADeterministicAndSized(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		n := 6
+		p := 1 + int(seedRaw)%3
+		bm := QAOAN(n, p, int64(seedRaw))
+		// Exactly 2(n-1)p two-qubit gates.
+		return bm.Circuit.TwoQubitCount() == 2*(n-1)*p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"adder0":  func() { AdderN(0) },
+		"bv0":     func() { BVSecret(nil) },
+		"qaoa":    func() { QAOAN(1, 1, 0) },
+		"rcs":     func() { RCSGrid(0, 4, 1, 0) },
+		"qft0":    func() { QFTN(0) },
+		"grover":  func() { GroverN(2, 0, 1) },
+		"grover0": func() { GroverN(4, 0, 0) },
+		"ghz":     func() { GHZ(1) },
+		"random":  func() { Random(1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func mustX(t *testing.T, q int) circuit.Gate {
+	t.Helper()
+	g, err := circuit.NewGate(circuit.X, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

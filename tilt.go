@@ -1,0 +1,172 @@
+// Package tilt is the public API of the TILT/LinQ reproduction: a compiler
+// and noisy-architecture simulator for the Trapped-Ion Linear-Tape quantum
+// computing architecture (Wu et al., HPCA 2021), together with the QCCD and
+// ideal trapped-ion baselines it is evaluated against.
+//
+// The typical flow mirrors the paper's Fig. 4 toolflow:
+//
+//	bench := tilt.BenchmarkQFT()                   // or build a Circuit by hand
+//	opts := tilt.DefaultOptions(64, 16)            // 64-ion chain, 16-laser head
+//	compiled, metrics, err := tilt.Run(bench.Circuit, opts)
+//	fmt.Println(metrics.SuccessRate, compiled.Moves())
+//
+// Compile lowers the circuit to the trapped-ion native gate set
+// {RX, RY, RZ, XX}, places qubits, inserts SWAPs (Algorithm 1, with opposing
+// swaps), and schedules tape movements (Algorithm 2); Simulate applies the
+// Eq. 3–5 noise and timing models.
+package tilt
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/noise"
+	"repro/internal/qccd"
+	"repro/internal/sim"
+	"repro/internal/swapins"
+	"repro/internal/workloads"
+)
+
+// Circuit is a gate-list quantum circuit. Build one with NewCircuit and the
+// Apply* methods (ApplyH, ApplyCNOT, ApplyCP, ApplyCCX, ...).
+type Circuit = circuit.Circuit
+
+// Gate is a single quantum operation.
+type Gate = circuit.Gate
+
+// Benchmark is a generated workload with its Table II metadata.
+type Benchmark = workloads.Benchmark
+
+// Device is a TILT machine specification: chain length and head size.
+type Device = device.TILT
+
+// NoiseParams carries every constant of the Eq. 3–5 noise/timing models.
+type NoiseParams = noise.Params
+
+// CompileResult is a compiled TILT program: the native and physical circuits,
+// the tape schedule, and the swap/move statistics of Fig. 6 and Table III.
+type CompileResult = core.CompileResult
+
+// Metrics reports simulated success rate, execution time, and gate census.
+type Metrics = sim.Result
+
+// QCCDResult reports the QCCD baseline's simulated metrics.
+type QCCDResult = qccd.Result
+
+// Options configures compilation and simulation.
+type Options = core.Config
+
+// SwapOptions tunes swap insertion: MaxSwapLen, Alpha (the Eq. 1 lookahead
+// discount), and the lookahead window.
+type SwapOptions = swapins.Options
+
+// TuneResult is one MaxSwapLen trial from AutoTune (Fig. 7).
+type TuneResult = core.TuneResult
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// DefaultNoise returns the calibrated noise parameters (DESIGN.md §2).
+func DefaultNoise() NoiseParams { return noise.Default() }
+
+// DefaultOptions returns the standard configuration used throughout the
+// paper reproduction: a TILT device with the given chain length and head
+// size, program-order placement, the LinQ inserter, and default noise.
+func DefaultOptions(numIons, headSize int) Options {
+	return Options{
+		Device:    Device{NumIons: numIons, HeadSize: headSize},
+		Placement: mapping.ProgramOrderPlacement,
+		Inserter:  swapins.LinQ{},
+	}
+}
+
+// BaselineOptions is DefaultOptions with the paper's §VI-A baseline swap
+// inserter (Qiskit-StochasticSwap-style randomized routing).
+func BaselineOptions(numIons, headSize int, seed int64) Options {
+	o := DefaultOptions(numIons, headSize)
+	o.Inserter = swapins.Stochastic{Trials: 8, Seed: seed}
+	return o
+}
+
+// Compile runs the LinQ pipeline: decompose → place → insert swaps →
+// schedule tape moves.
+func Compile(c *Circuit, opts Options) (*CompileResult, error) {
+	return core.Compile(c, opts)
+}
+
+// Run compiles and simulates in one call.
+func Run(c *Circuit, opts Options) (*CompileResult, *Metrics, error) {
+	return core.Run(c, opts)
+}
+
+// RunIdeal simulates the circuit on an ideal fully connected trapped-ion
+// device of the same chain length (no swaps, no tape moves).
+func RunIdeal(c *Circuit, opts Options) (*Metrics, error) {
+	return core.RunIdeal(c, opts)
+}
+
+// RunQCCD simulates the circuit on the QCCD baseline, sweeping trap
+// capacities over the paper's 15–35 range and returning the best result.
+// Pass an explicit capacity list to override the sweep.
+func RunQCCD(c *Circuit, opts Options, capacities ...int) (*QCCDResult, error) {
+	native := decompose.ToNative(c)
+	return qccd.RunBestCapacity(native, opts.Device.NumIons, capacities, opts.NoiseParams())
+}
+
+// AutoTune compiles the circuit at each candidate MaxSwapLen (default:
+// HeadSize−1 down to HeadSize/2) and returns the trials plus the index of
+// the best by success rate — the paper's §IV-C parameter search.
+func AutoTune(c *Circuit, opts Options, candidates []int) ([]TuneResult, int, error) {
+	return core.AutoTune(c, opts, candidates)
+}
+
+// TwoQubitGateCount returns the circuit's two-qubit gate count at the CNOT
+// level — Table II's counting convention.
+func TwoQubitGateCount(c *Circuit) int { return decompose.TwoQubitGateCount(c) }
+
+// Benchmarks returns the six Table II workloads in paper order:
+// ADDER, BV, QAOA, RCS, QFT, SQRT.
+func Benchmarks() []Benchmark { return workloads.All() }
+
+// BenchmarkByName returns one Table II workload by its paper name.
+func BenchmarkByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// BenchmarkADDER returns the 64-qubit Cuccaro ripple-carry adder.
+func BenchmarkADDER() Benchmark { return workloads.Adder() }
+
+// BenchmarkBV returns the 64-qubit Bernstein–Vazirani circuit.
+func BenchmarkBV() Benchmark { return workloads.BV() }
+
+// BenchmarkQAOA returns the 64-qubit, 10-round MaxCut QAOA ansatz.
+func BenchmarkQAOA() Benchmark { return workloads.QAOA() }
+
+// BenchmarkRCS returns the 8×8-grid random circuit sampling workload.
+func BenchmarkRCS() Benchmark { return workloads.RCS() }
+
+// BenchmarkQFT returns the 64-qubit quantum Fourier transform.
+func BenchmarkQFT() Benchmark { return workloads.QFT() }
+
+// BenchmarkSQRT returns the 78-qubit Grover-search kernel standing in for
+// the ScaffCC sqrt benchmark (see DESIGN.md §2).
+func BenchmarkSQRT() Benchmark { return workloads.SQRT() }
+
+// GHZ returns an n-qubit GHZ-state preparation circuit, a minimal
+// entangling workload for quick starts.
+func GHZ(n int) Benchmark { return workloads.GHZ(n) }
+
+// BenchmarkVQE returns a hardware-efficient VQE ansatz (§III-C class).
+func BenchmarkVQE(n, layers int, seed int64) Benchmark { return workloads.VQE(n, layers, seed) }
+
+// BenchmarkIsing returns a trotterized transverse-field Ising evolution
+// (§III-C class).
+func BenchmarkIsing(n, steps int, jdt, hdt float64) Benchmark {
+	return workloads.Ising(n, steps, jdt, hdt)
+}
+
+// BenchmarkSurfaceCode returns tiled distance-3 surface-code syndrome
+// extraction (§III-C QEC class): 17 qubits per patch.
+func BenchmarkSurfaceCode(patches, rounds int) Benchmark {
+	return workloads.SurfaceCodePatches(patches, rounds)
+}
