@@ -1,0 +1,326 @@
+package tilt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/device"
+	"repro/internal/optimize"
+	"repro/internal/qccd"
+	"repro/internal/sim"
+)
+
+// Backend is the unified entry point every architecture implements: TILT
+// (the LinQ pipeline), the QCCD baseline, and the ideal fully connected
+// trapped-ion device. Compile lowers a logical circuit to a backend-specific
+// Artifact; Simulate evaluates that artifact under the backend's noise and
+// timing models. Both honor context cancellation, so batch sweeps
+// (runner.Run) and service endpoints can abandon long jobs.
+//
+// Construct backends with NewTILT, NewQCCD, or NewIdealTI and the With*
+// functional options.
+type Backend interface {
+	// Name identifies the backend ("TILT", "QCCD", "IdealTI").
+	Name() string
+	// Compile lowers the circuit for this backend. The artifact is only
+	// meaningful to the backend that produced it.
+	Compile(ctx context.Context, c *Circuit) (*Artifact, error)
+	// Simulate evaluates a compiled artifact and reports unified metrics.
+	Simulate(ctx context.Context, a *Artifact) (*Result, error)
+}
+
+// Artifact is a compiled program, ready for simulation on the backend that
+// produced it.
+type Artifact struct {
+	// Backend is the producing backend's Name.
+	Backend string
+	// Circuit is the logical input circuit.
+	Circuit *Circuit
+	// Native is the input lowered to the trapped-ion native gate set
+	// {RX, RY, RZ, XX} (logical qubits; present for every backend).
+	Native *Circuit
+	// Compile holds the full LinQ compilation (TILT backend only).
+	Compile *CompileResult
+	// Mapped is the native circuit with the initial placement applied
+	// (IdealTI backend only).
+	Mapped *Circuit
+
+	// cfg is the resolved configuration the artifact was compiled under;
+	// Simulate reuses it so device width and noise stay consistent.
+	cfg config
+}
+
+// Result is the unified metrics type every backend returns: success rate,
+// timing, and gate census, plus backend-specific statistics in exactly one
+// of the TILT/QCCD fields.
+type Result struct {
+	// Backend is the producing backend's Name.
+	Backend string
+	// SuccessRate is exp(LogSuccess); it underflows to 0 for very deep
+	// circuits — use LogSuccess for comparisons.
+	SuccessRate float64
+	// LogSuccess is the natural log of the success probability.
+	LogSuccess float64
+	// ExecTimeUs is the estimated execution time in microseconds.
+	ExecTimeUs float64
+	// Gate census. TwoQubitGates excludes SWAPs.
+	OneQubitGates int
+	TwoQubitGates int
+	SwapGates     int
+	// MeanTwoQubitFidelity averages the Eq. 4 fidelity over all two-qubit
+	// gate applications (SWAPs count three times).
+	MeanTwoQubitFidelity float64
+
+	// TILT carries tape-architecture statistics (TILT backend only).
+	TILT *TILTStats
+	// QCCD carries trap-architecture statistics (QCCD backend only).
+	QCCD *QCCDStats
+}
+
+// TILTStats reports the TILT backend's compile and shuttle statistics
+// (the Fig. 6 and Table III metrics).
+type TILTStats struct {
+	Device        Device
+	SwapCount     int
+	OpposingSwaps int
+	Moves         int
+	DistSpacings  int
+	DistUm        float64
+	// TSwap and TMove are the wall-clock compile times of the swap
+	// insertion and tape-scheduling phases.
+	TSwap time.Duration
+	TMove time.Duration
+	// OptStats reports peephole-optimizer eliminations (zero unless the
+	// backend was built WithOptimize).
+	OptStats optimize.Stats
+}
+
+// OpposingRatio returns OpposingSwaps/SwapCount (0 when no swaps).
+func (s *TILTStats) OpposingRatio() float64 {
+	if s.SwapCount == 0 {
+		return 0
+	}
+	return float64(s.OpposingSwaps) / float64(s.SwapCount)
+}
+
+// QCCDStats reports the QCCD backend's shuttle-primitive census for the
+// winning capacity of the sweep.
+type QCCDStats struct {
+	Capacity  int
+	EdgeSwaps int
+	Splits    int
+	Merges    int
+	Hops      int
+}
+
+// Execute compiles and simulates in one call on any backend.
+func Execute(ctx context.Context, b Backend, c *Circuit) (*Result, error) {
+	a, err := b.Compile(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return b.Simulate(ctx, a)
+}
+
+// checkArtifact validates that the artifact was produced by backend name.
+func checkArtifact(a *Artifact, name string) error {
+	if a == nil {
+		return fmt.Errorf("tilt: %s.Simulate: nil artifact", name)
+	}
+	if a.Backend != name {
+		return fmt.Errorf("tilt: %s.Simulate: artifact compiled by %s", name, a.Backend)
+	}
+	return nil
+}
+
+// TILTBackend compiles circuits with the LinQ pipeline and simulates them on
+// a Trapped-Ion Linear-Tape device (the paper's proposed architecture).
+type TILTBackend struct {
+	cfg config
+}
+
+// NewTILT returns a TILT backend. With no options it targets a head-16
+// device whose chain length matches each circuit's width, with program-order
+// placement, the LinQ inserter, and default noise.
+func NewTILT(opts ...Option) *TILTBackend {
+	return &TILTBackend{cfg: newConfig(opts)}
+}
+
+// Name implements Backend.
+func (b *TILTBackend) Name() string { return "TILT" }
+
+// Compile implements Backend: decompose → place → insert swaps → schedule.
+func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	cfg := b.cfg.resolved(c)
+	cr, err := core.Compile(ctx, c, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Backend: b.Name(),
+		Circuit: c,
+		Native:  cr.Native,
+		Compile: cr,
+		cfg:     cfg,
+	}, nil
+}
+
+// Simulate implements Backend: the Eq. 3–5 noise and timing models over the
+// compiled schedule.
+func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error) {
+	if err := checkArtifact(a, b.Name()); err != nil {
+		return nil, err
+	}
+	sr, err := a.Compile.Simulate(ctx, a.cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	res := resultFromSim(b.Name(), sr)
+	res.TILT = &TILTStats{
+		Device:        a.cfg.core.Device,
+		SwapCount:     a.Compile.SwapCount,
+		OpposingSwaps: a.Compile.OpposingSwaps,
+		Moves:         a.Compile.Moves(),
+		DistSpacings:  a.Compile.DistSpacings(),
+		DistUm:        float64(a.Compile.DistSpacings()) * a.cfg.core.NoiseParams().IonSpacingUm,
+		TSwap:         a.Compile.TSwap,
+		TMove:         a.Compile.TMove,
+		OptStats:      a.Compile.OptStats,
+	}
+	return res, nil
+}
+
+// AutoTune compiles the circuit at each candidate MaxSwapLen (default:
+// HeadSize−1 down to HeadSize/2) and returns the trials plus the index of
+// the best by success rate — the paper's §IV-C parameter search.
+func (b *TILTBackend) AutoTune(ctx context.Context, c *Circuit, candidates []int) ([]TuneResult, int, error) {
+	cfg := b.cfg.resolved(c)
+	return core.AutoTune(ctx, c, cfg.core, candidates)
+}
+
+// QCCDBackend simulates circuits on the linear-topology QCCD trapped-ion
+// baseline (Murali et al., §VI-B), sweeping trap capacities and reporting
+// the best configuration, as the paper's comparison does.
+type QCCDBackend struct {
+	cfg config
+}
+
+// NewQCCD returns a QCCD backend. The device width follows WithDevice's
+// chain length (or each circuit's width); the capacity sweep defaults to
+// the paper's 15–35 range and can be pinned with WithCapacities.
+func NewQCCD(opts ...Option) *QCCDBackend {
+	return &QCCDBackend{cfg: newConfig(opts)}
+}
+
+// Name implements Backend.
+func (b *QCCDBackend) Name() string { return "QCCD" }
+
+// Compile implements Backend: QCCD routing happens during simulation, so
+// compilation is the native-gate lowering only.
+func (b *QCCDBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := b.cfg.resolved(c)
+	return &Artifact{
+		Backend: b.Name(),
+		Circuit: c,
+		Native:  decompose.ToNative(c),
+		cfg:     cfg,
+	}, nil
+}
+
+// Simulate implements Backend: run the capacity sweep concurrently and
+// report the best configuration.
+func (b *QCCDBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error) {
+	if err := checkArtifact(a, b.Name()); err != nil {
+		return nil, err
+	}
+	best, err := qccd.RunBestCapacity(ctx, a.Native, a.cfg.core.Device.NumIons,
+		a.cfg.capacities, a.cfg.core.NoiseParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Backend:              b.Name(),
+		SuccessRate:          best.SuccessRate,
+		LogSuccess:           best.LogSuccess,
+		ExecTimeUs:           best.ExecTimeUs,
+		OneQubitGates:        best.OneQubitGates,
+		TwoQubitGates:        best.TwoQubitGates,
+		MeanTwoQubitFidelity: best.MeanTwoQubitFidelity,
+		QCCD: &QCCDStats{
+			Capacity:  best.Capacity,
+			EdgeSwaps: best.EdgeSwaps,
+			Splits:    best.Splits,
+			Merges:    best.Merges,
+			Hops:      best.Hops,
+		},
+	}, nil
+}
+
+// IdealTIBackend simulates circuits on an ideal fully connected trapped-ion
+// device of the configured chain length — the Fig. 8 upper bound: no swaps,
+// no tape moves, no shuttle heating.
+type IdealTIBackend struct {
+	cfg config
+}
+
+// NewIdealTI returns an ideal trapped-ion backend.
+func NewIdealTI(opts ...Option) *IdealTIBackend {
+	return &IdealTIBackend{cfg: newConfig(opts)}
+}
+
+// Name implements Backend.
+func (b *IdealTIBackend) Name() string { return "IdealTI" }
+
+// Compile implements Backend: native-gate lowering plus the greedy initial
+// placement (the Eq. 3 gate time still grows with ion separation, so the
+// placement matters even without routing).
+func (b *IdealTIBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := b.cfg.resolved(c)
+	native, mapped, err := core.PlaceIdeal(c, cfg.core.Device.NumIons)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Backend: b.Name(),
+		Circuit: c,
+		Native:  native,
+		Mapped:  mapped,
+		cfg:     cfg,
+	}, nil
+}
+
+// Simulate implements Backend.
+func (b *IdealTIBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error) {
+	if err := checkArtifact(a, b.Name()); err != nil {
+		return nil, err
+	}
+	sr, err := sim.SimulateIdeal(ctx, a.Mapped,
+		device.IdealTI{NumIons: a.cfg.core.Device.NumIons}, a.cfg.core.NoiseParams())
+	if err != nil {
+		return nil, err
+	}
+	return resultFromSim(b.Name(), sr), nil
+}
+
+// resultFromSim lifts a sim.Result into the unified Result.
+func resultFromSim(backend string, sr *sim.Result) *Result {
+	return &Result{
+		Backend:              backend,
+		SuccessRate:          sr.SuccessRate,
+		LogSuccess:           sr.LogSuccess,
+		ExecTimeUs:           sr.ExecTimeUs,
+		OneQubitGates:        sr.OneQubitGates,
+		TwoQubitGates:        sr.TwoQubitGates,
+		SwapGates:            sr.SwapGates,
+		MeanTwoQubitFidelity: sr.MeanTwoQubitFidelity,
+	}
+}

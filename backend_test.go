@@ -1,0 +1,213 @@
+package tilt_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	tilt "repro"
+)
+
+// TestTILTBackendParity pins the Backend redesign to the legacy facade: on
+// all six Table II benchmarks, the new TILT backend must produce identical
+// CompileResult statistics and an equal LogSuccess to tilt.Run. (The TSwap/
+// TMove wall-clock timings are the only fields allowed to differ.)
+func TestTILTBackendParity(t *testing.T) {
+	ctx := context.Background()
+	for _, bm := range tilt.Benchmarks() {
+		t.Run(bm.Name, func(t *testing.T) {
+			legacyCr, legacySr, err := tilt.Run(bm.Circuit, tilt.DefaultOptions(bm.Qubits(), 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			be := tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 16))
+			art, err := be.Compile(ctx, bm.Circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := be.Simulate(ctx, art)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cr := art.Compile
+			if cr.SwapCount != legacyCr.SwapCount {
+				t.Errorf("SwapCount %d != legacy %d", cr.SwapCount, legacyCr.SwapCount)
+			}
+			if cr.OpposingSwaps != legacyCr.OpposingSwaps {
+				t.Errorf("OpposingSwaps %d != legacy %d", cr.OpposingSwaps, legacyCr.OpposingSwaps)
+			}
+			if cr.Moves() != legacyCr.Moves() {
+				t.Errorf("Moves %d != legacy %d", cr.Moves(), legacyCr.Moves())
+			}
+			if cr.DistSpacings() != legacyCr.DistSpacings() {
+				t.Errorf("DistSpacings %d != legacy %d", cr.DistSpacings(), legacyCr.DistSpacings())
+			}
+			if cr.Native.Len() != legacyCr.Native.Len() {
+				t.Errorf("Native.Len %d != legacy %d", cr.Native.Len(), legacyCr.Native.Len())
+			}
+			if cr.Physical.Len() != legacyCr.Physical.Len() {
+				t.Errorf("Physical.Len %d != legacy %d", cr.Physical.Len(), legacyCr.Physical.Len())
+			}
+			if res.LogSuccess != legacySr.LogSuccess {
+				t.Errorf("LogSuccess %g != legacy %g", res.LogSuccess, legacySr.LogSuccess)
+			}
+			if res.OneQubitGates != legacySr.OneQubitGates ||
+				res.TwoQubitGates != legacySr.TwoQubitGates ||
+				res.SwapGates != legacySr.SwapGates {
+				t.Errorf("gate census (%d,%d,%d) != legacy (%d,%d,%d)",
+					res.OneQubitGates, res.TwoQubitGates, res.SwapGates,
+					legacySr.OneQubitGates, legacySr.TwoQubitGates, legacySr.SwapGates)
+			}
+			// The unified Result must echo the compile stats it wraps.
+			if res.TILT == nil || res.TILT.SwapCount != cr.SwapCount ||
+				res.TILT.Moves != cr.Moves() {
+				t.Errorf("Result.TILT stats do not match the artifact")
+			}
+		})
+	}
+}
+
+// TestIdealBackendParity checks the IdealTI backend against legacy RunIdeal.
+func TestIdealBackendParity(t *testing.T) {
+	bm := tilt.BenchmarkBV()
+	legacy, err := tilt.RunIdeal(bm.Circuit, tilt.DefaultOptions(bm.Qubits(), 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tilt.Execute(context.Background(),
+		tilt.NewIdealTI(tilt.WithDevice(bm.Qubits(), 16)), bm.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogSuccess != legacy.LogSuccess {
+		t.Errorf("LogSuccess %g != legacy %g", res.LogSuccess, legacy.LogSuccess)
+	}
+	if res.TILT != nil || res.QCCD != nil {
+		t.Errorf("IdealTI result carries backend-specific stats")
+	}
+}
+
+// TestQCCDBackendParity checks the QCCD backend against legacy RunQCCD on an
+// explicit capacity list.
+func TestQCCDBackendParity(t *testing.T) {
+	bm := tilt.BenchmarkBV()
+	legacy, err := tilt.RunQCCD(bm.Circuit, tilt.DefaultOptions(bm.Qubits(), 16), 17, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tilt.Execute(context.Background(),
+		tilt.NewQCCD(tilt.WithDevice(bm.Qubits(), 16), tilt.WithCapacities(17, 33)), bm.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogSuccess != legacy.LogSuccess {
+		t.Errorf("LogSuccess %g != legacy %g", res.LogSuccess, legacy.LogSuccess)
+	}
+	if res.QCCD == nil || res.QCCD.Capacity != legacy.Capacity {
+		t.Errorf("capacity mismatch: got %+v, legacy %d", res.QCCD, legacy.Capacity)
+	}
+}
+
+// TestAutoTuneParity checks the backend AutoTune against the legacy facade.
+func TestAutoTuneParity(t *testing.T) {
+	bm := tilt.GHZ(12)
+	legacyTrials, legacyBest, err := tilt.AutoTune(bm.Circuit, tilt.DefaultOptions(12, 6), []int{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, best, err := tilt.NewTILT(tilt.WithDevice(12, 6)).
+		AutoTune(context.Background(), bm.Circuit, []int{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != legacyBest || len(trials) != len(legacyTrials) {
+		t.Fatalf("best=%d/%d trials=%d/%d", best, legacyBest, len(trials), len(legacyTrials))
+	}
+	for i := range trials {
+		if trials[i] != legacyTrials[i] {
+			t.Errorf("trial %d: %+v != legacy %+v", i, trials[i], legacyTrials[i])
+		}
+	}
+}
+
+// TestBackendDefaultsToCircuitWidth checks the zero-device resolution rule.
+func TestBackendDefaultsToCircuitWidth(t *testing.T) {
+	bm := tilt.GHZ(10)
+	art, err := tilt.NewTILT(tilt.WithDevice(0, 4)).Compile(context.Background(), bm.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := art.Compile.Physical.NumQubits(); got != 10 {
+		t.Errorf("resolved chain length %d, want 10", got)
+	}
+}
+
+// TestArtifactBackendMismatch: simulating another backend's artifact must
+// fail loudly, not silently misinterpret it.
+func TestArtifactBackendMismatch(t *testing.T) {
+	ctx := context.Background()
+	bm := tilt.GHZ(8)
+	art, err := tilt.NewTILT(tilt.WithDevice(8, 4)).Compile(ctx, bm.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tilt.NewQCCD(tilt.WithDevice(8, 0)).Simulate(ctx, art); err == nil {
+		t.Error("QCCD.Simulate accepted a TILT artifact")
+	}
+	if _, err := tilt.NewIdealTI(tilt.WithDevice(8, 4)).Simulate(ctx, nil); err == nil {
+		t.Error("Simulate accepted a nil artifact")
+	}
+}
+
+// TestBackendCancellation: a pre-cancelled context aborts every backend.
+func TestBackendCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bm := tilt.BenchmarkBV()
+	for _, be := range []tilt.Backend{
+		tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 16)),
+		tilt.NewQCCD(tilt.WithDevice(bm.Qubits(), 16)),
+		tilt.NewIdealTI(tilt.WithDevice(bm.Qubits(), 16)),
+	} {
+		if _, err := tilt.Execute(ctx, be, bm.Circuit); err == nil {
+			t.Errorf("%s: cancelled Execute succeeded", be.Name())
+		}
+	}
+}
+
+// TestWithNoiseOption mirrors the legacy custom-noise test on the new API:
+// zeroed error rates must give certainty.
+func TestWithNoiseOption(t *testing.T) {
+	p := tilt.DefaultNoise()
+	p.Gamma = 0
+	p.Epsilon = 0
+	p.K0 = 0
+	p.OneQubitError = 0
+	res, err := tilt.Execute(context.Background(),
+		tilt.NewTILT(tilt.WithDevice(8, 4), tilt.WithNoise(p)), tilt.GHZ(8).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SuccessRate-1) > 1e-12 {
+		t.Errorf("noiseless run success = %g", res.SuccessRate)
+	}
+}
+
+// TestWithOptimizeOption checks the functional option reaches the pipeline.
+func TestWithOptimizeOption(t *testing.T) {
+	// Two adjacent RX rotations on one qubit merge into a single rotation.
+	c := tilt.NewCircuit(4)
+	c.ApplyRX(math.Pi/4, 0)
+	c.ApplyRX(math.Pi/4, 0)
+	c.ApplyCNOT(0, 1)
+	res, err := tilt.Execute(context.Background(),
+		tilt.NewTILT(tilt.WithDevice(4, 4), tilt.WithOptimize()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TILT.OptStats.Total() == 0 {
+		t.Error("WithOptimize did not engage the peephole optimizer")
+	}
+}

@@ -10,9 +10,14 @@
 package tilt_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
+	tilt "repro"
 	"repro/internal/experiments"
+	"repro/runner"
 )
 
 // BenchmarkTable2Workloads regenerates Table II: the six benchmark circuits
@@ -30,7 +35,7 @@ func BenchmarkTable2Workloads(b *testing.B) {
 // insertion on the long-distance benchmarks at head size 16.
 func BenchmarkFig6SwapInsertion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6(16)
+		rows, err := experiments.Fig6(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +49,7 @@ func BenchmarkFig6SwapInsertion(b *testing.B) {
 // down to 8 on BV, QFT, and SQRT.
 func BenchmarkFig7MaxSwapLen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig7(16, nil)
+		rows, err := experiments.Fig7(context.Background(), 16, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +63,7 @@ func BenchmarkFig7MaxSwapLen(b *testing.B) {
 // success rates over all six benchmarks (including the QCCD capacity sweep).
 func BenchmarkFig8Architectures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig8()
+		rows, err := experiments.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +77,7 @@ func BenchmarkFig8Architectures(b *testing.B) {
 // counts, travel distances, and execution-time estimates at heads 16 and 32.
 func BenchmarkTable3Compilation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +91,7 @@ func BenchmarkTable3Compilation(b *testing.B) {
 // ablation (success recovery vs cooling interval on QFT-64).
 func BenchmarkExtensionCooling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.CoolingAblation(16, nil)
+		rows, err := experiments.CoolingAblation(context.Background(), 16, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +104,7 @@ func BenchmarkExtensionCooling(b *testing.B) {
 // BenchmarkExtensionScaling regenerates the §VII single-chain scaling study.
 func BenchmarkExtensionScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ScalingStudy(16, 10, nil)
+		rows, err := experiments.ScalingStudy(context.Background(), 16, 10, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +117,7 @@ func BenchmarkExtensionScaling(b *testing.B) {
 // BenchmarkExtensionModular regenerates the §VII MUSIQC modular study.
 func BenchmarkExtensionModular(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ModularStudy(8, 10, nil)
+		rows, err := experiments.ModularStudy(context.Background(), 8, 10, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +130,7 @@ func BenchmarkExtensionModular(b *testing.B) {
 // BenchmarkAblationHeadSize sweeps head sizes beyond the paper's {16, 32}.
 func BenchmarkAblationHeadSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.HeadSizeStudy("QFT", nil)
+		rows, err := experiments.HeadSizeStudy(context.Background(), "QFT", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +143,7 @@ func BenchmarkAblationHeadSize(b *testing.B) {
 // BenchmarkAblationPlacement compares initial-placement strategies.
 func BenchmarkAblationPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PlacementAblation(16)
+		rows, err := experiments.PlacementAblation(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +156,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 // BenchmarkAblationAlpha sweeps the Eq. 1 lookahead discount.
 func BenchmarkAblationAlpha(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AlphaAblation(16, nil)
+		rows, err := experiments.AlphaAblation(context.Background(), 16, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +169,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // BenchmarkAblationOptimizer measures the peephole optimizer's effect.
 func BenchmarkAblationOptimizer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OptimizeAblation(16)
+		rows, err := experiments.OptimizeAblation(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +182,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 // BenchmarkAblationScheduler compares Algorithm 2 against a sweeping head.
 func BenchmarkAblationScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.SchedulerAblation(16)
+		rows, err := experiments.SchedulerAblation(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +196,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // (VQE, Ising, surface-code patches) across architectures.
 func BenchmarkSuiteShortDistance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ShortDistanceSuite()
+		rows, err := experiments.ShortDistanceSuite(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +210,7 @@ func BenchmarkSuiteShortDistance(b *testing.B) {
 // ("up to 4.35x and 1.95x on average") from the Fig. 8 data.
 func BenchmarkAdvantageSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig8()
+		rows, err := experiments.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +224,7 @@ func BenchmarkAdvantageSummary(b *testing.B) {
 // BenchmarkRobustness re-checks the §VI-B orderings at ±2x noise constants.
 func BenchmarkRobustness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Robustness()
+		rows, err := experiments.Robustness(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,12 +252,72 @@ func BenchmarkPhysicsAddressing(b *testing.B) {
 // gate times (the §III-B gate-selection argument).
 func BenchmarkPhysicsGateMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.GateModeAblation(16)
+		rows, err := experiments.GateModeAblation(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			b.Log("\n" + experiments.FormatGateMode(rows))
+		}
+	}
+}
+
+// runnerBatch builds the Fig. 8-shaped batch the runner benchmarks execute:
+// every Table II benchmark on TILT-16 and TILT-32 (12 independent
+// compile+simulate jobs).
+func runnerBatch() []runner.Job {
+	var jobs []runner.Job
+	for _, bm := range tilt.Benchmarks() {
+		for _, head := range []int{16, 32} {
+			jobs = append(jobs, runner.Job{
+				Name:    fmt.Sprintf("%s/head-%d", bm.Name, head),
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), head)),
+				Circuit: bm.Circuit,
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkRunnerSerial is the baseline for BenchmarkRunnerParallel: the
+// same batch forced through one worker — equivalent to looping over the
+// legacy serial Run.
+func BenchmarkRunnerSerial(b *testing.B) {
+	ctx := context.Background()
+	jobs := runnerBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, jr := range runner.Run(ctx, jobs, runner.WithWorkers(1)) {
+			if jr.Err != nil {
+				b.Fatal(jr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunnerParallel demonstrates batch throughput scaling vs the
+// serial baseline across worker counts up to GOMAXPROCS. Compare with
+// BenchmarkRunnerSerial:
+//
+//	go test -bench 'BenchmarkRunner' -benchmem
+func BenchmarkRunnerParallel(b *testing.B) {
+	ctx := context.Background()
+	jobs := runnerBatch()
+	for w := 2; ; w *= 2 {
+		if w > runtime.GOMAXPROCS(0) {
+			w = runtime.GOMAXPROCS(0)
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, jr := range runner.Run(ctx, jobs, runner.WithWorkers(w)) {
+					if jr.Err != nil {
+						b.Fatal(jr.Err)
+					}
+				}
+			}
+		})
+		if w == runtime.GOMAXPROCS(0) {
+			break
 		}
 	}
 }

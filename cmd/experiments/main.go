@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-)
+	"os"
+	"os/signal"
+	"syscall"
 
-import "repro/internal/experiments"
+	"repro/internal/experiments"
+)
 
 func main() {
 	log.SetFlags(0)
@@ -28,108 +32,112 @@ func main() {
 		extensions = flag.Bool("extensions", false, "run the §VII extension studies and ablations")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions
 
 	if all || *table2 {
 		fmt.Println(experiments.FormatTable2(experiments.Table2()))
 	}
 	if all || *fig6 {
-		rows, err := experiments.Fig6(16)
+		rows, err := experiments.Fig6(ctx, 16)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatFig6(rows))
 	}
 	if all || *fig7 {
-		rows, err := experiments.Fig7(16, nil)
+		rows, err := experiments.Fig7(ctx, 16, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatFig7(rows))
 	}
 	if all || *fig8 {
-		rows, err := experiments.Fig8()
+		rows, err := experiments.Fig8(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatFig8(rows))
 	}
 	if all || *table3 {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatTable3(rows))
 	}
 	if all || *extensions {
-		runExtensions()
+		runExtensions(ctx)
 	}
 }
 
 // runExtensions prints the §VII extension studies and the LinQ design-choice
 // ablations.
-func runExtensions() {
-	cooling, err := experiments.CoolingAblation(16, nil)
+func runExtensions(ctx context.Context) {
+	cooling, err := experiments.CoolingAblation(ctx, 16, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatCooling(cooling))
 
-	scaling, err := experiments.ScalingStudy(16, 10, nil)
+	scaling, err := experiments.ScalingStudy(ctx, 16, 10, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatScaling(scaling))
 
-	modular, err := experiments.ModularStudy(8, 10, nil)
+	modular, err := experiments.ModularStudy(ctx, 8, 10, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatModular(modular))
 
-	heads, err := experiments.HeadSizeStudy("QFT", nil)
+	heads, err := experiments.HeadSizeStudy(ctx, "QFT", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatHeadStudy("QFT", heads))
 
-	placement, err := experiments.PlacementAblation(16)
+	placement, err := experiments.PlacementAblation(ctx, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatPlacement(placement))
 
-	alpha, err := experiments.AlphaAblation(16, nil)
+	alpha, err := experiments.AlphaAblation(ctx, 16, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatAlpha(alpha))
 
-	opt, err := experiments.OptimizeAblation(16)
+	opt, err := experiments.OptimizeAblation(ctx, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatOptimize(opt))
 
-	sched, err := experiments.SchedulerAblation(16)
+	sched, err := experiments.SchedulerAblation(ctx, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatScheduler(sched))
 
-	suite, err := experiments.ShortDistanceSuite()
+	suite, err := experiments.ShortDistanceSuite(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatSuite(suite))
 
-	fig8, err := experiments.Fig8()
+	fig8, err := experiments.Fig8(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(experiments.FormatAdvantage(experiments.AdvantageSummary(fig8, 32), 32))
 
-	robust, err := experiments.Robustness()
+	robust, err := experiments.Robustness(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,7 +149,7 @@ func runExtensions() {
 	}
 	fmt.Println(experiments.FormatAddressing(64, 16, addr))
 
-	gates, err := experiments.GateModeAblation(16)
+	gates, err := experiments.GateModeAblation(ctx, 16)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
 // Command linq compiles a Table II benchmark for a TILT device and reports
 // the compilation and simulation metrics (the per-application view of
-// Tables II–III and Fig. 6).
+// Tables II–III and Fig. 6). Ctrl-C cancels a long compile.
 //
 // Usage:
 //
@@ -8,19 +8,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
-	"repro/internal/decompose"
-	"repro/internal/device"
-	"repro/internal/mapping"
+	tilt "repro"
 	"repro/internal/noise"
-	"repro/internal/swapins"
 	"repro/internal/trace"
-	"repro/internal/workloads"
 )
 
 func main() {
@@ -39,53 +37,59 @@ func main() {
 	)
 	flag.Parse()
 
-	bm, err := workloads.ByName(*bench)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bm, err := tilt.BenchmarkByName(*bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := *ions
-	if n == 0 {
-		n = bm.Qubits()
-	}
-	cfg := core.Config{
-		Device:    device.TILT{NumIons: n, HeadSize: *head},
-		Placement: mapping.ProgramOrderPlacement,
-		Swap:      swapins.Options{MaxSwapLen: *maxSwapLen, Alpha: *alpha},
+	opts := []tilt.Option{
+		tilt.WithDevice(*ions, *head),
+		tilt.WithSwapOptions(tilt.SwapOptions{MaxSwapLen: *maxSwapLen, Alpha: *alpha}),
 	}
 	switch *inserter {
 	case "linq":
-		cfg.Inserter = swapins.LinQ{}
+		opts = append(opts, tilt.WithInserter(tilt.LinQInserter()))
 	case "stochastic":
-		cfg.Inserter = swapins.Stochastic{Seed: *seed}
+		opts = append(opts, tilt.WithInserter(tilt.StochasticInserter(0, *seed)))
 	default:
 		log.Fatalf("unknown inserter %q", *inserter)
 	}
+	be := tilt.NewTILT(opts...)
 
-	cr, sr, err := core.Run(bm.Circuit, cfg)
+	art, err := be.Compile(ctx, bm.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := be.Simulate(ctx, art)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	cr := art.Compile
 	fmt.Printf("benchmark      %s (%s)\n", bm.Name, bm.Comm)
-	fmt.Printf("qubits         %d on a %d-ion chain, head %d\n", bm.Qubits(), n, *head)
-	fmt.Printf("2Q gates       %d (CNOT-level)\n", decompose.TwoQubitGateCount(bm.Circuit))
+	fmt.Printf("qubits         %d on a %d-ion chain, head %d\n",
+		bm.Qubits(), res.TILT.Device.NumIons, *head)
+	fmt.Printf("2Q gates       %d (CNOT-level)\n", tilt.TwoQubitGateCount(bm.Circuit))
 	fmt.Printf("native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
 	fmt.Printf("swaps          %d (opposing %d, ratio %.2f)\n",
-		cr.SwapCount, cr.OpposingSwaps, cr.OpposingRatio())
-	fmt.Printf("tape moves     %d, travel %d spacings\n", cr.Moves(), cr.DistSpacings())
-	fmt.Printf("t_swap         %v\n", cr.TSwap)
-	fmt.Printf("t_move         %v\n", cr.TMove)
-	fmt.Printf("success rate   %.6g (log %.4f)\n", sr.SuccessRate, sr.LogSuccess)
-	fmt.Printf("exec time      %.3f s\n", sr.ExecTimeUs/1e6)
-	fmt.Printf("mean 2Q fid    %.6f\n", sr.MeanTwoQubitFidelity)
+		res.TILT.SwapCount, res.TILT.OpposingSwaps, res.TILT.OpposingRatio())
+	fmt.Printf("tape moves     %d, travel %d spacings\n", res.TILT.Moves, res.TILT.DistSpacings)
+	fmt.Printf("t_swap         %v\n", res.TILT.TSwap)
+	fmt.Printf("t_move         %v\n", res.TILT.TMove)
+	fmt.Printf("success rate   %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
+	fmt.Printf("exec time      %.3f s\n", res.ExecTimeUs/1e6)
+	fmt.Printf("mean 2Q fid    %.6f\n", res.MeanTwoQubitFidelity)
 
 	if *verbose {
+		dev := res.TILT.Device
 		fmt.Fprintln(os.Stdout)
-		fmt.Fprintln(os.Stdout, trace.Summary(cr.Physical, cr.Schedule, cfg.Device))
+		fmt.Fprintln(os.Stdout, trace.Summary(cr.Physical, cr.Schedule, dev))
 		fmt.Fprintln(os.Stdout)
-		fmt.Fprint(os.Stdout, trace.Timeline(cr.Schedule, cfg.Device))
+		fmt.Fprint(os.Stdout, trace.Timeline(cr.Schedule, dev))
 		fmt.Fprintln(os.Stdout)
-		prof := trace.Profile(cr.Physical, cr.Schedule, cfg.Device, noise.Default())
+		prof := trace.Profile(cr.Physical, cr.Schedule, dev, noise.Default())
 		fmt.Fprint(os.Stdout, trace.FormatProfile(prof))
 	}
 }

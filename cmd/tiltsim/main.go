@@ -1,6 +1,7 @@
 // Command tiltsim compiles and simulates a quantum circuit — a Table II
 // benchmark or an OpenQASM 2.0 file — on configurable TILT hardware and
-// noise, and can compare against the ideal and QCCD baselines.
+// noise, and can compare against the ideal and QCCD baselines (all three
+// run through the unified Backend API). Ctrl-C cancels a long run.
 //
 // Usage:
 //
@@ -11,21 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
+	tilt "repro"
 	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/decompose"
-	"repro/internal/device"
-	"repro/internal/mapping"
 	"repro/internal/noise"
 	"repro/internal/qasm"
-	"repro/internal/qccd"
-	"repro/internal/swapins"
-	"repro/internal/workloads"
+	"repro/runner"
 )
 
 func main() {
@@ -49,13 +48,12 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c, name, err := loadCircuit(*bench, *qasmPath)
 	if err != nil {
 		log.Fatal(err)
-	}
-	n := *ions
-	if n == 0 {
-		n = c.NumQubits()
 	}
 
 	p := noise.Default()
@@ -70,50 +68,57 @@ func main() {
 	}
 	p.CoolingInterval = *cooling
 
-	cfg := core.Config{
-		Device:    device.TILT{NumIons: n, HeadSize: *head},
-		Noise:     &p,
-		Placement: mapping.ProgramOrderPlacement,
-		Inserter:  swapins.LinQ{},
-		Swap:      swapins.Options{MaxSwapLen: *maxSwapLen},
-		Optimize:  *optimize,
+	opts := []tilt.Option{
+		tilt.WithDevice(*ions, *head),
+		tilt.WithNoise(p),
+		tilt.WithMaxSwapLen(*maxSwapLen),
 	}
-	cr, sr, err := core.Run(c, cfg)
+	if *optimize {
+		opts = append(opts, tilt.WithOptimize())
+	}
+	be := tilt.NewTILT(opts...)
+
+	art, err := be.Compile(ctx, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := be.Simulate(ctx, art)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("circuit        %s (%d qubits, %d gates, %d two-qubit at CNOT level)\n",
-		name, c.NumQubits(), c.Len(), decompose.TwoQubitGateCount(c))
-	fmt.Printf("device         TILT %d ions, head %d\n", n, *head)
+		name, c.NumQubits(), c.Len(), tilt.TwoQubitGateCount(c))
+	fmt.Printf("device         TILT %d ions, head %d\n", res.TILT.Device.NumIons, *head)
 	if *optimize {
+		st := res.TILT.OptStats
 		fmt.Printf("optimizer      removed %d gates (%d merges, %d cancellations, %d identities)\n",
-			cr.OptStats.Total(), cr.OptStats.MergedRotations,
-			cr.OptStats.CancelledPairs, cr.OptStats.DroppedIdentity)
+			st.Total(), st.MergedRotations, st.CancelledPairs, st.DroppedIdentity)
 	}
-	fmt.Printf("swaps          %d (opposing ratio %.2f)\n", cr.SwapCount, cr.OpposingRatio())
-	fmt.Printf("tape moves     %d, travel %.0f µm\n",
-		cr.Moves(), float64(cr.DistSpacings())*p.IonSpacingUm)
-	fmt.Printf("success        %.6g (log %.4f)\n", sr.SuccessRate, sr.LogSuccess)
-	fmt.Printf("exec time      %.3f s\n", sr.ExecTimeUs/1e6)
+	fmt.Printf("swaps          %d (opposing ratio %.2f)\n", res.TILT.SwapCount, res.TILT.OpposingRatio())
+	fmt.Printf("tape moves     %d, travel %.0f µm\n", res.TILT.Moves, res.TILT.DistUm)
+	fmt.Printf("success        %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
+	fmt.Printf("exec time      %.3f s\n", res.ExecTimeUs/1e6)
 
 	if *compare {
-		ideal, err := core.RunIdeal(c, cfg)
-		if err != nil {
-			log.Fatal(err)
+		// The two baselines are independent, so batch them on the runner.
+		results := runner.Run(ctx, []runner.Job{
+			{Name: "ideal", Backend: tilt.NewIdealTI(tilt.WithDevice(*ions, *head), tilt.WithNoise(p)), Circuit: c},
+			{Name: "qccd", Backend: tilt.NewQCCD(tilt.WithDevice(*ions, *head), tilt.WithNoise(p)), Circuit: c},
+		})
+		for _, jr := range results {
+			if jr.Err != nil {
+				log.Fatalf("%s: %v", jr.Name, jr.Err)
+			}
 		}
+		ideal, qr := results[0].Result, results[1].Result
 		fmt.Printf("ideal TI       %.6g (log %.4f)\n", ideal.SuccessRate, ideal.LogSuccess)
-		native := decompose.ToNative(c)
-		best, err := qccd.RunBestCapacity(native, n, nil, p)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("QCCD (cap %2d)  %.6g (log %.4f)\n",
-			best.Capacity, best.SuccessRate, best.LogSuccess)
+			qr.QCCD.Capacity, qr.SuccessRate, qr.LogSuccess)
 	}
 
 	if *emit != "" {
-		src, err := qasm.Write(cr.Physical)
+		src, err := qasm.Write(art.Compile.Physical)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,7 +134,7 @@ func loadCircuit(bench, qasmPath string) (*circuit.Circuit, string, error) {
 	case bench != "" && qasmPath != "":
 		return nil, "", fmt.Errorf("pass either -bench or -qasm, not both")
 	case bench != "":
-		bm, err := workloads.ByName(bench)
+		bm, err := tilt.BenchmarkByName(bench)
 		if err != nil {
 			return nil, "", err
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,30 +16,31 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Full-scale compile: the paper's 64-qubit ADDER.
 	bench := tilt.BenchmarkADDER()
-	compiled, metrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(64, 16))
+	res, err := tilt.Execute(ctx, tilt.NewTILT(tilt.WithDevice(64, 16)), bench.Circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("ADDER-64 on TILT head 16:")
-	fmt.Printf("  two-qubit gates  %d\n", metrics.TwoQubitGates)
+	fmt.Printf("  two-qubit gates  %d\n", res.TwoQubitGates)
 	fmt.Printf("  swaps            %d (interleaved layout keeps MAJ/UMA local)\n",
-		compiled.SwapCount)
-	fmt.Printf("  tape moves       %d\n", compiled.Moves())
-	fmt.Printf("  success rate     %.4f\n", metrics.SuccessRate)
+		res.TILT.SwapCount)
+	fmt.Printf("  tape moves       %d\n", res.TILT.Moves)
+	fmt.Printf("  success rate     %.4f\n", res.SuccessRate)
 
 	// Functional verification at small scale: a 2-bit adder has 6 qubits;
 	// exhaustively check a+b for all 16 operand pairs on the *compiled
 	// physical program* (including its inserted SWAPs), not just the
 	// source circuit.
 	small := workloads.AdderN(2)
-	opts := tilt.DefaultOptions(small.Qubits(), 3)
-	cc, err := tilt.Compile(small.Circuit, opts)
+	art, err := tilt.NewTILT(tilt.WithDevice(small.Qubits(), 3)).Compile(ctx, small.Circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cc := art.Compile
 	fmt.Printf("\n2-bit adder functional check on the compiled program (head 3, %d swaps):\n",
 		cc.SwapCount)
 	failures := 0

@@ -1,22 +1,27 @@
 // Architecture comparison: reproduce the Fig. 8 study for any benchmark —
 // TILT at two head sizes vs the ideal trapped-ion device vs the best QCCD
-// configuration from the paper's 15–35 capacity sweep.
+// configuration from the paper's 15–35 capacity sweep. All four
+// architectures implement the same Backend interface, so the whole
+// comparison is one batch over the concurrent runner.
 //
 // Usage: archcompare [-bench QFT]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	tilt "repro"
+	"repro/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	benchName := flag.String("bench", "QFT", "ADDER, BV, QAOA, RCS, QFT, or SQRT")
 	flag.Parse()
+	ctx := context.Background()
 
 	bench, err := tilt.BenchmarkByName(*benchName)
 	if err != nil {
@@ -24,31 +29,33 @@ func main() {
 	}
 	fmt.Printf("%s: %d qubits, %d two-qubit gates, %s\n\n",
 		bench.Name, bench.Qubits(), tilt.TwoQubitGateCount(bench.Circuit), bench.Comm)
+
+	n := bench.Qubits()
+	jobs := []runner.Job{
+		{Name: "TILT head 16", Backend: tilt.NewTILT(tilt.WithDevice(n, 16)), Circuit: bench.Circuit},
+		{Name: "TILT head 32", Backend: tilt.NewTILT(tilt.WithDevice(n, 32)), Circuit: bench.Circuit},
+		{Name: "ideal trapped ion", Backend: tilt.NewIdealTI(tilt.WithDevice(n, 16)), Circuit: bench.Circuit},
+		{Name: "QCCD", Backend: tilt.NewQCCD(tilt.WithDevice(n, 16)), Circuit: bench.Circuit},
+	}
+	results := runner.Run(ctx, jobs)
+
 	fmt.Printf("%-28s %14s %8s %8s\n", "architecture", "success", "moves", "swaps")
-
-	for _, head := range []int{16, 32} {
-		compiled, metrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), head))
-		if err != nil {
-			log.Fatal(err)
+	for _, jr := range results {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Name, jr.Err)
 		}
-		fmt.Printf("%-28s %14.4e %8d %8d\n",
-			fmt.Sprintf("TILT head %d", head), metrics.SuccessRate,
-			compiled.Moves(), compiled.SwapCount)
+		switch r := jr.Result; {
+		case r.TILT != nil:
+			fmt.Printf("%-28s %14.4e %8d %8d\n",
+				jr.Name, r.SuccessRate, r.TILT.Moves, r.TILT.SwapCount)
+		case r.QCCD != nil:
+			fmt.Printf("%-28s %14.4e %8s %8s   (splits %d, hops %d)\n",
+				fmt.Sprintf("QCCD capacity %d", r.QCCD.Capacity), r.SuccessRate, "-", "-",
+				r.QCCD.Splits, r.QCCD.Hops)
+		default:
+			fmt.Printf("%-28s %14.4e %8d %8d\n", jr.Name, r.SuccessRate, 0, 0)
+		}
 	}
-
-	ideal, err := tilt.RunIdeal(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), 16))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-28s %14.4e %8d %8d\n", "ideal trapped ion", ideal.SuccessRate, 0, 0)
-
-	qr, err := tilt.RunQCCD(bench.Circuit, tilt.DefaultOptions(bench.Qubits(), 16))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-28s %14.4e %8s %8s   (splits %d, hops %d)\n",
-		fmt.Sprintf("QCCD capacity %d", qr.Capacity), qr.SuccessRate, "-", "-",
-		qr.Splits, qr.Hops)
 
 	fmt.Println("\nPaper shape check (Fig. 8): TILT wins on short-distance traffic")
 	fmt.Println("(ADDER/BV/QAOA/RCS); QCCD wins on QFT's long-distance cascades;")

@@ -1,41 +1,55 @@
 // QAOA MaxCut: the workload class the paper's introduction motivates —
 // short-distance variational circuits where TILT shines. This example runs
-// the 64-qubit hardware-efficient ansatz across head sizes, tunes
-// MaxSwapLen with AutoTune, and compares against the QCCD baseline.
+// the 64-qubit hardware-efficient ansatz across head sizes (as one batch
+// over the concurrent runner), tunes MaxSwapLen with AutoTune, and compares
+// against the QCCD baseline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	tilt "repro"
 	"repro/internal/qsim"
 	"repro/internal/workloads"
+	"repro/runner"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	bench := tilt.BenchmarkQAOA()
 	fmt.Printf("%s: %d qubits, %d two-qubit gates (%s)\n\n",
 		bench.Name, bench.Qubits(), tilt.TwoQubitGateCount(bench.Circuit), bench.Comm)
 
-	// Head-size study: a wider execution zone needs fewer tape moves.
+	// Head-size study: a wider execution zone needs fewer tape moves. The
+	// four compiles are independent, so fan them out over the runner.
+	heads := []int{8, 16, 24, 32}
+	var jobs []runner.Job
+	for _, head := range heads {
+		jobs = append(jobs, runner.Job{
+			Name:    fmt.Sprintf("head %2d", head),
+			Backend: tilt.NewTILT(tilt.WithDevice(64, head)),
+			Circuit: bench.Circuit,
+		})
+	}
 	fmt.Println("head size study (64-ion chain):")
-	for _, head := range []int{8, 16, 24, 32} {
-		compiled, metrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(64, head))
-		if err != nil {
-			log.Fatal(err)
+	for _, jr := range runner.Run(ctx, jobs) {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Name, jr.Err)
 		}
-		fmt.Printf("  head %2d: swaps %3d, moves %3d, success %.4f, exec %.1f ms\n",
-			head, compiled.SwapCount, compiled.Moves(),
-			metrics.SuccessRate, metrics.ExecTimeUs/1000)
+		fmt.Printf("  %s: swaps %3d, moves %3d, success %.4f, exec %.1f ms\n",
+			jr.Name, jr.Result.TILT.SwapCount, jr.Result.TILT.Moves,
+			jr.Result.SuccessRate, jr.Result.ExecTimeUs/1000)
 	}
 
 	// MaxSwapLen tuning at head 16 (the paper's Fig. 7 procedure). QAOA
 	// needs no swaps under program-order placement, so the sweep confirms
 	// the parameter is inert here — compare with QFT where it matters.
-	trials, best, err := tilt.AutoTune(bench.Circuit, tilt.DefaultOptions(64, 16), []int{15, 12, 10, 8})
+	be16 := tilt.NewTILT(tilt.WithDevice(64, 16))
+	trials, best, err := be16.AutoTune(ctx, bench.Circuit, []int{15, 12, 10, 8})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,17 +65,17 @@ func main() {
 
 	// Architecture comparison: the paper's headline — TILT beats QCCD on
 	// repeated short-distance interaction patterns like QAOA.
-	_, tiltMetrics, err := tilt.Run(bench.Circuit, tilt.DefaultOptions(64, 16))
+	tiltRes, err := tilt.Execute(ctx, be16, bench.Circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	qr, err := tilt.RunQCCD(bench.Circuit, tilt.DefaultOptions(64, 16))
+	qr, err := tilt.Execute(ctx, tilt.NewQCCD(tilt.WithDevice(64, 16)), bench.Circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nTILT-16 success %.4f vs QCCD (best capacity %d) %.4f — TILT advantage %.2fx\n",
-		tiltMetrics.SuccessRate, qr.Capacity, qr.SuccessRate,
-		tiltMetrics.SuccessRate/qr.SuccessRate)
+		tiltRes.SuccessRate, qr.QCCD.Capacity, qr.SuccessRate,
+		tiltRes.SuccessRate/qr.SuccessRate)
 
 	// Sanity-check the ansatz itself on a small instance: the exact MaxCut
 	// expectation of a 10-qubit path graph under the same circuit family,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	path := filepath.Join("examples", "qasmflow", "testdata", "bell_ladder.qasm")
 	if len(os.Args) > 1 {
@@ -32,16 +34,20 @@ func main() {
 	fmt.Printf("parsed %s: %d qubits, %d gates (%d two-qubit at CNOT level)\n",
 		path, c.NumQubits(), c.Len(), tilt.TwoQubitGateCount(c))
 
-	opts := tilt.DefaultOptions(c.NumQubits(), 4)
-	compiled, metrics, err := tilt.Run(c, opts)
+	be := tilt.NewTILT(tilt.WithDevice(c.NumQubits(), 4))
+	compiled, err := be.Compile(ctx, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := be.Simulate(ctx, compiled)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled for a %d-ion TILT tape with a 4-laser head:\n", c.NumQubits())
 	fmt.Printf("  swaps %d, moves %d, success %.4f\n",
-		compiled.SwapCount, compiled.Moves(), metrics.SuccessRate)
+		metrics.TILT.SwapCount, metrics.TILT.Moves, metrics.SuccessRate)
 
-	out, err := qasm.Write(compiled.Physical)
+	out, err := qasm.Write(compiled.Compile.Physical)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +57,7 @@ func main() {
 		log.Fatalf("emitted QASM failed to re-parse: %v", err)
 	}
 	fmt.Printf("emitted physical program: %d gates; re-parsed OK (%d gates)\n",
-		compiled.Physical.Len(), back.Len())
+		compiled.Compile.Physical.Len(), back.Len())
 	fmt.Println("\nfirst lines of the emitted program:")
 	count := 0
 	for _, line := range splitLines(out) {

@@ -1,0 +1,20 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// A ladder of Bell pairs with a cross-rung entangling layer: enough
+// long-range CNOTs that compiling for a narrow head inserts SWAPs.
+qreg q[8];
+creg c[8];
+h q[0];
+cx q[0],q[1];
+h q[2];
+cx q[2],q[3];
+h q[4];
+cx q[4],q[5];
+h q[6];
+cx q[6],q[7];
+cx q[1],q[4];
+cx q[3],q[6];
+cx q[0],q[7];
+rz(pi/4) q[5];
+measure q[0] -> c[0];
+measure q[7] -> c[7];

@@ -1,9 +1,10 @@
 // Quickstart: compile and simulate a GHZ-state circuit on a small TILT
 // device, then print the compiled program's statistics — the five-minute
-// tour of the public API.
+// tour of the public Backend API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,32 +13,40 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A 24-qubit GHZ state: one H and a CNOT ladder.
 	bench := tilt.GHZ(24)
 
-	// A TILT device: a 24-ion chain under an 8-laser head. Gates can only
+	// A TILT backend: a 24-ion chain under an 8-laser head. Gates can only
 	// execute on the 8 ions inside the execution zone, so the tape has to
 	// shuttle to reach the rest of the chain.
-	opts := tilt.DefaultOptions(24, 8)
+	be := tilt.NewTILT(tilt.WithDevice(24, 8))
 
-	compiled, metrics, err := tilt.Run(bench.Circuit, opts)
+	// Compile lowers to native gates, places qubits, inserts SWAPs, and
+	// schedules the tape; Simulate scores the artifact. Execute does both.
+	art, err := be.Compile(ctx, bench.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := be.Simulate(ctx, art)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("GHZ-24 on a 24-ion TILT device, head size 8")
 	fmt.Printf("  native gates     %d (%d two-qubit XX)\n",
-		compiled.Native.Len(), compiled.Native.TwoQubitCount())
-	fmt.Printf("  inserted swaps   %d\n", compiled.SwapCount)
+		art.Native.Len(), art.Native.TwoQubitCount())
+	fmt.Printf("  inserted swaps   %d\n", res.TILT.SwapCount)
 	fmt.Printf("  tape moves       %d (travel %d ion spacings)\n",
-		compiled.Moves(), compiled.DistSpacings())
-	fmt.Printf("  success rate     %.4f\n", metrics.SuccessRate)
-	fmt.Printf("  execution time   %.2f ms\n", metrics.ExecTimeUs/1000)
+		res.TILT.Moves, res.TILT.DistSpacings)
+	fmt.Printf("  success rate     %.4f\n", res.SuccessRate)
+	fmt.Printf("  execution time   %.2f ms\n", res.ExecTimeUs/1000)
 
 	// The same circuit on an ideal fully connected trapped-ion device —
-	// the upper bound every architecture study compares against.
-	ideal, err := tilt.RunIdeal(bench.Circuit, opts)
+	// the upper bound every architecture study compares against. Every
+	// backend satisfies the same interface and returns the same Result.
+	ideal, err := tilt.Execute(ctx, tilt.NewIdealTI(tilt.WithDevice(24, 8)), bench.Circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +57,7 @@ func main() {
 	c.ApplyH(0)
 	c.ApplyCNOT(0, 1)
 	c.ApplyCCX(0, 1, 3) // Toffolis are lowered automatically
-	_, m2, err := tilt.Run(c, tilt.DefaultOptions(4, 4))
+	m2, err := tilt.Execute(ctx, tilt.NewTILT(tilt.WithDevice(4, 4)), c)
 	if err != nil {
 		log.Fatal(err)
 	}

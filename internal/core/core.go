@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,8 +93,12 @@ func (r *CompileResult) DistSpacings() int { return r.Schedule.Dist }
 
 // Compile runs the LinQ pipeline on a logical circuit: decompose → place →
 // insert swaps → schedule. The input circuit may contain any gate kind the
-// decomposer understands (including Toffolis).
-func Compile(c *circuit.Circuit, cfg Config) (*CompileResult, error) {
+// decomposer understands (including Toffolis). Cancellation of ctx is
+// observed between pipeline phases.
+func Compile(ctx context.Context, c *circuit.Circuit, cfg Config) (*CompileResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Device.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,6 +117,9 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompileResult, error) {
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	ins, err := cfg.inserter().Insert(native, m0, cfg.Device, cfg.Swap)
 	if err != nil {
@@ -119,6 +127,9 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompileResult, error) {
 	}
 	tSwap := time.Since(t0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	sched, err := schedule.Tape(ins.Physical, cfg.Device)
 	if err != nil {
@@ -141,17 +152,17 @@ func Compile(c *circuit.Circuit, cfg Config) (*CompileResult, error) {
 }
 
 // Simulate evaluates a compiled program under the config's noise model.
-func (r *CompileResult) Simulate(cfg Config) (*sim.Result, error) {
-	return sim.Simulate(r.Physical, r.Schedule, cfg.Device, cfg.NoiseParams())
+func (r *CompileResult) Simulate(ctx context.Context, cfg Config) (*sim.Result, error) {
+	return sim.Simulate(ctx, r.Physical, r.Schedule, cfg.Device, cfg.NoiseParams())
 }
 
 // Run compiles and simulates in one call.
-func Run(c *circuit.Circuit, cfg Config) (*CompileResult, *sim.Result, error) {
-	cr, err := Compile(c, cfg)
+func Run(ctx context.Context, c *circuit.Circuit, cfg Config) (*CompileResult, *sim.Result, error) {
+	cr, err := Compile(ctx, c, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	sr, err := cr.Simulate(cfg)
+	sr, err := cr.Simulate(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,16 +174,28 @@ func Run(c *circuit.Circuit, cfg Config) (*CompileResult, *sim.Result, error) {
 // and initial placement only, no swaps or moves. The placement matters even
 // without routing because the Eq. 3 gate time — and hence the Γτ error term
 // — grows with the ion separation on the chain.
-func RunIdeal(c *circuit.Circuit, cfg Config) (*sim.Result, error) {
-	native := decompose.ToNative(c)
-	// With no routing, the placement objective is exactly the weighted
-	// distance sum the greedy heuristic minimizes; program order (built for
-	// sweep-style routing) has no advantage here.
-	m0, err := mapping.Initial(native, cfg.Device.NumIons, mapping.GreedyPlacement)
+func RunIdeal(ctx context.Context, c *circuit.Circuit, cfg Config) (*sim.Result, error) {
+	_, mapped, err := PlaceIdeal(c, cfg.Device.NumIons)
 	if err != nil {
 		return nil, err
 	}
-	mapped := circuit.New(cfg.Device.NumIons)
+	return sim.SimulateIdeal(ctx, mapped, device.IdealTI{NumIons: cfg.Device.NumIons}, cfg.NoiseParams())
+}
+
+// PlaceIdeal lowers the circuit to the native gate set and applies the
+// greedy initial placement over a numIons-long chain — the "compile" half of
+// RunIdeal. It returns both the native circuit (logical qubits) and its
+// placed counterpart (chain positions). With no routing, the placement
+// objective is exactly the weighted distance sum the greedy heuristic
+// minimizes; program order (built for sweep-style routing) has no advantage
+// here.
+func PlaceIdeal(c *circuit.Circuit, numIons int) (native, mapped *circuit.Circuit, err error) {
+	native = decompose.ToNative(c)
+	m0, err := mapping.Initial(native, numIons, mapping.GreedyPlacement)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapped = circuit.New(numIons)
 	for _, g := range native.Gates() {
 		qs := make([]int, len(g.Qubits))
 		for i, q := range g.Qubits {
@@ -180,7 +203,7 @@ func RunIdeal(c *circuit.Circuit, cfg Config) (*sim.Result, error) {
 		}
 		mapped.MustAdd(g.Kind, g.Theta, qs...)
 	}
-	return sim.SimulateIdeal(mapped, device.IdealTI{NumIons: cfg.Device.NumIons}, cfg.NoiseParams())
+	return native, mapped, nil
 }
 
 // TuneResult records one MaxSwapLen trial of the Fig. 7 sweep.
@@ -196,7 +219,7 @@ type TuneResult struct {
 // MaxSwapLen and returns the trials plus the index of the best one by
 // success rate. An empty candidate list sweeps HeadSize−1 down to
 // HeadSize/2.
-func AutoTune(c *circuit.Circuit, cfg Config, candidates []int) ([]TuneResult, int, error) {
+func AutoTune(ctx context.Context, c *circuit.Circuit, cfg Config, candidates []int) ([]TuneResult, int, error) {
 	if len(candidates) == 0 {
 		for l := cfg.Device.HeadSize - 1; l >= cfg.Device.HeadSize/2 && l >= 1; l-- {
 			candidates = append(candidates, l)
@@ -207,7 +230,7 @@ func AutoTune(c *circuit.Circuit, cfg Config, candidates []int) ([]TuneResult, i
 	for _, l := range candidates {
 		trial := cfg
 		trial.Swap.MaxSwapLen = l
-		cr, sr, err := Run(c, trial)
+		cr, sr, err := Run(ctx, c, trial)
 		if err != nil {
 			return nil, -1, fmt.Errorf("core: AutoTune at MaxSwapLen=%d: %w", l, err)
 		}

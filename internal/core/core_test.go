@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -24,7 +25,7 @@ func smallCfg(n, head int) Config {
 func TestCompileProducesValidProgram(t *testing.T) {
 	bm := workloads.QFTN(12)
 	cfg := smallCfg(12, 4)
-	cr, err := Compile(bm.Circuit, cfg)
+	cr, err := Compile(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestCompiledSemanticsPreserved(t *testing.T) {
 	// unitarily equivalent to the native circuit under the initial mapping.
 	bm := workloads.Random(7, 8, 3)
 	cfg := smallCfg(7, 3)
-	cr, err := Compile(bm.Circuit, cfg)
+	cr, err := Compile(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCompiledSemanticsPreserved(t *testing.T) {
 func TestRunProducesFiniteMetrics(t *testing.T) {
 	bm := workloads.QAOAN(16, 2, 1)
 	cfg := smallCfg(16, 8)
-	cr, sr, err := Run(bm.Circuit, cfg)
+	cr, sr, err := Run(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestRunProducesFiniteMetrics(t *testing.T) {
 func TestRunIdealBeatsTILT(t *testing.T) {
 	bm := workloads.QFTN(16)
 	cfg := smallCfg(16, 4)
-	_, tiltRes, err := Run(bm.Circuit, cfg)
+	_, tiltRes, err := Run(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idealRes, err := RunIdeal(bm.Circuit, cfg)
+	idealRes, err := RunIdeal(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestLargerHeadImprovesSuccess(t *testing.T) {
 	// Fig. 8: a wider execution zone reduces swaps and moves, so success
 	// must not degrade.
 	bm := workloads.QFTN(16)
-	_, small, err := Run(bm.Circuit, smallCfg(16, 4))
+	_, small, err := Run(context.Background(), bm.Circuit, smallCfg(16, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, large, err := Run(bm.Circuit, smallCfg(16, 8))
+	_, large, err := Run(context.Background(), bm.Circuit, smallCfg(16, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestStochasticBaselinePluggable(t *testing.T) {
 	bm := workloads.QFTN(10)
 	cfg := smallCfg(10, 4)
 	cfg.Inserter = swapins.Stochastic{Trials: 4, Seed: 1}
-	cr, sr, err := Run(bm.Circuit, cfg)
+	cr, sr, err := Run(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCustomNoiseParamsHonored(t *testing.T) {
 	noiseless.K0 = 0
 	noiseless.OneQubitError = 0
 	cfg.Noise = &noiseless
-	_, sr, err := Run(bm.Circuit, cfg)
+	_, sr, err := Run(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +161,14 @@ func TestCustomNoiseParamsHonored(t *testing.T) {
 
 func TestCompileRejectsWideCircuit(t *testing.T) {
 	bm := workloads.GHZ(16)
-	if _, err := Compile(bm.Circuit, smallCfg(8, 4)); err == nil {
+	if _, err := Compile(context.Background(), bm.Circuit, smallCfg(8, 4)); err == nil {
 		t.Error("circuit wider than device should fail")
 	}
 }
 
 func TestCompileRejectsInvalidDevice(t *testing.T) {
 	bm := workloads.GHZ(4)
-	if _, err := Compile(bm.Circuit, Config{Device: device.TILT{NumIons: 4, HeadSize: 1}}); err == nil {
+	if _, err := Compile(context.Background(), bm.Circuit, Config{Device: device.TILT{NumIons: 4, HeadSize: 1}}); err == nil {
 		t.Error("invalid device should fail")
 	}
 }
@@ -175,7 +176,7 @@ func TestCompileRejectsInvalidDevice(t *testing.T) {
 func TestAutoTuneFindsASweetSpot(t *testing.T) {
 	bm := workloads.QFTN(12)
 	cfg := smallCfg(12, 6)
-	trials, best, err := AutoTune(bm.Circuit, cfg, nil)
+	trials, best, err := AutoTune(context.Background(), bm.Circuit, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestAutoTuneFindsASweetSpot(t *testing.T) {
 func TestAutoTuneExplicitCandidates(t *testing.T) {
 	bm := workloads.QFTN(10)
 	cfg := smallCfg(10, 5)
-	trials, best, err := AutoTune(bm.Circuit, cfg, []int{4, 2})
+	trials, best, err := AutoTune(context.Background(), bm.Circuit, cfg, []int{4, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,14 +207,14 @@ func TestAutoTuneExplicitCandidates(t *testing.T) {
 	if best != 0 && best != 1 {
 		t.Fatalf("best index %d", best)
 	}
-	if _, _, err := AutoTune(bm.Circuit, cfg, []int{99}); err == nil {
+	if _, _, err := AutoTune(context.Background(), bm.Circuit, cfg, []int{99}); err == nil {
 		t.Error("out-of-range candidate should fail")
 	}
 }
 
 func TestOpposingRatioZeroSafe(t *testing.T) {
 	bm := workloads.GHZ(8)
-	cr, err := Compile(bm.Circuit, smallCfg(8, 8))
+	cr, err := Compile(context.Background(), bm.Circuit, smallCfg(8, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestPropertyPipelineSoundOnRandomCircuits(t *testing.T) {
 		head := 3 + int(headRaw)%6
 		bm := workloads.Random(n, 12, seed)
 		cfg := smallCfg(n, head)
-		cr, sr, err := Run(bm.Circuit, cfg)
+		cr, sr, err := Run(context.Background(), bm.Circuit, cfg)
 		if err != nil {
 			return false
 		}

@@ -9,18 +9,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	tilt "repro"
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/device"
 	"repro/internal/mapping"
-	"repro/internal/noise"
-	"repro/internal/qccd"
 	"repro/internal/swapins"
 	"repro/internal/workloads"
+	"repro/runner"
 )
 
 // StandardConfig returns the compiler configuration used throughout the
@@ -90,38 +91,51 @@ type Fig6Row struct {
 }
 
 // Fig6 regenerates Fig. 6 for the given head size (paper: 16) over the
-// long-distance benchmarks BV, QFT, SQRT.
-func Fig6(head int) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, name := range []string{"BV", "QFT", "SQRT"} {
+// long-distance benchmarks BV, QFT, SQRT. The baseline and LinQ compiles of
+// all three benchmarks fan out over the batch runner.
+func Fig6(ctx context.Context, head int) ([]Fig6Row, error) {
+	names := []string{"BV", "QFT", "SQRT"}
+	var jobs []runner.Job
+	for _, name := range names {
 		bm, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		row := Fig6Row{Bench: name}
-
-		base := StandardConfig(bm.Qubits(), head)
-		base.Inserter = swapins.Stochastic{Trials: 8, Seed: 2021}
-		bcr, bsr, err := core.Run(bm.Circuit, base)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s baseline: %w", name, err)
+		jobs = append(jobs,
+			runner.Job{
+				Name: name + "/baseline",
+				Backend: tilt.NewTILT(
+					tilt.WithDevice(bm.Qubits(), head),
+					tilt.WithInserter(tilt.StochasticInserter(8, 2021))),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    name + "/linq",
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), head)),
+				Circuit: bm.Circuit,
+			})
+	}
+	results := runner.Run(ctx, jobs)
+	rows := make([]Fig6Row, len(names))
+	for i, name := range names {
+		base, linq := results[2*i], results[2*i+1]
+		if base.Err != nil {
+			return nil, fmt.Errorf("fig6 %s baseline: %w", name, base.Err)
 		}
-		row.BaselineSwaps = bcr.SwapCount
-		row.BaselineOpposing = bcr.OpposingRatio()
-		row.BaselineMoves = bcr.Moves()
-		row.BaselineLog = bsr.LogSuccess
-
-		linq := StandardConfig(bm.Qubits(), head)
-		lcr, lsr, err := core.Run(bm.Circuit, linq)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s linq: %w", name, err)
+		if linq.Err != nil {
+			return nil, fmt.Errorf("fig6 %s linq: %w", name, linq.Err)
 		}
-		row.LinQSwaps = lcr.SwapCount
-		row.LinQOpposing = lcr.OpposingRatio()
-		row.LinQMoves = lcr.Moves()
-		row.LinQLog = lsr.LogSuccess
-
-		rows = append(rows, row)
+		rows[i] = Fig6Row{
+			Bench:            name,
+			BaselineSwaps:    base.Result.TILT.SwapCount,
+			BaselineOpposing: base.Result.TILT.OpposingRatio(),
+			BaselineMoves:    base.Result.TILT.Moves,
+			BaselineLog:      base.Result.LogSuccess,
+			LinQSwaps:        linq.Result.TILT.SwapCount,
+			LinQOpposing:     linq.Result.TILT.OpposingRatio(),
+			LinQMoves:        linq.Result.TILT.Moves,
+			LinQLog:          linq.Result.LogSuccess,
+		}
 	}
 	return rows, nil
 }
@@ -154,7 +168,7 @@ type Fig7Row struct {
 
 // Fig7 regenerates the Fig. 7 sweep: success/swaps/moves for MaxSwapLen from
 // head−1 down to 8 (paper values: 15..8 at head 16) on BV, QFT, SQRT.
-func Fig7(head int, lens []int) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, head int, lens []int) ([]Fig7Row, error) {
 	if len(lens) == 0 {
 		for l := head - 1; l >= 8; l-- {
 			lens = append(lens, l)
@@ -166,8 +180,8 @@ func Fig7(head int, lens []int) ([]Fig7Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := StandardConfig(bm.Qubits(), head)
-		trials, _, err := core.AutoTune(bm.Circuit, cfg, lens)
+		be := tilt.NewTILT(tilt.WithDevice(bm.Qubits(), head))
+		trials, _, err := be.AutoTune(ctx, bm.Circuit, lens)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", name, err)
 		}
@@ -209,40 +223,56 @@ type Fig8Row struct {
 }
 
 // Fig8 regenerates the architecture comparison over all six benchmarks.
-func Fig8() ([]Fig8Row, error) {
-	p := noise.Default()
-	var rows []Fig8Row
-	for _, bm := range workloads.All() {
-		row := Fig8Row{Bench: bm.Name}
-
-		for _, head := range []int{16, 32} {
-			cfg := StandardConfig(bm.Qubits(), head)
-			_, sr, err := core.Run(bm.Circuit, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s head %d: %w", bm.Name, head, err)
+// The 6 benchmarks × 4 architectures fan out as one batch over the runner.
+func Fig8(ctx context.Context) ([]Fig8Row, error) {
+	all := workloads.All()
+	const perBench = 4
+	var jobs []runner.Job
+	for _, bm := range all {
+		jobs = append(jobs,
+			runner.Job{
+				Name:    bm.Name + "/TILT-16",
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 16)),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    bm.Name + "/TILT-32",
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 32)),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    bm.Name + "/IdealTI",
+				Backend: tilt.NewIdealTI(tilt.WithDevice(bm.Qubits(), 16)),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    bm.Name + "/QCCD",
+				Backend: tilt.NewQCCD(tilt.WithDevice(bm.Qubits(), 16)),
+				Circuit: bm.Circuit,
+			})
+	}
+	results := runner.Run(ctx, jobs)
+	rows := make([]Fig8Row, len(all))
+	for i, bm := range all {
+		rows[i].Bench = bm.Name
+		for _, jr := range results[i*perBench : (i+1)*perBench] {
+			if jr.Err != nil {
+				return nil, fmt.Errorf("fig8 %s: %w", jr.Name, jr.Err)
 			}
-			if head == 16 {
-				row.TILT16Log = sr.LogSuccess
-			} else {
-				row.TILT32Log = sr.LogSuccess
+			switch jr.Backend {
+			case "TILT":
+				if jr.Result.TILT.Device.HeadSize == 16 {
+					rows[i].TILT16Log = jr.Result.LogSuccess
+				} else {
+					rows[i].TILT32Log = jr.Result.LogSuccess
+				}
+			case "IdealTI":
+				rows[i].IdealLog = jr.Result.LogSuccess
+			case "QCCD":
+				rows[i].QCCDLog = jr.Result.LogSuccess
+				rows[i].QCCDCapacity = jr.Result.QCCD.Capacity
 			}
 		}
-
-		ideal, err := core.RunIdeal(bm.Circuit, StandardConfig(bm.Qubits(), 16))
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s ideal: %w", bm.Name, err)
-		}
-		row.IdealLog = ideal.LogSuccess
-
-		native := decompose.ToNative(bm.Circuit)
-		best, err := qccd.RunBestCapacity(native, bm.Qubits(), nil, p)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s qccd: %w", bm.Name, err)
-		}
-		row.QCCDLog = best.LogSuccess
-		row.QCCDCapacity = best.Capacity
-
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -273,28 +303,38 @@ type Table3Row struct {
 	SwapCount int
 }
 
-// Table3 regenerates the compilation-results table for head sizes 16 and 32.
-func Table3() ([]Table3Row, error) {
-	p := noise.Default()
-	var rows []Table3Row
+// Table3 regenerates the compilation-results table for head sizes 16 and
+// 32. The twelve compiles go through the batch runner but on a single
+// worker: the t_swap/t_move columns are wall-clock phase timings, and
+// running the compiles concurrently would inflate them with scheduler
+// contention.
+func Table3(ctx context.Context) ([]Table3Row, error) {
+	var jobs []runner.Job
+	var meta []Table3Row
 	for _, bm := range workloads.All() {
 		for _, head := range []int{16, 32} {
-			cfg := StandardConfig(bm.Qubits(), head)
-			cr, sr, err := core.Run(bm.Circuit, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s head %d: %w", bm.Name, head, err)
-			}
-			rows = append(rows, Table3Row{
-				Bench:     bm.Name,
-				Head:      head,
-				TSwapSec:  cr.TSwap.Seconds(),
-				TMoveSec:  cr.TMove.Seconds(),
-				Moves:     cr.Moves(),
-				DistUm:    float64(cr.DistSpacings()) * p.IonSpacingUm,
-				TExecSec:  sr.ExecTimeUs / 1e6,
-				SwapCount: cr.SwapCount,
+			jobs = append(jobs, runner.Job{
+				Name:    fmt.Sprintf("%s/head-%d", bm.Name, head),
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), head)),
+				Circuit: bm.Circuit,
 			})
+			meta = append(meta, Table3Row{Bench: bm.Name, Head: head})
 		}
+	}
+	results := runner.Run(ctx, jobs, runner.WithWorkers(1))
+	rows := make([]Table3Row, len(jobs))
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", jr.Name, jr.Err)
+		}
+		row := meta[i]
+		row.TSwapSec = jr.Result.TILT.TSwap.Seconds()
+		row.TMoveSec = jr.Result.TILT.TMove.Seconds()
+		row.Moves = jr.Result.TILT.Moves
+		row.DistUm = jr.Result.TILT.DistUm
+		row.TExecSec = jr.Result.ExecTimeUs / 1e6
+		row.SwapCount = jr.Result.TILT.SwapCount
+		rows[i] = row
 	}
 	return rows, nil
 }

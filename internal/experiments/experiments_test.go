@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestTable2MatchesPaperShapes(t *testing.T) {
 }
 
 func TestFig6LinQBeatsBaseline(t *testing.T) {
-	rows, err := Fig6(16)
+	rows, err := Fig6(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFig6LinQBeatsBaseline(t *testing.T) {
 }
 
 func TestFig7SweetSpotExists(t *testing.T) {
-	rows, err := Fig7(16, nil)
+	rows, err := Fig7(context.Background(), 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFig7SweetSpotExists(t *testing.T) {
 }
 
 func TestFig8ArchitectureOrdering(t *testing.T) {
-	rows, err := Fig8()
+	rows, err := Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig8ArchitectureOrdering(t *testing.T) {
 }
 
 func TestTable3Shapes(t *testing.T) {
-	rows, err := Table3()
+	rows, err := Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

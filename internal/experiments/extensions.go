@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ type CoolingRow struct {
 // workload (§VII: "TILT architectures are compatible with sympathetic
 // cooling techniques, which would reduce the heating due to shuttling and
 // allow for longer circuits"). Interval 0 disables cooling.
-func CoolingAblation(head int, intervals []int) ([]CoolingRow, error) {
+func CoolingAblation(ctx context.Context, head int, intervals []int) ([]CoolingRow, error) {
 	if len(intervals) == 0 {
 		intervals = []int{0, 64, 32, 16, 8, 4, 1}
 	}
@@ -44,7 +45,7 @@ func CoolingAblation(head int, intervals []int) ([]CoolingRow, error) {
 		p.CoolingInterval = iv
 		cfg := StandardConfig(bm.Qubits(), head)
 		cfg.Noise = &p
-		cr, sr, err := core.Run(bm.Circuit, cfg)
+		cr, sr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cooling ablation interval %d: %w", iv, err)
 		}
@@ -74,7 +75,7 @@ type ScalingRow struct {
 // ScalingStudy grows a single TILT chain under a fixed head and a QAOA
 // workload that grows with it, exposing the §VII limit: per-move heating
 // scales as √n, so one trap cannot grow indefinitely.
-func ScalingStudy(head, rounds int, sizes []int) ([]ScalingRow, error) {
+func ScalingStudy(ctx context.Context, head, rounds int, sizes []int) ([]ScalingRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{32, 64, 96, 128}
 	}
@@ -82,7 +83,7 @@ func ScalingStudy(head, rounds int, sizes []int) ([]ScalingRow, error) {
 	for _, n := range sizes {
 		bm := workloads.QAOAN(n, rounds, 2021)
 		cfg := StandardConfig(n, head)
-		cr, sr, err := core.Run(bm.Circuit, cfg)
+		cr, sr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("scaling study n=%d: %w", n, err)
 		}
@@ -115,7 +116,7 @@ type ModularRow struct {
 
 // ModularStudy runs the §VII modular-architecture comparison: one chain vs
 // two and four photonically linked TILT modules on growing QAOA instances.
-func ModularStudy(head, rounds int, sizes []int) ([]ModularRow, error) {
+func ModularStudy(ctx context.Context, head, rounds int, sizes []int) ([]ModularRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{48, 96, 128}
 	}
@@ -126,13 +127,13 @@ func ModularStudy(head, rounds int, sizes []int) ([]ModularRow, error) {
 		nat := decompose.ToNative(bm.Circuit)
 		row := ModularRow{Qubits: n}
 
-		mono, err := musiqc.Monolithic(nat, n, head, p)
+		mono, err := musiqc.Monolithic(ctx, nat, n, head, p)
 		if err != nil {
 			return nil, fmt.Errorf("modular study n=%d monolithic: %w", n, err)
 		}
 		row.MonolithicLog = mono
 
-		two, err := musiqc.Run(nat, musiqc.Spec{
+		two, err := musiqc.Run(ctx, nat, musiqc.Spec{
 			Modules: 2, IonsPerModule: n/2 + 1, HeadSize: head, Link: musiqc.DefaultLink(),
 		}, p)
 		if err != nil {
@@ -141,7 +142,7 @@ func ModularStudy(head, rounds int, sizes []int) ([]ModularRow, error) {
 		row.TwoModuleLog = two.LogSuccess
 		row.TwoCross = two.CrossGates
 
-		four, err := musiqc.Run(nat, musiqc.Spec{
+		four, err := musiqc.Run(ctx, nat, musiqc.Spec{
 			Modules: 4, IonsPerModule: n/4 + 1, HeadSize: head, Link: musiqc.DefaultLink(),
 		}, p)
 		if err != nil {
@@ -180,7 +181,7 @@ type HeadRow struct {
 // HeadSizeStudy extends Fig. 8's {16, 32} to a full head-size sweep on one
 // benchmark, exposing the cost/benefit curve the AOM size constraint (§I)
 // puts a ceiling on.
-func HeadSizeStudy(benchName string, heads []int) ([]HeadRow, error) {
+func HeadSizeStudy(ctx context.Context, benchName string, heads []int) ([]HeadRow, error) {
 	if len(heads) == 0 {
 		heads = []int{8, 16, 24, 32, 48, 64}
 	}
@@ -194,7 +195,7 @@ func HeadSizeStudy(benchName string, heads []int) ([]HeadRow, error) {
 			continue
 		}
 		cfg := StandardConfig(bm.Qubits(), h)
-		cr, sr, err := core.Run(bm.Circuit, cfg)
+		cr, sr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("head study %s h=%d: %w", benchName, h, err)
 		}
@@ -225,7 +226,7 @@ type PlacementRow struct {
 // PlacementAblation compares the three initial-placement strategies on the
 // long-distance benchmarks — the design choice DESIGN.md calls out as the
 // difference between a sweeping ancilla and a thrashing one.
-func PlacementAblation(head int) ([]PlacementRow, error) {
+func PlacementAblation(ctx context.Context, head int) ([]PlacementRow, error) {
 	var rows []PlacementRow
 	for _, name := range []string{"BV", "QFT", "SQRT"} {
 		bm, err := workloads.ByName(name)
@@ -238,7 +239,7 @@ func PlacementAblation(head int) ([]PlacementRow, error) {
 		} {
 			cfg := StandardConfig(bm.Qubits(), head)
 			cfg.Placement = s
-			_, sr, err := core.Run(bm.Circuit, cfg)
+			_, sr, err := core.Run(ctx, bm.Circuit, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("placement ablation %s/%v: %w", name, s, err)
 			}
@@ -279,7 +280,7 @@ type AlphaRow struct {
 // AlphaAblation sweeps the Eq. 1 lookahead discount α on QFT: α→0
 // degenerates to greedy current-gate routing; larger α weighs future gates
 // and manufactures opposing swaps.
-func AlphaAblation(head int, alphas []float64) ([]AlphaRow, error) {
+func AlphaAblation(ctx context.Context, head int, alphas []float64) ([]AlphaRow, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	}
@@ -291,7 +292,7 @@ func AlphaAblation(head int, alphas []float64) ([]AlphaRow, error) {
 	for _, a := range alphas {
 		cfg := StandardConfig(bm.Qubits(), head)
 		cfg.Swap.Alpha = a
-		cr, sr, err := core.Run(bm.Circuit, cfg)
+		cr, sr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("alpha ablation α=%g: %w", a, err)
 		}
@@ -327,16 +328,16 @@ type OptimizeRow struct {
 
 // OptimizeAblation measures what the peephole optimizer buys on each
 // benchmark: eliminated gates and the success-rate change.
-func OptimizeAblation(head int) ([]OptimizeRow, error) {
+func OptimizeAblation(ctx context.Context, head int) ([]OptimizeRow, error) {
 	var rows []OptimizeRow
 	for _, bm := range workloads.All() {
 		cfg := StandardConfig(bm.Qubits(), head)
-		plainCr, plainSr, err := core.Run(bm.Circuit, cfg)
+		plainCr, plainSr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("optimize ablation %s: %w", bm.Name, err)
 		}
 		cfg.Optimize = true
-		optCr, optSr, err := core.Run(bm.Circuit, cfg)
+		optCr, optSr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("optimize ablation %s (opt): %w", bm.Name, err)
 		}
@@ -376,11 +377,11 @@ type SchedulerRow struct {
 // SchedulerAblation re-schedules each compiled benchmark with the naive
 // sweep scheduler and compares moves and success against Algorithm 2 — the
 // ablation for the paper's second core heuristic.
-func SchedulerAblation(head int) ([]SchedulerRow, error) {
+func SchedulerAblation(ctx context.Context, head int) ([]SchedulerRow, error) {
 	var rows []SchedulerRow
 	for _, bm := range workloads.All() {
 		cfg := StandardConfig(bm.Qubits(), head)
-		cr, sr, err := core.Run(bm.Circuit, cfg)
+		cr, sr, err := core.Run(ctx, bm.Circuit, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("scheduler ablation %s: %w", bm.Name, err)
 		}
@@ -388,7 +389,7 @@ func SchedulerAblation(head int) ([]SchedulerRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scheduler ablation %s sweep: %w", bm.Name, err)
 		}
-		sweepRes, err := sim.Simulate(cr.Physical, sweepSched, cfg.Device, cfg.NoiseParams())
+		sweepRes, err := sim.Simulate(ctx, cr.Physical, sweepSched, cfg.Device, cfg.NoiseParams())
 		if err != nil {
 			return nil, fmt.Errorf("scheduler ablation %s sweep sim: %w", bm.Name, err)
 		}

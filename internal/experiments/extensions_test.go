@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestCoolingAblationMonotone(t *testing.T) {
-	rows, err := CoolingAblation(16, []int{0, 32, 8, 1})
+	rows, err := CoolingAblation(context.Background(), 16, []int{0, 32, 8, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestCoolingAblationMonotone(t *testing.T) {
 }
 
 func TestScalingStudyDegradesWithChainLength(t *testing.T) {
-	rows, err := ScalingStudy(16, 4, []int{32, 64, 96})
+	rows, err := ScalingStudy(context.Background(), 16, 4, []int{32, 64, 96})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestScalingStudyDegradesWithChainLength(t *testing.T) {
 }
 
 func TestModularStudyCrossover(t *testing.T) {
-	rows, err := ModularStudy(8, 10, []int{48, 96})
+	rows, err := ModularStudy(context.Background(), 8, 10, []int{48, 96})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestModularStudyCrossover(t *testing.T) {
 }
 
 func TestHeadSizeStudyImproves(t *testing.T) {
-	rows, err := HeadSizeStudy("QFT", []int{8, 16, 32, 64})
+	rows, err := HeadSizeStudy(context.Background(), "QFT", []int{8, 16, 32, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestHeadSizeStudyImproves(t *testing.T) {
 		t.Errorf("head 64 should need no swaps, got %d", last.Swaps)
 	}
 	// Heads wider than the register are skipped.
-	short, err := HeadSizeStudy("SQRT", []int{16, 128})
+	short, err := HeadSizeStudy(context.Background(), "SQRT", []int{16, 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestHeadSizeStudyImproves(t *testing.T) {
 }
 
 func TestPlacementAblationShapes(t *testing.T) {
-	rows, err := PlacementAblation(16)
+	rows, err := PlacementAblation(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestPlacementAblationShapes(t *testing.T) {
 }
 
 func TestAlphaAblationProducesOpposingSwaps(t *testing.T) {
-	rows, err := AlphaAblation(16, []float64{0.1, 0.7})
+	rows, err := AlphaAblation(context.Background(), 16, []float64{0.1, 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestAlphaAblationProducesOpposingSwaps(t *testing.T) {
 }
 
 func TestOptimizeAblationNeverHurts(t *testing.T) {
-	rows, err := OptimizeAblation(16)
+	rows, err := OptimizeAblation(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestOptimizeAblationNeverHurts(t *testing.T) {
 }
 
 func TestSchedulerAblationGreedyWins(t *testing.T) {
-	rows, err := SchedulerAblation(16)
+	rows, err := SchedulerAblation(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}

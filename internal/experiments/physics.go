@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -92,7 +93,7 @@ type GateModeRow struct {
 // modeled by a constant gate time τ = slope·n + offset (set via the existing
 // noise parameters with zero slope), exactly the "proportional to the total
 // number of ions in a chain" dependence the paper cites.
-func GateModeAblation(head int) ([]GateModeRow, error) {
+func GateModeAblation(ctx context.Context, head int) ([]GateModeRow, error) {
 	var rows []GateModeRow
 	for _, bm := range workloads.All() {
 		am := noise.Default()
@@ -102,13 +103,13 @@ func GateModeAblation(head int) ([]GateModeRow, error) {
 
 		cfgAM := StandardConfig(bm.Qubits(), head)
 		cfgAM.Noise = &am
-		_, amRes, err := core.Run(bm.Circuit, cfgAM)
+		_, amRes, err := core.Run(ctx, bm.Circuit, cfgAM)
 		if err != nil {
 			return nil, fmt.Errorf("gate mode %s AM: %w", bm.Name, err)
 		}
 		cfgFM := StandardConfig(bm.Qubits(), head)
 		cfgFM.Noise = &fm
-		_, fmRes, err := core.Run(bm.Circuit, cfgFM)
+		_, fmRes, err := core.Run(ctx, bm.Circuit, cfgFM)
 		if err != nil {
 			return nil, fmt.Errorf("gate mode %s FM: %w", bm.Name, err)
 		}

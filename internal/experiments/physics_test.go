@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestAddressingStudyCenterIsBest(t *testing.T) {
 }
 
 func TestGateModeAblationAMWins(t *testing.T) {
-	rows, err := GateModeAblation(16)
+	rows, err := GateModeAblation(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}

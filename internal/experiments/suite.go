@@ -1,15 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	tilt "repro"
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/noise"
 	"repro/internal/qccd"
 	"repro/internal/workloads"
+	"repro/runner"
 )
 
 // This file holds the breadth studies: the §III-C short-distance application
@@ -29,35 +32,50 @@ type SuiteRow struct {
 
 // ShortDistanceSuite runs the §III-C application classes — the workloads the
 // paper argues TILT is designed for — across TILT-16, TILT-32, and the best
-// QCCD configuration.
-func ShortDistanceSuite() ([]SuiteRow, error) {
-	p := noise.Default()
-	var rows []SuiteRow
-	for _, bm := range workloads.ShortDistanceSuite() {
-		row := SuiteRow{
+// QCCD configuration, as one concurrent batch over the runner.
+func ShortDistanceSuite(ctx context.Context) ([]SuiteRow, error) {
+	suite := workloads.ShortDistanceSuite()
+	const perBench = 3
+	var jobs []runner.Job
+	for _, bm := range suite {
+		jobs = append(jobs,
+			runner.Job{
+				Name:    bm.Name + "/TILT-16",
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 16)),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    bm.Name + "/TILT-32",
+				Backend: tilt.NewTILT(tilt.WithDevice(bm.Qubits(), 32)),
+				Circuit: bm.Circuit,
+			},
+			runner.Job{
+				Name:    bm.Name + "/QCCD",
+				Backend: tilt.NewQCCD(tilt.WithDevice(bm.Qubits(), 16)),
+				Circuit: bm.Circuit,
+			})
+	}
+	results := runner.Run(ctx, jobs)
+	rows := make([]SuiteRow, len(suite))
+	for i, bm := range suite {
+		rows[i] = SuiteRow{
 			Bench:  bm.Name,
 			Qubits: bm.Qubits(),
 			TwoQ:   decompose.TwoQubitGateCount(bm.Circuit),
 		}
-		for _, head := range []int{16, 32} {
-			cfg := StandardConfig(bm.Qubits(), head)
-			_, sr, err := core.Run(bm.Circuit, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("suite %s head %d: %w", bm.Name, head, err)
+		for _, jr := range results[i*perBench : (i+1)*perBench] {
+			if jr.Err != nil {
+				return nil, fmt.Errorf("suite %s: %w", jr.Name, jr.Err)
 			}
-			if head == 16 {
-				row.TILT16Log = sr.LogSuccess
-			} else {
-				row.TILT32Log = sr.LogSuccess
+			switch {
+			case jr.Backend == "QCCD":
+				rows[i].QCCDLog = jr.Result.LogSuccess
+			case jr.Result.TILT.Device.HeadSize == 16:
+				rows[i].TILT16Log = jr.Result.LogSuccess
+			default:
+				rows[i].TILT32Log = jr.Result.LogSuccess
 			}
 		}
-		native := decompose.ToNative(bm.Circuit)
-		best, err := qccd.RunBestCapacity(native, bm.Qubits(), nil, p)
-		if err != nil {
-			return nil, fmt.Errorf("suite %s qccd: %w", bm.Name, err)
-		}
-		row.QCCDLog = best.LogSuccess
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -140,7 +158,7 @@ type RobustnessRow struct {
 // Robustness re-evaluates the Fig. 8 headline orderings with each noise
 // constant halved and doubled — the stability claim EXPERIMENTS.md makes.
 // Only the three benchmarks carrying the §VI-B claims are re-run.
-func Robustness() ([]RobustnessRow, error) {
+func Robustness(ctx context.Context) ([]RobustnessRow, error) {
 	variants := []struct {
 		label string
 		mod   func(*noise.Params)
@@ -165,12 +183,12 @@ func Robustness() ([]RobustnessRow, error) {
 			}
 			cfg := StandardConfig(bm.Qubits(), 16)
 			cfg.Noise = &p
-			_, sr, err := core.Run(bm.Circuit, cfg)
+			_, sr, err := core.Run(ctx, bm.Circuit, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("robustness %s %s: %w", v.label, name, err)
 			}
 			native := decompose.ToNative(bm.Circuit)
-			best, err := qccd.RunBestCapacity(native, bm.Qubits(), nil, p)
+			best, err := qccd.RunBestCapacity(ctx, native, bm.Qubits(), nil, p)
 			if err != nil {
 				return nil, fmt.Errorf("robustness %s %s qccd: %w", v.label, name, err)
 			}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestShortDistanceSuiteTILTWins(t *testing.T) {
-	rows, err := ShortDistanceSuite()
+	rows, err := ShortDistanceSuite(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestAdvantageSummary(t *testing.T) {
 }
 
 func TestAdvantageOnRealFig8(t *testing.T) {
-	rows, err := Fig8()
+	rows, err := Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRobustnessOrderingsHold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("7 noise variants x 3 benchmarks x capacity sweeps")
 	}
-	rows, err := Robustness()
+	rows, err := Robustness(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func compileSmall(t *testing.T, n, head int, bm workloads.Benchmark) (*core.Comp
 		Placement: mapping.ProgramOrderPlacement,
 		Inserter:  swapins.LinQ{},
 	}
-	cr, err := core.Compile(bm.Circuit, cfg)
+	cr, err := core.Compile(context.Background(), bm.Circuit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestCleanProbabilityAgreesWithSimSimulate(t *testing.T) {
 	// for). sim's product includes the same per-gate fidelities.
 	cr, cfg := compileSmall(t, 12, 4, workloads.QFTN(12))
 	p := noise.Default()
-	simRes, err := cr.Simulate(core.Config{Device: cfg.Device, Noise: &p,
+	simRes, err := cr.Simulate(context.Background(), core.Config{Device: cfg.Device, Noise: &p,
 		Placement: cfg.Placement, Inserter: cfg.Inserter})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +134,7 @@ func TestInputValidation(t *testing.T) {
 		t.Error("zero shots should fail")
 	}
 	wide := device.TILT{NumIons: 32, HeadSize: 8}
-	crWide, err := core.Compile(workloads.GHZ(32).Circuit, core.Config{
+	crWide, err := core.Compile(context.Background(), workloads.GHZ(32).Circuit, core.Config{
 		Device: wide, Placement: mapping.ProgramOrderPlacement,
 	})
 	if err != nil {

@@ -16,6 +16,7 @@
 package musiqc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -111,7 +112,7 @@ type Result struct {
 // q/(IonsPerModule-1)), compiles each module's local program with the LinQ
 // pipeline, and charges every cross-module gate as a teleported CNOT.
 // The circuit must be at arity ≤ 2 (run internal/decompose first).
-func Run(c *circuit.Circuit, spec Spec, p noise.Params) (*Result, error) {
+func Run(ctx context.Context, c *circuit.Circuit, spec Spec, p noise.Params) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,7 +181,7 @@ func Run(c *circuit.Circuit, spec Spec, p noise.Params) (*Result, error) {
 			Placement: mapping.ProgramOrderPlacement,
 			Inserter:  swapins.LinQ{},
 		}
-		cr, sr, err := core.Run(lc, cfg)
+		cr, sr, err := core.Run(ctx, lc, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("musiqc: module %d: %w", m, err)
 		}
@@ -204,14 +205,14 @@ func Run(c *circuit.Circuit, spec Spec, p noise.Params) (*Result, error) {
 // Monolithic scores the same circuit on one long TILT chain — the
 // comparison point for the §VII modular-vs-monolithic study. It returns the
 // log success rate.
-func Monolithic(c *circuit.Circuit, ions, head int, p noise.Params) (float64, error) {
+func Monolithic(ctx context.Context, c *circuit.Circuit, ions, head int, p noise.Params) (float64, error) {
 	cfg := core.Config{
 		Device:    device.TILT{NumIons: ions, HeadSize: head},
 		Noise:     &p,
 		Placement: mapping.ProgramOrderPlacement,
 		Inserter:  swapins.LinQ{},
 	}
-	_, sr, err := core.Run(c, cfg)
+	_, sr, err := core.Run(ctx, c, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package musiqc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestLocalCircuitNoCrossGates(t *testing.T) {
 	c.ApplyH(0)
 	c.ApplyCNOT(0, 1)
 	c.ApplyCNOT(2, 3)
-	r, err := Run(c, spec2x9(), noise.Default())
+	r, err := Run(context.Background(), c, spec2x9(), noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestLocalCircuitNoCrossGates(t *testing.T) {
 func TestCrossGateConsumesEPR(t *testing.T) {
 	c := circuit.New(16)
 	c.ApplyCNOT(0, 8) // module 0 -> module 1
-	r, err := Run(c, spec2x9(), noise.Default())
+	r, err := Run(context.Background(), c, spec2x9(), noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestMoreCrossTrafficLowersSuccess(t *testing.T) {
 		return c
 	}
 	p := noise.Default()
-	r1, err := Run(mk(2), spec2x9(), p)
+	r1, err := Run(context.Background(), mk(2), spec2x9(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(mk(10), spec2x9(), p)
+	r2, err := Run(context.Background(), mk(10), spec2x9(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestMoreCrossTrafficLowersSuccess(t *testing.T) {
 
 func TestRejectsWideCircuit(t *testing.T) {
 	c := circuit.New(64)
-	if _, err := Run(c, spec2x9(), noise.Default()); err == nil {
+	if _, err := Run(context.Background(), c, spec2x9(), noise.Default()); err == nil {
 		t.Error("circuit wider than data capacity should fail")
 	}
 }
@@ -120,7 +121,7 @@ func TestRejectsWideCircuit(t *testing.T) {
 func TestRejectsTernaryGate(t *testing.T) {
 	c := circuit.New(16)
 	c.ApplyCCX(0, 1, 8)
-	if _, err := Run(c, spec2x9(), noise.Default()); err == nil {
+	if _, err := Run(context.Background(), c, spec2x9(), noise.Default()); err == nil {
 		t.Error("cross-module arity-3 gate should fail (decompose first)")
 	}
 }
@@ -129,7 +130,7 @@ func TestPerModuleLogsSumToTotal(t *testing.T) {
 	bm := workloads.QAOAN(16, 1, 3)
 	nat := decompose.ToNative(bm.Circuit)
 	spec := spec2x9()
-	r, err := Run(nat, spec, noise.Default())
+	r, err := Run(context.Background(), nat, spec, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestModularVsMonolithicCrossover(t *testing.T) {
 	smallBm := workloads.QAOAN(48, 4, 9)
 	smallNat := decompose.ToNative(smallBm.Circuit)
 	monoSmall := monolithicLog(t, smallNat, 48, 8, p)
-	modSmall, err := Run(smallNat, Spec{Modules: 2, IonsPerModule: 25, HeadSize: 8, Link: DefaultLink()}, p)
+	modSmall, err := Run(context.Background(), smallNat, Spec{Modules: 2, IonsPerModule: 25, HeadSize: 8, Link: DefaultLink()}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestModularVsMonolithicCrossover(t *testing.T) {
 	bigBm := workloads.QAOAN(96, 10, 9)
 	bigNat := decompose.ToNative(bigBm.Circuit)
 	monoBig := monolithicLog(t, bigNat, 96, 8, p)
-	modBig, err := Run(bigNat, Spec{Modules: 2, IonsPerModule: 49, HeadSize: 8, Link: DefaultLink()}, p)
+	modBig, err := Run(context.Background(), bigNat, Spec{Modules: 2, IonsPerModule: 49, HeadSize: 8, Link: DefaultLink()}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestModularVsMonolithicCrossover(t *testing.T) {
 
 func monolithicLog(t *testing.T, c *circuit.Circuit, ions, head int, p noise.Params) float64 {
 	t.Helper()
-	r, err := Monolithic(c, ions, head, p)
+	r, err := Monolithic(context.Background(), c, ions, head, p)
 	if err != nil {
 		t.Fatal(err)
 	}

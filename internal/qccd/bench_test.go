@@ -1,6 +1,7 @@
 package qccd
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/decompose"
@@ -17,7 +18,7 @@ func BenchmarkRunQFT(b *testing.B) {
 	p := noise.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(nat, dev, p); err != nil {
+		if _, err := Run(context.Background(), nat, dev, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -30,7 +31,7 @@ func BenchmarkCapacitySweepQAOA(b *testing.B) {
 	p := noise.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBestCapacity(nat, 64, nil, p); err != nil {
+		if _, err := RunBestCapacity(context.Background(), nat, 64, nil, p); err != nil {
 			b.Fatal(err)
 		}
 	}

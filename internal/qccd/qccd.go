@@ -11,6 +11,7 @@
 package qccd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -19,6 +20,9 @@ import (
 	"repro/internal/device"
 	"repro/internal/noise"
 )
+
+// cancelCheckStride is how many gates run between context checks.
+const cancelCheckStride = 1024
 
 // Timing collects QCCD-specific shuttling durations (µs). The paper's QCCD
 // source models split/merge and segment crossings as fixed-cost primitives.
@@ -113,12 +117,13 @@ type machine struct {
 
 // Run simulates the circuit (arity ≤ 2; run internal/decompose first) on a
 // QCCD device with the given noise parameters and the default model.
-func Run(c *circuit.Circuit, dev device.QCCD, p noise.Params) (*Result, error) {
-	return RunModel(c, dev, p, DefaultModel())
+func Run(ctx context.Context, c *circuit.Circuit, dev device.QCCD, p noise.Params) (*Result, error) {
+	return RunModel(ctx, c, dev, p, DefaultModel())
 }
 
-// RunModel is Run with an explicit QCCD physical model.
-func RunModel(c *circuit.Circuit, dev device.QCCD, p noise.Params, model Model) (*Result, error) {
+// RunModel is Run with an explicit QCCD physical model. Cancellation of ctx
+// is observed between gates.
+func RunModel(ctx context.Context, c *circuit.Circuit, dev device.QCCD, p noise.Params, model Model) (*Result, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,6 +147,11 @@ func RunModel(c *circuit.Circuit, dev device.QCCD, p noise.Params, model Model) 
 	m := newMachine(dev, p, model)
 	m.gates = c.Gates()
 	for i, g := range m.gates {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		switch {
 		case g.Kind == circuit.Measure:
 		case !g.IsTwoQubit():
@@ -430,7 +440,7 @@ func safeLog1p(x float64) float64 {
 // quotes the highest-fidelity QCCD configuration. The sweep points are
 // independent machines, so they run concurrently; ties break toward the
 // smaller capacity for determinism.
-func RunBestCapacity(c *circuit.Circuit, numQubits int, caps []int, p noise.Params) (*Result, error) {
+func RunBestCapacity(ctx context.Context, c *circuit.Circuit, numQubits int, caps []int, p noise.Params) (*Result, error) {
 	if len(caps) == 0 {
 		for cap := 15; cap <= 35; cap += 2 {
 			caps = append(caps, cap)
@@ -443,7 +453,7 @@ func RunBestCapacity(c *circuit.Circuit, numQubits int, caps []int, p noise.Para
 		wg.Add(1)
 		go func(i, capacity int) {
 			defer wg.Done()
-			r, err := Run(c, device.QCCD{NumQubits: numQubits, Capacity: capacity}, p)
+			r, err := Run(ctx, c, device.QCCD{NumQubits: numQubits, Capacity: capacity}, p)
 			results[i], errs[i] = r, err
 		}(i, capacity)
 	}
@@ -490,7 +500,7 @@ func (m *machine) invariant() error {
 
 // RunChecked is Run with the structural invariant re-verified after every
 // gate — slower, used by tests and debugging.
-func RunChecked(c *circuit.Circuit, dev device.QCCD, p noise.Params) (*Result, error) {
+func RunChecked(ctx context.Context, c *circuit.Circuit, dev device.QCCD, p noise.Params) (*Result, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -507,6 +517,9 @@ func RunChecked(c *circuit.Circuit, dev device.QCCD, p noise.Params) (*Result, e
 		return nil, err
 	}
 	for i, g := range m.gates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch {
 		case g.Kind == circuit.Measure:
 		case len(g.Qubits) > 2:

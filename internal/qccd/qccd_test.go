@@ -1,6 +1,7 @@
 package qccd
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestSameTrapGateNeedsNoShuttle(t *testing.T) {
 	p := noise.Default()
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 0, 3)
-	r, err := RunChecked(c, dev, p)
+	r, err := RunChecked(context.Background(), c, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestCrossTrapGateShuttles(t *testing.T) {
 	p := noise.Default()
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 0, 7)
-	r, err := RunChecked(c, dev, p)
+	r, err := RunChecked(context.Background(), c, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestShuttledQubitStays(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 0, 7)
 	c.ApplyXX(math.Pi/4, 0, 7)
-	r, err := RunChecked(c, dev, noise.Default())
+	r, err := RunChecked(context.Background(), c, dev, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestHeatingAccumulatesPerTrap(t *testing.T) {
 	// then compare a gate in trap 2 (cold) to one in trap 1 (hot).
 	c.ApplyXX(math.Pi/4, 0, 5) // shuttles 0 into trap 1
 	c.ApplyXX(math.Pi/4, 0, 1) // shuttles 0 back (or 1 over); heats more
-	r, err := RunChecked(c, dev, p)
+	r, err := RunChecked(context.Background(), c, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestEdgeSwapsCounted(t *testing.T) {
 	dev := device.QCCD{NumQubits: 8, Capacity: 5}
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 2, 7)
-	r, err := RunChecked(c, dev, noise.Default())
+	r, err := RunChecked(context.Background(), c, dev, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRebalanceWhenDestinationFull(t *testing.T) {
 	c.ApplyXX(math.Pi/4, 1, 8) // 8 -> trap 0: eviction required
 	c.ApplyXX(math.Pi/4, 2, 8)
 	c.ApplyXX(math.Pi/4, 3, 8)
-	r, err := RunChecked(c, dev, noise.Default())
+	r, err := RunChecked(context.Background(), c, dev, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,21 +130,21 @@ func TestRebalanceWhenDestinationFull(t *testing.T) {
 func TestRunRejectsBadInput(t *testing.T) {
 	dev := device.QCCD{NumQubits: 4, Capacity: 5}
 	wide := circuit.New(8)
-	if _, err := Run(wide, dev, noise.Default()); err == nil {
+	if _, err := Run(context.Background(), wide, dev, noise.Default()); err == nil {
 		t.Error("wide circuit should fail")
 	}
 	ccx := circuit.New(4)
 	ccx.ApplyCCX(0, 1, 2)
-	if _, err := Run(ccx, dev, noise.Default()); err == nil {
+	if _, err := Run(context.Background(), ccx, dev, noise.Default()); err == nil {
 		t.Error("arity-3 gate should fail")
 	}
 	bad := noise.Default()
 	bad.Gamma = -1
 	c := circuit.New(4)
-	if _, err := Run(c, dev, bad); err == nil {
+	if _, err := Run(context.Background(), c, dev, bad); err == nil {
 		t.Error("bad noise params should fail")
 	}
-	if _, err := Run(c, device.QCCD{NumQubits: 4, Capacity: 1}, noise.Default()); err == nil {
+	if _, err := Run(context.Background(), c, device.QCCD{NumQubits: 4, Capacity: 1}, noise.Default()); err == nil {
 		t.Error("bad device should fail")
 	}
 }
@@ -151,12 +152,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 func TestRunBestCapacityPicksBest(t *testing.T) {
 	bm := workloads.QAOAN(24, 2, 7)
 	nat := decompose.ToNative(bm.Circuit)
-	best, err := RunBestCapacity(nat, 24, []int{5, 15, 25}, noise.Default())
+	best, err := RunBestCapacity(context.Background(), nat, 24, []int{5, 15, 25}, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, capacity := range []int{5, 15, 25} {
-		r, err := Run(nat, device.QCCD{NumQubits: 24, Capacity: capacity}, noise.Default())
+		r, err := Run(context.Background(), nat, device.QCCD{NumQubits: 24, Capacity: capacity}, noise.Default())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestRunBestCapacityPicksBest(t *testing.T) {
 func TestRunBestCapacityDefaultSweep(t *testing.T) {
 	bm := workloads.GHZ(20)
 	nat := decompose.ToNative(bm.Circuit)
-	best, err := RunBestCapacity(nat, 20, nil, noise.Default())
+	best, err := RunBestCapacity(context.Background(), nat, 20, nil, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestPropertyStructuralInvariants(t *testing.T) {
 		capacity := 3 + int(capRaw)%8
 		bm := workloads.Random(n, 20, seed)
 		nat := decompose.ToNative(bm.Circuit)
-		r, err := RunChecked(nat, device.QCCD{NumQubits: n, Capacity: capacity}, noise.Default())
+		r, err := RunChecked(context.Background(), nat, device.QCCD{NumQubits: n, Capacity: capacity}, noise.Default())
 		if err != nil {
 			return false
 		}
@@ -202,7 +203,7 @@ func TestOneQubitGateCensus(t *testing.T) {
 	c := circuit.New(4)
 	c.ApplyRX(0.5, 0)
 	c.ApplyRZ(0.5, 1)
-	r, err := Run(c, dev, noise.Default())
+	r, err := Run(context.Background(), c, dev, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,10 @@ import (
 	"repro/internal/noise"
 	"repro/internal/schedule"
 )
+
+// cancelCheckStride is how many schedule steps / gates run between context
+// checks; a power of two so the check compiles to a mask.
+const cancelCheckStride = 1024
 
 // Result reports the simulated metrics of one compiled program.
 type Result struct {
@@ -46,8 +51,8 @@ type Result struct {
 }
 
 // Simulate evaluates the scheduled circuit on a TILT device under the given
-// noise parameters.
-func Simulate(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params) (*Result, error) {
+// noise parameters. Cancellation of ctx is observed between schedule steps.
+func Simulate(ctx context.Context, c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,7 +77,12 @@ func Simulate(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p n
 	prevPos := -1
 	movesSoFar := 0
 
-	for _, st := range sched.Steps {
+	for si, st := range sched.Steps {
+		if si%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// The move to this placement: a global barrier.
 		if prevPos >= 0 {
 			span := st.Pos - prevPos
@@ -172,7 +182,8 @@ func safeLog1p(x float64) float64 {
 // SimulateIdeal evaluates the circuit on an ideal fully connected trapped-
 // ion device (paper §VI-B "Ideal TI"): no swaps, no moves, Eq. 4 with zero
 // quanta, gate distances given directly by qubit separation on the chain.
-func SimulateIdeal(c *circuit.Circuit, dev device.IdealTI, p noise.Params) (*Result, error) {
+// Cancellation of ctx is observed between gates.
+func SimulateIdeal(ctx context.Context, c *circuit.Circuit, dev device.IdealTI, p noise.Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,7 +200,12 @@ func SimulateIdeal(c *circuit.Circuit, dev device.IdealTI, p noise.Params) (*Res
 	var fidN int
 	avail := make([]float64, dev.NumIons)
 
-	for _, g := range c.Gates() {
+	for gi, g := range c.Gates() {
+		if gi%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		switch {
 		case g.Kind == circuit.Measure:
 		case !g.IsTwoQubit():

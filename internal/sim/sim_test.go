@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -33,7 +34,7 @@ func TestSingleGateFidelityMatchesEq4(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 0, 3)
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSwapCostsThreeTwoQubitGates(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplySWAP(0, 2)
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestLaterMovesDegradeFidelity(t *testing.T) {
 	c.ApplyXX(math.Pi/4, 0, 1)
 	c.ApplyXX(math.Pi/4, 30, 31)
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,12 +104,12 @@ func TestCoolingIntervalRestoresFidelity(t *testing.T) {
 	bm := workloads.QFTN(16)
 	p := noise.Default()
 	phys, sched := compile(t, decomposed(bm.Circuit), dev)
-	base, err := Simulate(phys, sched, dev, p)
+	base, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.CoolingInterval = 1
-	cooled, err := Simulate(phys, sched, dev, p)
+	cooled, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestOneQubitGatesUseConstantError(t *testing.T) {
 		c.ApplyRX(0.1, i)
 	}
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestExecTimeIncludesMovesAndGates(t *testing.T) {
 	c.ApplyXX(math.Pi/4, 0, 1)
 	c.ApplyXX(math.Pi/4, 30, 31)
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestParallelGatesShareWallClock(t *testing.T) {
 	c.ApplyXX(math.Pi/4, 0, 1)
 	c.ApplyXX(math.Pi/4, 2, 3)
 	phys, sched := compile(t, c, dev)
-	res, err := Simulate(phys, sched, dev, p)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestLogSuccessStaysFiniteOnDeepCircuits(t *testing.T) {
 	dev := device.TILT{NumIons: 24, HeadSize: 8}
 	bm := workloads.QFTN(24)
 	phys, sched := compile(t, decomposed(bm.Circuit), dev)
-	res, err := Simulate(phys, sched, dev, noise.Default())
+	res, err := Simulate(context.Background(), phys, sched, dev, noise.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSimulateRejectsBadInput(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyH(0)
 	sched := &schedule.Schedule{} // empty: misses the gate
-	if _, err := Simulate(c, sched, dev, noise.Default()); err == nil {
+	if _, err := Simulate(context.Background(), c, sched, dev, noise.Default()); err == nil {
 		t.Error("schedule missing gates should be rejected")
 	}
 	good, err := schedule.Tape(c, dev)
@@ -202,7 +203,7 @@ func TestSimulateRejectsBadInput(t *testing.T) {
 	}
 	bad := noise.Default()
 	bad.Gamma = -1
-	if _, err := Simulate(c, good, dev, bad); err == nil {
+	if _, err := Simulate(context.Background(), c, good, dev, bad); err == nil {
 		t.Error("invalid noise params should be rejected")
 	}
 }
@@ -212,7 +213,7 @@ func TestSimulateIdealNoHeating(t *testing.T) {
 	dev := device.IdealTI{NumIons: 8}
 	c := circuit.New(8)
 	c.ApplyXX(math.Pi/4, 0, 7)
-	res, err := SimulateIdeal(c, dev, p)
+	res, err := SimulateIdeal(context.Background(), c, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,11 +232,11 @@ func TestIdealBeatsTILT(t *testing.T) {
 	dev := device.TILT{NumIons: 16, HeadSize: 4}
 	p := noise.Default()
 	phys, sched := compile(t, c, dev)
-	tilt, err := Simulate(phys, sched, dev, p)
+	tilt, err := Simulate(context.Background(), phys, sched, dev, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ideal, err := SimulateIdeal(c, device.IdealTI{NumIons: 16}, p)
+	ideal, err := SimulateIdeal(context.Background(), c, device.IdealTI{NumIons: 16}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestPropertySuccessRateInUnitInterval(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Simulate(r.Physical, s, dev, noise.Default())
+		res, err := Simulate(context.Background(), r.Physical, s, dev, noise.Default())
 		if err != nil {
 			return false
 		}

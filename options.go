@@ -1,0 +1,125 @@
+package tilt
+
+import (
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/swapins"
+)
+
+// Inserter is a swap-insertion strategy. Use LinQInserter (the paper's
+// Algorithm 1) or StochasticInserter (the §VI-A randomized baseline).
+type Inserter = swapins.Inserter
+
+// Placement selects the initial-mapping heuristic.
+type Placement = mapping.Strategy
+
+// The initial-placement strategies.
+const (
+	IdentityPlacement     = mapping.IdentityPlacement
+	GreedyPlacement       = mapping.GreedyPlacement
+	ProgramOrderPlacement = mapping.ProgramOrderPlacement
+)
+
+// LinQInserter returns the paper's Algorithm 1 swap inserter with opposing
+// swaps — the default.
+func LinQInserter() Inserter { return swapins.LinQ{} }
+
+// StochasticInserter returns the §VI-A baseline inserter
+// (Qiskit-StochasticSwap-style randomized routing).
+func StochasticInserter(trials int, seed int64) Inserter {
+	return swapins.Stochastic{Trials: trials, Seed: seed}
+}
+
+// config carries every knob a backend constructor accepts. The zero value of
+// each unset field resolves to the paper default at Compile time.
+type config struct {
+	core core.Config
+	// capacities overrides the QCCD capacity sweep (nil = paper's 15–35).
+	capacities []int
+}
+
+// Option configures a backend. Options are shared across backends; each
+// backend reads the fields that apply to it (a TILT backend ignores
+// WithCapacities, the QCCD backend ignores WithInserter, and so on).
+type Option func(*config)
+
+// newConfig applies the options over the paper-default configuration.
+func newConfig(opts []Option) config {
+	cfg := config{
+		core: core.Config{
+			Device:    Device{HeadSize: 16},
+			Placement: mapping.ProgramOrderPlacement,
+			Inserter:  swapins.LinQ{},
+		},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// resolved fills circuit-dependent defaults: a zero chain length targets a
+// chain exactly as long as the circuit is wide.
+func (c config) resolved(circ *Circuit) config {
+	if c.core.Device.NumIons == 0 {
+		c.core.Device.NumIons = circ.NumQubits()
+	}
+	return c
+}
+
+// WithDevice targets a numIons-long chain under a headSize-laser execution
+// zone. A zero numIons matches each circuit's width at Compile time. The
+// QCCD and IdealTI backends use numIons as the device's qubit count and
+// ignore headSize.
+func WithDevice(numIons, headSize int) Option {
+	return func(c *config) {
+		c.core.Device = Device{NumIons: numIons, HeadSize: headSize}
+	}
+}
+
+// WithNoise overrides the Eq. 3–5 noise and timing constants (default:
+// DefaultNoise).
+func WithNoise(p NoiseParams) Option {
+	return func(c *config) { c.core.Noise = &p }
+}
+
+// WithInserter selects the swap-insertion strategy (default: LinQInserter).
+func WithInserter(ins Inserter) Option {
+	return func(c *config) { c.core.Inserter = ins }
+}
+
+// WithSwapOptions tunes swap insertion: MaxSwapLen, the Eq. 1 lookahead
+// discount Alpha, and the lookahead window.
+func WithSwapOptions(o SwapOptions) Option {
+	return func(c *config) { c.core.Swap = o }
+}
+
+// WithMaxSwapLen bounds the span of inserted SWAPs (the Fig. 7 parameter);
+// 0 means HeadSize−1.
+func WithMaxSwapLen(l int) Option {
+	return func(c *config) { c.core.Swap.MaxSwapLen = l }
+}
+
+// WithPlacement selects the initial-mapping heuristic (default:
+// ProgramOrderPlacement).
+func WithPlacement(s Placement) Option {
+	return func(c *config) { c.core.Placement = s }
+}
+
+// WithOptimize enables the peephole optimizer on the native circuit before
+// swap insertion (rotation merging, self-inverse cancellation).
+func WithOptimize() Option {
+	return func(c *config) { c.core.Optimize = true }
+}
+
+// WithCapacities pins the QCCD backend's trap-capacity sweep to an explicit
+// list instead of the paper's 15–35 range.
+func WithCapacities(caps ...int) Option {
+	return func(c *config) { c.capacities = caps }
+}
+
+// WithConfig replaces the whole compiler configuration — the escape hatch
+// for callers migrating from the legacy Options struct.
+func WithConfig(cfg Options) Option {
+	return func(c *config) { c.core = cfg }
+}

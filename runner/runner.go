@@ -1,0 +1,129 @@
+// Package runner is the concurrent batch executor over the tilt.Backend
+// API: it fans circuit × backend jobs across a bounded worker pool, so
+// architecture sweeps, parameter studies, and service endpoints drive many
+// compile+simulate pipelines at once without re-implementing the plumbing.
+//
+//	jobs := []runner.Job{
+//		{Name: "QFT/TILT-16", Backend: tilt.NewTILT(tilt.WithDevice(64, 16)), Circuit: qft},
+//		{Name: "QFT/QCCD", Backend: tilt.NewQCCD(tilt.WithDevice(64, 0)), Circuit: qft},
+//	}
+//	results := runner.Run(ctx, jobs, runner.WithWorkers(8))
+//
+// Results come back in job order regardless of completion order. Cancelling
+// the context stops jobs that have not started and interrupts the ones in
+// flight (the Backend implementations check the context during compilation
+// and simulation); every affected JobResult carries the context's error.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	tilt "repro"
+)
+
+// Job is one unit of batch work: a circuit to run on a backend.
+type Job struct {
+	// Name labels the job in results and logs (free-form, may be empty).
+	Name string
+	// Backend executes the job.
+	Backend tilt.Backend
+	// Circuit is the logical circuit to compile and simulate.
+	Circuit *tilt.Circuit
+}
+
+// JobResult is the outcome of one Job. Exactly one of Result/Err is set.
+type JobResult struct {
+	// Name and Index echo the submitted job and its position in the batch.
+	Name  string
+	Index int
+	// Backend is the backend's Name.
+	Backend string
+	// Artifact is the compiled program (nil if compilation failed).
+	Artifact *tilt.Artifact
+	// Result is the simulated outcome (nil on error).
+	Result *tilt.Result
+	// Err is the job's failure, including ctx.Err() for jobs cancelled
+	// before or during execution.
+	Err error
+	// Elapsed is the job's wall-clock compile+simulate time (zero for
+	// jobs that never started).
+	Elapsed time.Duration
+}
+
+// options carries the Run knobs.
+type options struct {
+	workers int
+}
+
+// Option configures a batch run.
+type Option func(*options)
+
+// WithWorkers bounds the number of jobs in flight at once (default:
+// GOMAXPROCS). Values below 1 are treated as 1.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Run executes the jobs on a bounded worker pool and returns one JobResult
+// per job, in job order. It never returns early: cancelled and failed jobs
+// report through their JobResult.Err, so a batch is always fully accounted
+// for.
+func Run(ctx context.Context, jobs []Job, opts ...Option) []JobResult {
+	o := options{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	if o.workers > len(jobs) {
+		o.workers = len(jobs)
+	}
+
+	results := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			idx <- i
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(ctx, i, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job, honoring cancellation before it starts.
+func runOne(ctx context.Context, i int, j Job) JobResult {
+	res := JobResult{Name: j.Name, Index: i, Backend: j.Backend.Name()}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	a, err := j.Backend.Compile(ctx, j.Circuit)
+	if err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	res.Artifact = a
+	r, err := j.Backend.Simulate(ctx, a)
+	res.Result = r
+	res.Err = err
+	res.Elapsed = time.Since(start)
+	return res
+}

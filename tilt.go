@@ -3,20 +3,31 @@
 // computing architecture (Wu et al., HPCA 2021), together with the QCCD and
 // ideal trapped-ion baselines it is evaluated against.
 //
+// Every architecture is a Backend: Compile lowers a circuit to an Artifact,
+// Simulate scores it, and both take a context so long jobs are cancellable.
 // The typical flow mirrors the paper's Fig. 4 toolflow:
 //
-//	bench := tilt.BenchmarkQFT()                   // or build a Circuit by hand
-//	opts := tilt.DefaultOptions(64, 16)            // 64-ion chain, 16-laser head
-//	compiled, metrics, err := tilt.Run(bench.Circuit, opts)
-//	fmt.Println(metrics.SuccessRate, compiled.Moves())
+//	bench := tilt.BenchmarkQFT()                  // or build a Circuit by hand
+//	be := tilt.NewTILT(tilt.WithDevice(64, 16))   // 64-ion chain, 16-laser head
+//	res, err := tilt.Execute(ctx, be, bench.Circuit)
+//	fmt.Println(res.SuccessRate, res.TILT.Moves)
 //
-// Compile lowers the circuit to the trapped-ion native gate set
+// NewQCCD and NewIdealTI build the paper's two comparison architectures
+// behind the same interface, and the repro/runner package fans circuit ×
+// backend batches across a bounded worker pool.
+//
+// For TILT, Compile lowers the circuit to the trapped-ion native gate set
 // {RX, RY, RZ, XX}, places qubits, inserts SWAPs (Algorithm 1, with opposing
 // swaps), and schedules tape movements (Algorithm 2); Simulate applies the
 // Eq. 3–5 noise and timing models.
+//
+// The pre-Backend entry points (Run, RunIdeal, RunQCCD, the Options struct)
+// remain as deprecated wrappers.
 package tilt
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decompose"
@@ -50,12 +61,20 @@ type NoiseParams = noise.Params
 type CompileResult = core.CompileResult
 
 // Metrics reports simulated success rate, execution time, and gate census.
+//
+// Deprecated: the Backend API returns the unified Result type instead.
 type Metrics = sim.Result
 
 // QCCDResult reports the QCCD baseline's simulated metrics.
+//
+// Deprecated: the Backend API returns the unified Result type instead.
 type QCCDResult = qccd.Result
 
 // Options configures compilation and simulation.
+//
+// Deprecated: construct backends with NewTILT/NewQCCD/NewIdealTI and the
+// With* functional options; use WithConfig to carry over an existing
+// Options value.
 type Options = core.Config
 
 // SwapOptions tunes swap insertion: MaxSwapLen, Alpha (the Eq. 1 lookahead
@@ -74,6 +93,8 @@ func DefaultNoise() NoiseParams { return noise.Default() }
 // DefaultOptions returns the standard configuration used throughout the
 // paper reproduction: a TILT device with the given chain length and head
 // size, program-order placement, the LinQ inserter, and default noise.
+//
+// Deprecated: use NewTILT(WithDevice(numIons, headSize)).
 func DefaultOptions(numIons, headSize int) Options {
 	return Options{
 		Device:    Device{NumIons: numIons, HeadSize: headSize},
@@ -84,6 +105,9 @@ func DefaultOptions(numIons, headSize int) Options {
 
 // BaselineOptions is DefaultOptions with the paper's §VI-A baseline swap
 // inserter (Qiskit-StochasticSwap-style randomized routing).
+//
+// Deprecated: use NewTILT(WithDevice(numIons, headSize),
+// WithInserter(StochasticInserter(8, seed))).
 func BaselineOptions(numIons, headSize int, seed int64) Options {
 	o := DefaultOptions(numIons, headSize)
 	o.Inserter = swapins.Stochastic{Trials: 8, Seed: seed}
@@ -92,34 +116,45 @@ func BaselineOptions(numIons, headSize int, seed int64) Options {
 
 // Compile runs the LinQ pipeline: decompose → place → insert swaps →
 // schedule tape moves.
+//
+// Deprecated: use NewTILT(WithConfig(opts)).Compile(ctx, c).
 func Compile(c *Circuit, opts Options) (*CompileResult, error) {
-	return core.Compile(c, opts)
+	return core.Compile(context.Background(), c, opts)
 }
 
 // Run compiles and simulates in one call.
+//
+// Deprecated: use Execute(ctx, NewTILT(WithConfig(opts)), c).
 func Run(c *Circuit, opts Options) (*CompileResult, *Metrics, error) {
-	return core.Run(c, opts)
+	return core.Run(context.Background(), c, opts)
 }
 
 // RunIdeal simulates the circuit on an ideal fully connected trapped-ion
 // device of the same chain length (no swaps, no tape moves).
+//
+// Deprecated: use Execute(ctx, NewIdealTI(WithConfig(opts)), c).
 func RunIdeal(c *Circuit, opts Options) (*Metrics, error) {
-	return core.RunIdeal(c, opts)
+	return core.RunIdeal(context.Background(), c, opts)
 }
 
 // RunQCCD simulates the circuit on the QCCD baseline, sweeping trap
 // capacities over the paper's 15–35 range and returning the best result.
 // Pass an explicit capacity list to override the sweep.
+//
+// Deprecated: use Execute(ctx, NewQCCD(WithConfig(opts),
+// WithCapacities(capacities...)), c).
 func RunQCCD(c *Circuit, opts Options, capacities ...int) (*QCCDResult, error) {
 	native := decompose.ToNative(c)
-	return qccd.RunBestCapacity(native, opts.Device.NumIons, capacities, opts.NoiseParams())
+	return qccd.RunBestCapacity(context.Background(), native, opts.Device.NumIons, capacities, opts.NoiseParams())
 }
 
 // AutoTune compiles the circuit at each candidate MaxSwapLen (default:
 // HeadSize−1 down to HeadSize/2) and returns the trials plus the index of
 // the best by success rate — the paper's §IV-C parameter search.
+//
+// Deprecated: use NewTILT(WithConfig(opts)).AutoTune(ctx, c, candidates).
 func AutoTune(c *Circuit, opts Options, candidates []int) ([]TuneResult, int, error) {
-	return core.AutoTune(c, opts, candidates)
+	return core.AutoTune(context.Background(), c, opts, candidates)
 }
 
 // TwoQubitGateCount returns the circuit's two-qubit gate count at the CNOT
