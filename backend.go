@@ -3,11 +3,13 @@ package tilt
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/device"
+	"repro/internal/mc"
 	"repro/internal/optimize"
 	"repro/internal/qccd"
 	"repro/internal/sim"
@@ -51,6 +53,17 @@ type Artifact struct {
 	// cfg is the resolved configuration the artifact was compiled under;
 	// Simulate reuses it so device width and noise stay consistent.
 	cfg config
+
+	// mcOnce/mcEngine cache the Monte-Carlo engine (flattened event
+	// stream + ideal state) and mcStats the finished estimates: (shots,
+	// seed) are fixed per backend, so repeated Simulate calls on one
+	// artifact neither recompile the schedule nor rerun the batch.
+	// (Sweeps over shots or seeds build an mc.Engine directly.)
+	mcOnce   sync.Once
+	mcEngine *mc.Engine
+	mcErr    error
+	mcMu     sync.Mutex
+	mcStats  *MCStats
 }
 
 // Result is the unified metrics type every backend returns: success rate,
@@ -78,6 +91,31 @@ type Result struct {
 	TILT *TILTStats
 	// QCCD carries trap-architecture statistics (QCCD backend only).
 	QCCD *QCCDStats
+	// MC carries Monte-Carlo cross-check estimates (TILT backend only,
+	// and only when the backend was built WithShots).
+	MC *MCStats
+}
+
+// MCStats reports the Monte-Carlo error-injection estimates of one simulated
+// artifact. CleanProbability is the fraction of trajectory shots with zero
+// error events; its expectation equals the analytic SuccessRate, so the two
+// agreeing within a few CleanStderr cross-validates the whole schedule→error
+// bookkeeping. StateFidelity (chains of ≤16 ions only; see HasStateFidelity)
+// injects random Paulis on error events and measures |<ψ_ideal|ψ_noisy>|² on
+// the statevector simulator. Estimates are deterministic for a fixed
+// (Shots, Seed) and bit-identical across worker counts.
+type MCStats struct {
+	Shots int
+	Seed  int64
+	// CleanProbability ± CleanStderr; the uncertainty is the z = 1 Wilson
+	// score half-width, strictly positive on finite shots.
+	CleanProbability float64
+	CleanStderr      float64
+	// StateFidelity ± StateFidelityStderr (unbiased sample standard error
+	// of the mean); valid only when HasStateFidelity is set.
+	StateFidelity       float64
+	StateFidelityStderr float64
+	HasStateFidelity    bool
 }
 
 // TILTStats reports the TILT backend's compile and shuttle statistics
@@ -179,6 +217,13 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 		return nil, err
 	}
 	res := resultFromSim(b.Name(), sr)
+	if a.cfg.shots > 0 {
+		mcStats, err := runMC(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		res.MC = mcStats
+	}
 	res.TILT = &TILTStats{
 		Device:        a.cfg.core.Device,
 		SwapCount:     a.Compile.SwapCount,
@@ -191,6 +236,48 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 		OptStats:      a.Compile.OptStats,
 	}
 	return res, nil
+}
+
+// runMC runs the Monte-Carlo cross-check over a compiled TILT artifact: the
+// clean-trajectory probability always, and the statevector fidelity estimate
+// when the chain fits the dense simulator.
+func runMC(ctx context.Context, a *Artifact) (*MCStats, error) {
+	a.mcMu.Lock()
+	cached := a.mcStats
+	a.mcMu.Unlock()
+	if cached != nil {
+		out := *cached // copy so callers can't alias each other's Result
+		return &out, nil
+	}
+
+	a.mcOnce.Do(func() {
+		a.mcEngine, a.mcErr = mc.NewEngine(a.Compile.Physical, a.Compile.Schedule,
+			a.cfg.core.Device, a.cfg.core.NoiseParams(), mc.WithWorkers(a.cfg.mcWorkers))
+	})
+	if a.mcErr != nil {
+		return nil, a.mcErr
+	}
+	eng := a.mcEngine
+	stats := &MCStats{Shots: a.cfg.shots, Seed: a.cfg.seed}
+	var err error
+	stats.CleanProbability, stats.CleanStderr, err = eng.CleanProbability(ctx, a.cfg.shots, a.cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	if a.cfg.core.Device.NumIons <= mc.MaxStateFidelityIons {
+		stats.StateFidelity, stats.StateFidelityStderr, err = eng.StateFidelity(ctx, a.cfg.shots, a.cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		stats.HasStateFidelity = true
+	}
+	// Concurrent first calls may both compute; estimates are bit-identical,
+	// so last-write-wins is safe. Errors (cancellation) are never cached.
+	a.mcMu.Lock()
+	a.mcStats = stats
+	a.mcMu.Unlock()
+	out := *stats
+	return &out, nil
 }
 
 // AutoTune compiles the circuit at each candidate MaxSwapLen (default:

@@ -2,8 +2,10 @@ package tilt_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	tilt "repro"
 )
@@ -209,5 +211,120 @@ func TestWithOptimizeOption(t *testing.T) {
 	}
 	if res.TILT.OptStats.Total() == 0 {
 		t.Error("WithOptimize did not engage the peephole optimizer")
+	}
+}
+
+func TestWithShotsPopulatesMCStats(t *testing.T) {
+	ctx := context.Background()
+	bench := tilt.GHZ(10)
+	be := tilt.NewTILT(tilt.WithDevice(10, 4), tilt.WithShots(500), tilt.WithSeed(3))
+	res, err := tilt.Execute(ctx, be, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := res.MC
+	if mc == nil {
+		t.Fatal("WithShots(500) should populate Result.MC")
+	}
+	if mc.Shots != 500 || mc.Seed != 3 {
+		t.Errorf("MC echoes Shots=%d Seed=%d, want 500/3", mc.Shots, mc.Seed)
+	}
+	// The clean-trajectory estimate validates the analytic success rate.
+	if d := math.Abs(mc.CleanProbability - res.SuccessRate); d > 5*mc.CleanStderr+1e-9 {
+		t.Errorf("MC clean %g ± %g vs analytic %g: off by %g",
+			mc.CleanProbability, mc.CleanStderr, res.SuccessRate, d)
+	}
+	if mc.CleanStderr <= 0 {
+		t.Errorf("CleanStderr = %g, want > 0", mc.CleanStderr)
+	}
+	// 10 ions fit the statevector simulator.
+	if !mc.HasStateFidelity {
+		t.Fatal("10-ion chain should report a state-fidelity estimate")
+	}
+	if mc.StateFidelity <= 0 || mc.StateFidelity > 1 {
+		t.Errorf("StateFidelity = %g outside (0,1]", mc.StateFidelity)
+	}
+
+	// Without WithShots, Monte Carlo stays off.
+	plain, err := tilt.Execute(ctx, tilt.NewTILT(tilt.WithDevice(10, 4)), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MC != nil {
+		t.Error("Result.MC should be nil without WithShots")
+	}
+}
+
+func TestWithShotsDeterministicAcrossMCWorkers(t *testing.T) {
+	ctx := context.Background()
+	bench := tilt.GHZ(12)
+	var ref *tilt.MCStats
+	for i, workers := range []int{1, 4} {
+		be := tilt.NewTILT(tilt.WithDevice(12, 4), tilt.WithShots(600),
+			tilt.WithSeed(11), tilt.WithMCWorkers(workers))
+		res, err := tilt.Execute(ctx, be, bench.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MC == nil {
+			t.Fatal("missing MC stats")
+		}
+		if i == 0 {
+			ref = res.MC
+			continue
+		}
+		if *res.MC != *ref {
+			t.Errorf("MC stats differ across worker counts: %+v vs %+v", *res.MC, *ref)
+		}
+	}
+}
+
+func TestWithShotsHonorsCancellation(t *testing.T) {
+	// Cancel while the MC batch is in flight: the analytic sim.Simulate
+	// step finishes in microseconds, so a prompt error from Simulate can
+	// only come from the backend threading ctx into the MC engine.
+	bench := tilt.GHZ(12)
+	be := tilt.NewTILT(tilt.WithDevice(12, 4), tilt.WithShots(2_000_000_000))
+	art, err := be.Compile(context.Background(), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	defer cancel()
+	start := time.Now()
+	_, err = be.Simulate(ctx, art)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Simulate err = %v, want context.Canceled from the MC batch", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("Simulate took %v after cancellation; MC batch not abandoned promptly", elapsed)
+	}
+}
+
+func TestRepeatSimulateReusesMCStats(t *testing.T) {
+	ctx := context.Background()
+	bench := tilt.GHZ(10)
+	be := tilt.NewTILT(tilt.WithDevice(10, 4), tilt.WithShots(300), tilt.WithSeed(5))
+	art, err := be.Compile(ctx, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := be.Simulate(ctx, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := be.Simulate(ctx, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first.MC != *second.MC {
+		t.Errorf("repeat Simulate changed MC stats: %+v vs %+v", *first.MC, *second.MC)
+	}
+	if first.MC == second.MC {
+		t.Error("results should not alias one MCStats value")
 	}
 }

@@ -30,13 +30,16 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "regenerate Fig. 8")
 		table3     = flag.Bool("table3", false, "regenerate Table III")
 		extensions = flag.Bool("extensions", false, "run the §VII extension studies and ablations")
+		mcCheck    = flag.Bool("mc", false, "run the Monte-Carlo cross-validation of the analytic model")
+		mcShots    = flag.Int("mc-shots", 4000, "Monte-Carlo shots per benchmark")
+		mcSeed     = flag.Int64("mc-seed", 1, "Monte-Carlo RNG seed")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions
+	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions && !*mcCheck
 
 	if all || *table2 {
 		fmt.Println(experiments.FormatTable2(experiments.Table2()))
@@ -68,6 +71,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.FormatTable3(rows))
+	}
+	if all || *mcCheck {
+		rows, err := experiments.MCValidation(ctx, *mcShots, *mcSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatMC(rows))
 	}
 	if all || *extensions {
 		runExtensions(ctx)

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestMCValidationAgreesWithAnalytic(t *testing.T) {
+	rows, err := MCValidation(context.Background(), 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// The MC clean fraction estimates the analytic product: a >5σ
+		// discrepancy means the two error accountings diverged.
+		if r.Sigma > 5 {
+			t.Errorf("%s: MC %g ± %g vs analytic %g — %g sigma apart",
+				r.Name, r.Clean, r.CleanErr, r.Analytic, r.Sigma)
+		}
+		if r.CleanErr <= 0 {
+			t.Errorf("%s: stderr %g, want > 0 (Wilson half-width)", r.Name, r.CleanErr)
+		}
+		// 12-ion chains fit the statevector simulator, so the fidelity
+		// estimate must be present and at least the clean probability.
+		if r.Fidelity < r.Clean-4*r.FidelityErr-1e-9 {
+			t.Errorf("%s: fidelity %g below clean probability %g", r.Name, r.Fidelity, r.Clean)
+		}
+		if r.Fidelity <= 0 || r.Fidelity > 1 {
+			t.Errorf("%s: fidelity %g outside (0,1]", r.Name, r.Fidelity)
+		}
+	}
+	out := FormatMC(rows)
+	if !strings.Contains(out, "sigma") || !strings.Contains(out, "QFT") {
+		t.Errorf("FormatMC malformed:\n%s", out)
+	}
+}
+
+func TestMCValidationDeterministic(t *testing.T) {
+	// 300 shots spans two RNG shards, so the pool genuinely fans out.
+	a, err := MCValidation(context.Background(), 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MCValidation(context.Background(), 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -16,12 +16,23 @@
 //     on the statevector simulator (practical up to ~16 qubits). This treats
 //     the Eq. 4 error as a depolarizing channel, the standard reading of a
 //     gate infidelity, and gives a physical (not just combinatorial) check.
+//
+// Both estimators run on a bounded worker pool: shots are split into
+// fixed-size shards, each shard draws from its own RNG stream derived from
+// (seed, shard index), and shard statistics are merged in shard order — so
+// estimates are bit-identical for any worker count and any interleaving.
+// Build an Engine once to amortize schedule compilation across sweeps over
+// shots and seeds.
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -30,6 +41,17 @@ import (
 	"repro/internal/schedule"
 )
 
+// MaxStateFidelityIons bounds StateFidelity's statevector width.
+const MaxStateFidelityIons = 16
+
+// shardSize is the number of shots per RNG shard. It is a fixed constant —
+// not a function of the worker count — so the shard decomposition, and with
+// it every estimate, is identical no matter how many workers run the pool.
+const shardSize = 256
+
+// cancelStride is how many shots run between context checks inside a shard.
+const cancelStride = 64
+
 // gateEvent is one scheduled gate with its error probability.
 type gateEvent struct {
 	gate circuit.Gate
@@ -37,114 +59,298 @@ type gateEvent struct {
 	reps int     // 3 for SWAP, 1 otherwise
 }
 
-// events flattens a schedule into per-gate error probabilities using exactly
-// the paper's models: Eq. 3 gate times, Eq. 4 heating after m moves, constant
-// 1Q error, SWAP = 3 two-qubit applications.
-func events(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params) ([]gateEvent, error) {
+// Engine is a compiled Monte-Carlo workload: the schedule flattened once
+// into per-gate error probabilities, reusable across any number of
+// CleanProbability / StateFidelity calls (sweeps over shots and seeds do not
+// recompile the schedule).
+type Engine struct {
+	evs     []gateEvent
+	ions    int
+	workers int
+
+	idealOnce sync.Once
+	ideal     *qsim.State // final ideal state, computed on first StateFidelity
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers bounds the worker pool (default: GOMAXPROCS). Values below 1
+// fall back to the default. The worker count never changes the estimates,
+// only the wall-clock time.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine validates the schedule and flattens it into per-gate error
+// probabilities using exactly the paper's models: Eq. 3 gate times, Eq. 4
+// heating after m moves (with the shared sympathetic-cooling accounting),
+// constant 1Q error, SWAP = 3 two-qubit applications.
+func NewEngine(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params, opts ...EngineOption) (*Engine, error) {
 	if err := sched.Validate(c, dev); err != nil {
 		return nil, fmt.Errorf("mc: invalid schedule: %w", err)
 	}
 	k := p.ShuttleQuanta(dev.NumIons)
-	var out []gateEvent
+	e := &Engine{ions: dev.NumIons}
 	for i, st := range sched.Steps {
-		moves := i + 1
-		if p.CoolingInterval > 0 {
-			moves = moves % p.CoolingInterval
-		}
-		quanta := float64(moves) * k
+		quanta := p.EffectiveQuanta(i+1, k)
 		for _, gi := range st.Gates {
 			g := c.Gate(gi)
 			switch {
 			case g.Kind == circuit.Measure:
 			case !g.IsTwoQubit():
-				out = append(out, gateEvent{gate: g, p: p.OneQubitError, reps: 1})
+				e.evs = append(e.evs, gateEvent{gate: g, p: p.OneQubitError, reps: 1})
 			case g.Kind == circuit.SWAP:
-				e := p.TwoQubitError(p.GateTime(g.Distance()), quanta)
-				out = append(out, gateEvent{gate: g, p: e, reps: 3})
+				p2q := p.TwoQubitError(p.GateTime(g.Distance()), quanta)
+				e.evs = append(e.evs, gateEvent{gate: g, p: p2q, reps: 3})
 			default:
-				e := p.TwoQubitError(p.GateTime(g.Distance()), quanta)
-				out = append(out, gateEvent{gate: g, p: e, reps: 1})
+				p2q := p.TwoQubitError(p.GateTime(g.Distance()), quanta)
+				e.evs = append(e.evs, gateEvent{gate: g, p: p2q, reps: 1})
 			}
 		}
 	}
-	return out, nil
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// shardSeed derives the RNG seed of one shard from the caller's seed via a
+// splitmix64-style mix, so shard streams are decorrelated and depend only on
+// (seed, shard index) — never on worker identity or scheduling order.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + (uint64(shard)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// forEachShard fans nShards shard indices across the engine's worker pool.
+// newWorker runs once per worker and returns that worker's shard function,
+// so workers can hold reusable buffers (statevectors) across shards. The
+// first error stops the pool; remaining shards are drained unprocessed.
+func (e *Engine) forEachShard(ctx context.Context, nShards int, newWorker func() func(shard int) error) error {
+	workers := e.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < nShards; i++ {
+			idx <- i
+		}
+	}()
+
+	var (
+		wg      sync.WaitGroup
+		failed  atomic.Bool
+		errOnce sync.Once
+		first   error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := newWorker()
+			for i := range idx {
+				if failed.Load() {
+					continue // drain the queue without working
+				}
+				if err := run(i); err != nil {
+					errOnce.Do(func() { first = err })
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// shardShots returns how many of the batch's shots fall in one shard (a
+// shard is identified only by its RNG stream, not by a shot offset).
+func shardShots(shots, shard int) int {
+	if rem := shots - shard*shardSize; rem < shardSize {
+		return rem
+	}
+	return shardSize
 }
 
 // CleanProbability estimates the probability that a scheduled execution
 // completes with zero error events, over the given number of shots. The
-// returned standard error is the binomial sampling uncertainty.
-func CleanProbability(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params, shots int, seed int64) (estimate, stderr float64, err error) {
+// returned uncertainty is the Wilson score interval half-width (z = 1), so
+// it stays strictly positive even when every shot lands on the same side —
+// finite shots never justify a zero-width error bar.
+func (e *Engine) CleanProbability(ctx context.Context, shots int, seed int64) (estimate, stderr float64, err error) {
 	if shots < 1 {
 		return 0, 0, fmt.Errorf("mc: shots %d < 1", shots)
 	}
-	evs, err := events(c, sched, dev, p)
+	nShards := (shots + shardSize - 1) / shardSize
+	clean := make([]int64, nShards)
+	err = e.forEachShard(ctx, nShards, func() func(int) error {
+		return func(shard int) error {
+			rng := rand.New(rand.NewSource(shardSeed(seed, shard)))
+			count := shardShots(shots, shard)
+			n := int64(0)
+		shotLoop:
+			for s := 0; s < count; s++ {
+				if s%cancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				for _, ev := range e.evs {
+					for r := 0; r < ev.reps; r++ {
+						if rng.Float64() < ev.p {
+							continue shotLoop
+						}
+					}
+				}
+				n++
+			}
+			clean[shard] = n
+			return nil
+		}
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	clean := 0
-shotLoop:
-	for s := 0; s < shots; s++ {
-		for _, ev := range evs {
-			for r := 0; r < ev.reps; r++ {
-				if rng.Float64() < ev.p {
-					continue shotLoop
-				}
-			}
-		}
-		clean++
+	var total int64
+	for _, n := range clean {
+		total += n
 	}
-	est := float64(clean) / float64(shots)
-	se := math.Sqrt(est * (1 - est) / float64(shots))
-	return est, se, nil
+	est := float64(total) / float64(shots)
+	return est, wilsonHalfWidth(est, shots), nil
 }
 
 // StateFidelity estimates the average state fidelity |<ψ_ideal|ψ_noisy>|²
 // under depolarizing-style error injection: when a gate's error event fires,
 // a uniformly random non-identity Pauli is applied to each of the gate's
-// qubits after the ideal gate. Practical for circuits up to ~16 qubits.
-func StateFidelity(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params, shots int, seed int64) (estimate, stderr float64, err error) {
+// qubits after the ideal gate. Practical for chains up to
+// MaxStateFidelityIons. The returned uncertainty is the standard error of
+// the mean from the unbiased (n−1) sample variance, accumulated with
+// Welford's algorithm per shard and merged in shard order.
+func (e *Engine) StateFidelity(ctx context.Context, shots int, seed int64) (estimate, stderr float64, err error) {
 	if shots < 1 {
 		return 0, 0, fmt.Errorf("mc: shots %d < 1", shots)
 	}
-	if dev.NumIons > 16 {
-		return 0, 0, fmt.Errorf("mc: StateFidelity supports ≤16 ions, got %d", dev.NumIons)
+	if e.ions > MaxStateFidelityIons {
+		return 0, 0, fmt.Errorf("mc: StateFidelity supports ≤%d ions, got %d", MaxStateFidelityIons, e.ions)
 	}
-	evs, err := events(c, sched, dev, p)
+
+	e.idealOnce.Do(func() {
+		ideal := qsim.NewState(e.ions)
+		for _, ev := range e.evs {
+			ideal.ApplyGate(ev.gate)
+		}
+		e.ideal = ideal
+	})
+
+	nShards := (shots + shardSize - 1) / shardSize
+	stats := make([]welford, nShards)
+	err = e.forEachShard(ctx, nShards, func() func(int) error {
+		st := qsim.NewState(e.ions) // one reusable statevector per worker
+		return func(shard int) error {
+			rng := rand.New(rand.NewSource(shardSeed(seed, shard)))
+			count := shardShots(shots, shard)
+			var w welford
+			for s := 0; s < count; s++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				st.Reset()
+				for _, ev := range e.evs {
+					st.ApplyGate(ev.gate)
+					for r := 0; r < ev.reps; r++ {
+						if rng.Float64() < ev.p {
+							for _, q := range ev.gate.Qubits {
+								applyRandomPauli(st, q, rng)
+							}
+						}
+					}
+				}
+				w.add(st.FidelityWith(e.ideal))
+			}
+			stats[shard] = w
+			return nil
+		}
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-
-	// Ideal final state, once.
-	ideal := qsim.NewState(dev.NumIons)
-	for _, ev := range evs {
-		ideal.ApplyGate(ev.gate)
+	var agg welford
+	for _, w := range stats { // fixed merge order: bit-identical results
+		agg.merge(w)
 	}
+	return agg.mean, math.Sqrt(agg.sampleVariance() / float64(agg.n)), nil
+}
 
-	rng := rand.New(rand.NewSource(seed))
-	var sum, sumSq float64
-	for s := 0; s < shots; s++ {
-		st := qsim.NewState(dev.NumIons)
-		for _, ev := range evs {
-			st.ApplyGate(ev.gate)
-			for r := 0; r < ev.reps; r++ {
-				if rng.Float64() < ev.p {
-					for _, q := range ev.gate.Qubits {
-						applyRandomPauli(st, q, rng)
-					}
-				}
-			}
+// AnalyticClean returns the analytic zero-event probability for the same
+// event stream: Π (1-p_i)^reps_i. This mirrors sim.Simulate's product but is
+// derived from the mc event stream, so CleanProbability can be compared to
+// either.
+func (e *Engine) AnalyticClean() float64 {
+	logF := 0.0
+	for _, ev := range e.evs {
+		if ev.p >= 1 {
+			return 0
 		}
-		f := st.FidelityWith(ideal)
-		sum += f
-		sumSq += f * f
+		logF += float64(ev.reps) * math.Log1p(-ev.p)
 	}
-	mean := sum / float64(shots)
-	variance := sumSq/float64(shots) - mean*mean
-	if variance < 0 {
-		variance = 0
+	return math.Exp(logF)
+}
+
+// welford accumulates a running mean and sum of squared deviations (M2).
+// Per-shard accumulators merge with Chan et al.'s parallel combination, so
+// the sharded result matches a serial pass up to the fixed merge order.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) merge(o welford) {
+	if o.n == 0 {
+		return
 	}
-	return mean, math.Sqrt(variance / float64(shots)), nil
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// sampleVariance returns the unbiased (n−1) sample variance.
+func (w *welford) sampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// wilsonHalfWidth returns the half-width of the z = 1 Wilson score interval
+// for a binomial proportion p over n trials. Unlike the Wald standard error
+// sqrt(p(1-p)/n), it is strictly positive at p = 0 and p = 1.
+func wilsonHalfWidth(p float64, n int) float64 {
+	nf := float64(n)
+	const z = 1.0
+	return (z / (1 + z*z/nf)) * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
 }
 
 func applyRandomPauli(st *qsim.State, q int, rng *rand.Rand) {
@@ -158,21 +364,30 @@ func applyRandomPauli(st *qsim.State, q int, rng *rand.Rand) {
 	}
 }
 
-// AnalyticClean returns the analytic zero-event probability for the same
-// event stream: Π (1-p_i)^reps_i. This mirrors sim.Simulate's product but is
-// derived from the mc event stream, so CleanProbability can be compared to
-// either.
+// CleanProbability is the one-shot form of Engine.CleanProbability: compile
+// the schedule, estimate, discard the engine. Sweeps should build an Engine.
+func CleanProbability(ctx context.Context, c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params, shots int, seed int64) (estimate, stderr float64, err error) {
+	e, err := NewEngine(c, sched, dev, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.CleanProbability(ctx, shots, seed)
+}
+
+// StateFidelity is the one-shot form of Engine.StateFidelity.
+func StateFidelity(ctx context.Context, c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params, shots int, seed int64) (estimate, stderr float64, err error) {
+	e, err := NewEngine(c, sched, dev, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.StateFidelity(ctx, shots, seed)
+}
+
+// AnalyticClean is the one-shot form of Engine.AnalyticClean.
 func AnalyticClean(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p noise.Params) (float64, error) {
-	evs, err := events(c, sched, dev, p)
+	e, err := NewEngine(c, sched, dev, p)
 	if err != nil {
 		return 0, err
 	}
-	logF := 0.0
-	for _, ev := range evs {
-		if ev.p >= 1 {
-			return 0, nil
-		}
-		logF += float64(ev.reps) * math.Log1p(-ev.p)
-	}
-	return math.Exp(logF), nil
+	return e.AnalyticClean(), nil
 }

@@ -2,8 +2,11 @@ package mc
 
 import (
 	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -40,7 +43,7 @@ func TestCleanProbabilityMatchesAnalytic(t *testing.T) {
 	if analytic < 0.05 || analytic > 0.95 {
 		t.Fatalf("test wants a mid-range clean probability, got %g", analytic)
 	}
-	est, se, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 4000, 7)
+	est, se, err := CleanProbability(context.Background(), cr.Physical, cr.Schedule, cfg.Device, p, 4000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +70,29 @@ func TestCleanProbabilityAgreesWithSimSimulate(t *testing.T) {
 	if rel := math.Abs(analytic-simRes.SuccessRate) / simRes.SuccessRate; rel > 1e-9 {
 		t.Errorf("event-stream analytic %g != sim.Simulate %g (rel %g)",
 			analytic, simRes.SuccessRate, rel)
+	}
+}
+
+func TestCleanProbabilityAgreesWithSimUnderCooling(t *testing.T) {
+	// The shared EffectiveQuanta accounting must keep mc and sim identical
+	// with sympathetic cooling on, including at interval boundaries.
+	cr, cfg := compileSmall(t, 12, 4, workloads.QFTN(12))
+	for _, iv := range []int{1, 2, 3, 7} {
+		p := noise.Default()
+		p.CoolingInterval = iv
+		simRes, err := cr.Simulate(context.Background(), core.Config{Device: cfg.Device, Noise: &p,
+			Placement: cfg.Placement, Inserter: cfg.Inserter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := AnalyticClean(cr.Physical, cr.Schedule, cfg.Device, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(analytic-simRes.SuccessRate) / simRes.SuccessRate; rel > 1e-9 {
+			t.Errorf("interval %d: event-stream analytic %g != sim.Simulate %g (rel %g)",
+				iv, analytic, simRes.SuccessRate, rel)
+		}
 	}
 }
 
@@ -99,7 +125,7 @@ func TestStateFidelityTracksAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, se, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 300, 11)
+	est, se, err := StateFidelity(context.Background(), cr.Physical, cr.Schedule, cfg.Device, p, 300, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +141,7 @@ func TestStateFidelityPerfectWithoutNoise(t *testing.T) {
 	cr, cfg := compileSmall(t, 8, 4, workloads.GHZ(8))
 	p := noise.Default()
 	p.Gamma, p.Epsilon, p.K0, p.OneQubitError = 0, 0, 0, 0
-	est, se, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 50, 3)
+	est, se, err := StateFidelity(context.Background(), cr.Physical, cr.Schedule, cfg.Device, p, 50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,23 +150,88 @@ func TestStateFidelityPerfectWithoutNoise(t *testing.T) {
 	}
 }
 
+func TestCleanStderrPositiveAtBoundary(t *testing.T) {
+	// A noiseless schedule puts the estimate at exactly 1; the Wilson
+	// half-width must still report a finite-shot uncertainty, never a
+	// zero-width error bar.
+	cr, cfg := compileSmall(t, 8, 4, workloads.GHZ(8))
+	p := noise.Default()
+	p.Gamma, p.Epsilon, p.K0, p.OneQubitError = 0, 0, 0, 0
+	est, se, err := CleanProbability(context.Background(), cr.Physical, cr.Schedule, cfg.Device, p, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Fatalf("noiseless clean probability = %g, want 1", est)
+	}
+	if se <= 0 {
+		t.Errorf("stderr = %g at estimate 1, want > 0 (Wilson half-width)", se)
+	}
+	// And symmetrically at 0: a schedule that always fails.
+	p = noise.Default()
+	p.OneQubitError = 0.999999
+	est, se, err = CleanProbability(context.Background(), cr.Physical, cr.Schedule, cfg.Device, p, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("always-failing clean probability = %g, want 0", est)
+	}
+	if se <= 0 {
+		t.Errorf("stderr = %g at estimate 0, want > 0 (Wilson half-width)", se)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	// The sharded Welford accumulation must agree with a naive two-pass
+	// unbiased variance, including across merges.
+	xs := []float64{0.2, 0.9, 0.4, 1.0, 0.99, 0.3, 0.75, 0.5}
+	var a, b welford
+	for _, x := range xs[:3] {
+		a.add(x)
+	}
+	for _, x := range xs[3:] {
+		b.add(x)
+	}
+	a.merge(b)
+
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	wantVar := m2 / float64(len(xs)-1)
+
+	if math.Abs(a.mean-mean) > 1e-12 {
+		t.Errorf("merged mean %g, want %g", a.mean, mean)
+	}
+	if math.Abs(a.sampleVariance()-wantVar) > 1e-12 {
+		t.Errorf("merged variance %g, want %g", a.sampleVariance(), wantVar)
+	}
+}
+
 func TestInputValidation(t *testing.T) {
 	cr, cfg := compileSmall(t, 8, 4, workloads.GHZ(8))
 	p := noise.Default()
-	if _, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
+	ctx := context.Background()
+	if _, _, err := CleanProbability(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
 		t.Error("zero shots should fail")
 	}
-	if _, _, err := StateFidelity(cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
+	if _, _, err := StateFidelity(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 0, 1); err == nil {
 		t.Error("zero shots should fail")
 	}
 	wide := device.TILT{NumIons: 32, HeadSize: 8}
-	crWide, err := core.Compile(context.Background(), workloads.GHZ(32).Circuit, core.Config{
+	crWide, err := core.Compile(ctx, workloads.GHZ(32).Circuit, core.Config{
 		Device: wide, Placement: mapping.ProgramOrderPlacement,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := StateFidelity(crWide.Physical, crWide.Schedule, wide, p, 10, 1); err == nil {
+	if _, _, err := StateFidelity(ctx, crWide.Physical, crWide.Schedule, wide, p, 10, 1); err == nil {
 		t.Error("StateFidelity above 16 ions should fail")
 	}
 }
@@ -148,15 +239,132 @@ func TestInputValidation(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	cr, cfg := compileSmall(t, 10, 4, workloads.GHZ(10))
 	p := noise.Default()
-	a, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
+	ctx := context.Background()
+	a, _, err := CleanProbability(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := CleanProbability(cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
+	b, _, err := CleanProbability(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 500, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Errorf("MC not deterministic for fixed seed: %g vs %g", a, b)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The sharded RNG decouples the estimate from the worker pool: results
+	// must be bit-identical for 1, 4, and GOMAXPROCS workers. Run under
+	// -race this also exercises the pool for data races.
+	cr, cfg := compileSmall(t, 10, 4, workloads.QFTN(10))
+	p := noise.Default()
+	p.Epsilon = 2e-4
+	ctx := context.Background()
+	// More shots than one shard so the pool genuinely fans out.
+	const shots = 3*shardSize + 17
+
+	type pair struct{ est, se float64 }
+	var cleanRef, fidRef pair
+	for i, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		eng, err := NewEngine(cr.Physical, cr.Schedule, cfg.Device, p, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cEst, cSe, err := eng.CleanProbability(ctx, shots, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fEst, fSe, err := eng.StateFidelity(ctx, shots, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			cleanRef = pair{cEst, cSe}
+			fidRef = pair{fEst, fSe}
+			continue
+		}
+		if cEst != cleanRef.est || cSe != cleanRef.se {
+			t.Errorf("workers=%d: CleanProbability %v ± %v != serial %v ± %v",
+				workers, cEst, cSe, cleanRef.est, cleanRef.se)
+		}
+		if fEst != fidRef.est || fSe != fidRef.se {
+			t.Errorf("workers=%d: StateFidelity %v ± %v != serial %v ± %v",
+				workers, fEst, fSe, fidRef.est, fidRef.se)
+		}
+	}
+}
+
+func TestEngineReuseAcrossSeeds(t *testing.T) {
+	// One engine, many seeds: estimates vary with the seed but the compiled
+	// event stream (and the analytic product) is fixed.
+	cr, cfg := compileSmall(t, 10, 4, workloads.QFTN(10))
+	p := noise.Default()
+	p.Epsilon = 2e-4
+	eng, err := NewEngine(cr.Physical, cr.Schedule, cfg.Device, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := eng.AnalyticClean()
+	distinct := map[float64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		est, se, err := eng.CleanProbability(context.Background(), 2000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(est - analytic); d > 5*se+1e-9 {
+			t.Errorf("seed %d: estimate %g too far from analytic %g", seed, est, analytic)
+		}
+		distinct[est] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("different seeds should give different finite-shot estimates")
+	}
+}
+
+func TestCancellationBeforeStart(t *testing.T) {
+	cr, cfg := compileSmall(t, 10, 4, workloads.GHZ(10))
+	p := noise.Default()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CleanProbability(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 10000, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("CleanProbability on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := StateFidelity(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 10000, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("StateFidelity on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancellationMidBatch(t *testing.T) {
+	// Cancel shortly after the batch starts; both estimators must abandon
+	// the remaining shots promptly instead of finishing the full workload.
+	cr, cfg := compileSmall(t, 14, 4, workloads.QFTN(14))
+	p := noise.Default()
+
+	for name, run := range map[string]func(ctx context.Context) error{
+		"CleanProbability": func(ctx context.Context) error {
+			_, _, err := CleanProbability(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 50_000_000, 1)
+			return err
+		},
+		"StateFidelity": func(ctx context.Context) error {
+			_, _, err := StateFidelity(ctx, cr.Physical, cr.Schedule, cfg.Device, p, 1_000_000, 1)
+			return err
+		},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		err := run(ctx)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("%s: took %v after cancellation; not prompt", name, elapsed)
+		}
 	}
 }

@@ -119,6 +119,20 @@ func (p Params) ShuttleQuanta(n int) float64 {
 	return p.K0 * math.Sqrt(float64(n))
 }
 
+// EffectiveQuanta returns the motional quanta the chain carries during the
+// gates of move number moves (1-based), where each tape move adds k quanta
+// (k = ShuttleQuanta(n)). With sympathetic cooling enabled
+// (CoolingInterval = C > 0) the chain is re-cooled *after* every C-th move:
+// the gates of move C still see the full C·k quanta, and move C+1 starts a
+// fresh accumulation at 1·k. All simulators (sim, mc, trace) share this
+// accounting so cross-validation stays exact.
+func (p Params) EffectiveQuanta(moves int, k float64) float64 {
+	if p.CoolingInterval > 0 && moves > 0 {
+		moves = (moves-1)%p.CoolingInterval + 1
+	}
+	return float64(moves) * k
+}
+
 // TwoQubitError returns the Eq. 4 error of a two-qubit gate with duration
 // tau (µs) executed while the chain carries the given motional quanta:
 // err = Γτ + ((1+ε)^(2·quanta+1) − 1), clamped to [0, 1].

@@ -154,3 +154,30 @@ func TestPropertyErrorMonotoneInTau(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEffectiveQuantaCoolsAfterInterval(t *testing.T) {
+	p := Default()
+	p.CoolingInterval = 3
+	k := 2.0
+	// Moves 1..3 accumulate 1k, 2k, 3k; cooling fires after move 3, so
+	// move 4 restarts at 1k. The boundary move sees the full interval.
+	want := []float64{2, 4, 6, 2, 4, 6, 2}
+	for m := 1; m <= len(want); m++ {
+		if got := p.EffectiveQuanta(m, k); math.Abs(got-want[m-1]) > 1e-12 {
+			t.Errorf("EffectiveQuanta(%d) = %g, want %g", m, got, want[m-1])
+		}
+	}
+}
+
+func TestEffectiveQuantaWithoutCooling(t *testing.T) {
+	p := Default()
+	for m := 0; m <= 5; m++ {
+		if got, want := p.EffectiveQuanta(m, 1.5), float64(m)*1.5; math.Abs(got-want) > 1e-12 {
+			t.Errorf("EffectiveQuanta(%d) = %g, want %g", m, got, want)
+		}
+	}
+	p.CoolingInterval = 4
+	if got := p.EffectiveQuanta(0, 1.5); got != 0 {
+		t.Errorf("EffectiveQuanta(0) = %g, want 0", got)
+	}
+}

@@ -55,6 +55,14 @@ func NewRandomState(n int, rng *rand.Rand) *State {
 	return s
 }
 
+// Reset returns the state to |0...0> in place, reusing the amplitude
+// buffer. Monte-Carlo shot loops reset one per-worker state instead of
+// allocating a fresh 2^n vector per shot.
+func (s *State) Reset() {
+	clear(s.amp)
+	s.amp[0] = 1
+}
+
 // NumQubits returns the register width.
 func (s *State) NumQubits() int { return s.n }
 

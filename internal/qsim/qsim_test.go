@@ -289,3 +289,19 @@ func TestExpectation(t *testing.T) {
 		t.Errorf("E[popcount] = %g, want 1", got)
 	}
 }
+
+func TestResetRestoresZeroKet(t *testing.T) {
+	s := NewState(3)
+	s.ApplyGate(circuit.Gate{Kind: circuit.H, Qubits: []int{0}})
+	s.ApplyGate(circuit.Gate{Kind: circuit.CNOT, Qubits: []int{0, 1}})
+	s.Reset()
+	fresh := NewState(3)
+	for i := range s.Amplitudes() {
+		if s.Amplitudes()[i] != fresh.Amplitudes()[i] {
+			t.Fatalf("amp[%d] = %v after Reset, want %v", i, s.Amplitudes()[i], fresh.Amplitudes()[i])
+		}
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm after Reset = %g", s.Norm())
+	}
+}

@@ -98,7 +98,7 @@ func Simulate(ctx context.Context, c *circuit.Circuit, sched *schedule.Schedule,
 		}
 		prevPos = st.Pos
 		movesSoFar++
-		quanta := effectiveQuanta(movesSoFar, k, p.CoolingInterval)
+		quanta := p.EffectiveQuanta(movesSoFar, k)
 
 		for _, gi := range st.Gates {
 			g := c.Gate(gi)
@@ -142,17 +142,6 @@ func Simulate(ctx context.Context, c *circuit.Circuit, sched *schedule.Schedule,
 		res.MeanTwoQubitFidelity = fidSum / float64(fidN)
 	}
 	return res, nil
-}
-
-// effectiveQuanta returns the chain's motional quanta after the given number
-// of moves, honoring the sympathetic-cooling ablation: with a cooling
-// interval C, the chain is re-cooled after every C moves, so only
-// moves mod C contribute.
-func effectiveQuanta(moves int, k float64, coolingInterval int) float64 {
-	if coolingInterval > 0 {
-		moves = moves % coolingInterval
-	}
-	return float64(moves) * k
 }
 
 // applyTwoQubitTime advances both operands' availability by the gate time,

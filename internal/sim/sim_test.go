@@ -119,6 +119,61 @@ func TestCoolingIntervalRestoresFidelity(t *testing.T) {
 	}
 }
 
+func TestCoolingFiresAfterIntervalBoundary(t *testing.T) {
+	// Regression: re-cooling happens *after* every C-th move, so the gates
+	// of move C still see the full C·k quanta. The old moves%C accounting
+	// zeroed the quanta on move C itself, silently erasing the hottest move
+	// of every cooling period.
+	dev := device.TILT{NumIons: 64, HeadSize: 4}
+	p := noise.Default()
+	p.CoolingInterval = 2
+	c := circuit.New(64)
+	c.ApplyXX(math.Pi/4, 0, 1)   // move 1: quanta k
+	c.ApplyXX(math.Pi/4, 30, 31) // move 2: quanta 2k (cooling fires after)
+	c.ApplyXX(math.Pi/4, 60, 61) // move 3: quanta k again
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 3 {
+		t.Fatalf("Moves = %d, want 3", res.Moves)
+	}
+	k := p.ShuttleQuanta(64)
+	f1 := 1 - p.TwoQubitError(p.GateTime(1), 1*k)
+	f2 := 1 - p.TwoQubitError(p.GateTime(1), 2*k)
+	want := f1 * f2 * f1
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f (move 2 must see 2k quanta)", res.SuccessRate, want)
+	}
+}
+
+func TestCoolingEveryMovePinsQuantaAtOneMove(t *testing.T) {
+	// The paper's sympathetic-cooling ablation at interval 1: the chain is
+	// re-cooled after every move, so each gate window sees exactly one
+	// move's worth of heating — never zero (the shuttle that delivered the
+	// head still heats the chain).
+	dev := device.TILT{NumIons: 8, HeadSize: 8}
+	p := noise.Default()
+	p.CoolingInterval = 1
+	c := circuit.New(8)
+	c.ApplyXX(math.Pi/4, 0, 3)
+	phys, sched := compile(t, c, dev)
+	res, err := Simulate(context.Background(), phys, sched, dev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.ShuttleQuanta(8)
+	want := 1 - p.TwoQubitError(p.GateTime(3), k)
+	if math.Abs(res.SuccessRate-want) > 1e-12 {
+		t.Errorf("success = %.15f, want %.15f (one move of quanta, not zero)", res.SuccessRate, want)
+	}
+	unphysical := 1 - p.TwoQubitError(p.GateTime(3), 0)
+	if math.Abs(res.SuccessRate-unphysical) < 1e-15 {
+		t.Error("interval-1 cooling must not erase the heating of the current move")
+	}
+}
+
 func TestOneQubitGatesUseConstantError(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 8}
 	p := noise.Default()

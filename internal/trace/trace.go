@@ -65,11 +65,7 @@ func Profile(c *circuit.Circuit, sched *schedule.Schedule, dev device.TILT, p no
 	k := p.ShuttleQuanta(dev.NumIons)
 	out := make([]FidelityProfile, 0, len(sched.Steps))
 	for i, st := range sched.Steps {
-		moves := i + 1
-		quanta := float64(moves) * k
-		if p.CoolingInterval > 0 {
-			quanta = float64(moves%p.CoolingInterval) * k
-		}
+		quanta := p.EffectiveQuanta(i+1, k)
 		var fidSum float64
 		var n int
 		for _, gi := range st.Gates {

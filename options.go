@@ -36,6 +36,13 @@ type config struct {
 	core core.Config
 	// capacities overrides the QCCD capacity sweep (nil = paper's 15–35).
 	capacities []int
+	// shots enables the Monte-Carlo cross-check on the TILT backend
+	// (0 = analytic model only).
+	shots int
+	// seed is the Monte-Carlo RNG seed (WithSeed).
+	seed int64
+	// mcWorkers bounds the Monte-Carlo worker pool (0 = GOMAXPROCS).
+	mcWorkers int
 }
 
 // Option configures a backend. Options are shared across backends; each
@@ -116,6 +123,28 @@ func WithOptimize() Option {
 // list instead of the paper's 15–35 range.
 func WithCapacities(caps ...int) Option {
 	return func(c *config) { c.capacities = caps }
+}
+
+// WithShots enables the Monte-Carlo error-injection cross-check on the TILT
+// backend: Simulate additionally runs the given number of trajectory shots
+// through the internal/mc engine and reports the estimates in Result.MC.
+// Estimates are deterministic for a fixed seed (WithSeed) and bit-identical
+// for any worker count. Zero (the default) skips Monte Carlo entirely.
+func WithShots(n int) Option {
+	return func(c *config) { c.shots = n }
+}
+
+// WithSeed sets the Monte-Carlo RNG seed (default 0). Each shard of shots
+// derives its own stream from (seed, shard index), so two runs with the same
+// seed and shot count agree bit-for-bit regardless of parallelism.
+func WithSeed(s int64) Option {
+	return func(c *config) { c.seed = s }
+}
+
+// WithMCWorkers bounds the Monte-Carlo worker pool (default: GOMAXPROCS).
+// The worker count changes wall-clock time only, never the estimates.
+func WithMCWorkers(n int) Option {
+	return func(c *config) { c.mcWorkers = n }
 }
 
 // WithConfig replaces the whole compiler configuration — the escape hatch
