@@ -9,11 +9,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/decompose"
 	"repro/internal/device"
+	"repro/internal/lru"
 	"repro/internal/mc"
 	"repro/internal/optimize"
 	"repro/internal/qccd"
 	"repro/internal/sim"
 )
+
+// noCopy triggers go vet's copylocks check when a struct embedding it is
+// copied by value. It has no runtime effect.
+type noCopy struct{}
+
+// Lock and Unlock make noCopy a sync.Locker, which is what vet keys on.
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
 
 // Backend is the unified entry point every architecture implements: TILT
 // (the LinQ pipeline), the QCCD baseline, and the ideal fully connected
@@ -36,7 +45,13 @@ type Backend interface {
 
 // Artifact is a compiled program, ready for simulation on the backend that
 // produced it.
+//
+// An Artifact must be passed by pointer, never copied: it embeds the
+// synchronization for the backend's Monte-Carlo cache, and a by-value copy
+// would silently fork that cache (go vet's copylocks check flags copies).
 type Artifact struct {
+	noCopy noCopy //nolint:unused // vet copylocks guard
+
 	// Backend is the producing backend's Name.
 	Backend string
 	// Circuit is the logical input circuit.
@@ -94,6 +109,18 @@ type Result struct {
 	// MC carries Monte-Carlo cross-check estimates (TILT backend only,
 	// and only when the backend was built WithShots).
 	MC *MCStats
+	// Cache snapshots the backend's compile-cache counters (TILT backend
+	// only, and only when the backend was built WithCompileCache).
+	Cache *CacheStats
+}
+
+// CacheStats snapshots a backend's content-addressed compile cache at
+// Simulate time: cumulative hits and misses across the backend's lifetime,
+// plus the current entry count.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
 }
 
 // MCStats reports the Monte-Carlo error-injection estimates of one simulated
@@ -127,8 +154,14 @@ type TILTStats struct {
 	Moves         int
 	DistSpacings  int
 	DistUm        float64
+	// Passes records every compiler pass that ran: wall-clock time and
+	// gate-count deltas, in execution order.
+	Passes []PassTiming
 	// TSwap and TMove are the wall-clock compile times of the swap
 	// insertion and tape-scheduling phases.
+	//
+	// Deprecated: aliases for the insert-swaps and schedule entries of
+	// Passes.
 	TSwap time.Duration
 	TMove time.Duration
 	// OptStats reports peephole-optimizer eliminations (zero unless the
@@ -174,36 +207,70 @@ func checkArtifact(a *Artifact, name string) error {
 	return nil
 }
 
-// TILTBackend compiles circuits with the LinQ pipeline and simulates them on
-// a Trapped-Ion Linear-Tape device (the paper's proposed architecture).
+// TILTBackend compiles circuits with the LinQ pass pipeline and simulates
+// them on a Trapped-Ion Linear-Tape device (the paper's proposed
+// architecture). The pass list is customizable (WithPasses, WithExtraPass),
+// observable (WithPassObserver), and compilation can be memoized behind a
+// content-addressed cache (WithCompileCache).
 type TILTBackend struct {
 	cfg config
+	// cache memoizes compiled artifacts by Circuit.Fingerprint (nil unless
+	// the backend was built WithCompileCache). The backend's configuration
+	// is fixed at construction, so the fingerprint alone keys the artifact.
+	cache *lru.Cache[string, *Artifact]
 }
 
 // NewTILT returns a TILT backend. With no options it targets a head-16
 // device whose chain length matches each circuit's width, with program-order
 // placement, the LinQ inserter, and default noise.
 func NewTILT(opts ...Option) *TILTBackend {
-	return &TILTBackend{cfg: newConfig(opts)}
+	b := &TILTBackend{cfg: newConfig(opts)}
+	if b.cfg.cacheSize > 0 {
+		b.cache = lru.New[string, *Artifact](b.cfg.cacheSize)
+	}
+	return b
 }
 
 // Name implements Backend.
 func (b *TILTBackend) Name() string { return "TILT" }
 
-// Compile implements Backend: decompose → place → insert swaps → schedule.
+// Compile implements Backend: the stock decompose → place → insert swaps →
+// schedule pass pipeline, or the custom pass list the backend was built
+// with. When the backend has a compile cache and an identical circuit
+// (by Fingerprint) was already compiled, the cached artifact is returned
+// without recompiling.
 func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	var key string
+	if b.cache != nil {
+		key = c.Fingerprint()
+		if a, ok := b.cache.Get(key); ok {
+			return a, nil
+		}
+	}
 	cfg := b.cfg.resolved(c)
-	cr, err := core.Compile(ctx, c, cfg.core)
+	passes, err := cfg.passList()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{
+	cr, err := core.CompileWith(ctx, c, cfg.core, passes, cfg.observer)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{
 		Backend: b.Name(),
 		Circuit: c,
 		Native:  cr.Native,
 		Compile: cr,
 		cfg:     cfg,
-	}, nil
+	}
+	if b.cache != nil {
+		// A cached artifact outlives this call, so it must not alias the
+		// caller's mutable circuit: a later c.Apply* would silently poison
+		// the Circuit field of every future hit for this fingerprint.
+		a.Circuit = c.Clone()
+		b.cache.Add(key, a)
+	}
+	return a, nil
 }
 
 // Simulate implements Backend: the Eq. 3–5 noise and timing models over the
@@ -231,9 +298,14 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 		Moves:         a.Compile.Moves(),
 		DistSpacings:  a.Compile.DistSpacings(),
 		DistUm:        float64(a.Compile.DistSpacings()) * a.cfg.core.NoiseParams().IonSpacingUm,
+		Passes:        a.Compile.Timings,
 		TSwap:         a.Compile.TSwap,
 		TMove:         a.Compile.TMove,
 		OptStats:      a.Compile.OptStats,
+	}
+	if b.cache != nil {
+		hits, misses := b.cache.Stats()
+		res.Cache = &CacheStats{Hits: hits, Misses: misses, Entries: b.cache.Len()}
 	}
 	return res, nil
 }

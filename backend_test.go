@@ -300,7 +300,10 @@ func TestWithShotsHonorsCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("Simulate err = %v, want context.Canceled from the MC batch", err)
 	}
-	if elapsed := time.Since(start); elapsed > 10*time.Second {
+	// Generous bound: under -race with the full suite's packages running
+	// concurrently, scheduler contention stretches the shard loop; without
+	// cancellation the 2e9-shot batch would run for hours either way.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Errorf("Simulate took %v after cancellation; MC batch not abandoned promptly", elapsed)
 	}
 }

@@ -279,6 +279,41 @@ func runnerBatch() []runner.Job {
 	return jobs
 }
 
+// compileSweep drives one backend through `sweep` compiles of the same
+// Table II benchmark — the shape of a parameter study that revisits one
+// circuit×config per point.
+func compileSweep(b *testing.B, be tilt.Backend, c *tilt.Circuit, sweep int) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < sweep; j++ {
+			if _, err := be.Compile(ctx, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileCold sweeps the BV benchmark 100× on a cache-less TILT
+// backend: every iteration pays the full decompose→place→insert→schedule
+// pipeline. Baseline for BenchmarkCompileCached.
+func BenchmarkCompileCold(b *testing.B) {
+	bm := tilt.BenchmarkBV()
+	be := tilt.NewTILT(tilt.WithDevice(0, 16))
+	b.ResetTimer()
+	compileSweep(b, be, bm.Circuit, 100)
+}
+
+// BenchmarkCompileCached is BenchmarkCompileCold behind WithCompileCache:
+// the first compile of the sweep misses, the other 99 are content-addressed
+// cache hits returning the identical artifact.
+func BenchmarkCompileCached(b *testing.B) {
+	bm := tilt.BenchmarkBV()
+	be := tilt.NewTILT(tilt.WithDevice(0, 16), tilt.WithCompileCache(4))
+	b.ResetTimer()
+	compileSweep(b, be, bm.Circuit, 100)
+}
+
 // BenchmarkRunnerSerial is the baseline for BenchmarkRunnerParallel: the
 // same batch forced through one worker — equivalent to looping over the
 // legacy serial Run.

@@ -10,8 +10,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -23,145 +25,164 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	var (
-		table2     = flag.Bool("table2", false, "regenerate Table II")
-		fig6       = flag.Bool("fig6", false, "regenerate Fig. 6")
-		fig7       = flag.Bool("fig7", false, "regenerate Fig. 7")
-		fig8       = flag.Bool("fig8", false, "regenerate Fig. 8")
-		table3     = flag.Bool("table3", false, "regenerate Table III")
-		extensions = flag.Bool("extensions", false, "run the §VII extension studies and ablations")
-		mcCheck    = flag.Bool("mc", false, "run the Monte-Carlo cross-validation of the analytic model")
-		mcShots    = flag.Int("mc-shots", 4000, "Monte-Carlo shots per benchmark")
-		mcSeed     = flag.Int64("mc-seed", 1, "Monte-Carlo RNG seed")
-	)
-	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h / -help: usage already printed, exit clean
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command: it parses args and regenerates
+// the selected artifacts into out.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		table2     = fs.Bool("table2", false, "regenerate Table II")
+		fig6       = fs.Bool("fig6", false, "regenerate Fig. 6")
+		fig7       = fs.Bool("fig7", false, "regenerate Fig. 7")
+		fig8       = fs.Bool("fig8", false, "regenerate Fig. 8")
+		table3     = fs.Bool("table3", false, "regenerate Table III")
+		extensions = fs.Bool("extensions", false, "run the §VII extension studies and ablations")
+		mcCheck    = fs.Bool("mc", false, "run the Monte-Carlo cross-validation of the analytic model")
+		mcShots    = fs.Int("mc-shots", 4000, "Monte-Carlo shots per benchmark")
+		mcSeed     = fs.Int64("mc-seed", 1, "Monte-Carlo RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
 	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions && !*mcCheck
 
 	if all || *table2 {
-		fmt.Println(experiments.FormatTable2(experiments.Table2()))
+		fmt.Fprintln(out, experiments.FormatTable2(experiments.Table2()))
 	}
 	if all || *fig6 {
 		rows, err := experiments.Fig6(ctx, 16)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatFig6(rows))
+		fmt.Fprintln(out, experiments.FormatFig6(rows))
 	}
 	if all || *fig7 {
 		rows, err := experiments.Fig7(ctx, 16, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatFig7(rows))
+		fmt.Fprintln(out, experiments.FormatFig7(rows))
 	}
 	if all || *fig8 {
 		rows, err := experiments.Fig8(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatFig8(rows))
+		fmt.Fprintln(out, experiments.FormatFig8(rows))
 	}
 	if all || *table3 {
 		rows, err := experiments.Table3(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatTable3(rows))
+		fmt.Fprintln(out, experiments.FormatTable3(rows))
 	}
 	if all || *mcCheck {
 		rows, err := experiments.MCValidation(ctx, *mcShots, *mcSeed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatMC(rows))
+		fmt.Fprintln(out, experiments.FormatMC(rows))
 	}
 	if all || *extensions {
-		runExtensions(ctx)
+		if err := runExtensions(ctx, out); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // runExtensions prints the §VII extension studies and the LinQ design-choice
 // ablations.
-func runExtensions(ctx context.Context) {
+func runExtensions(ctx context.Context, out io.Writer) error {
 	cooling, err := experiments.CoolingAblation(ctx, 16, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatCooling(cooling))
+	fmt.Fprintln(out, experiments.FormatCooling(cooling))
 
 	scaling, err := experiments.ScalingStudy(ctx, 16, 10, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatScaling(scaling))
+	fmt.Fprintln(out, experiments.FormatScaling(scaling))
 
 	modular, err := experiments.ModularStudy(ctx, 8, 10, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatModular(modular))
+	fmt.Fprintln(out, experiments.FormatModular(modular))
 
 	heads, err := experiments.HeadSizeStudy(ctx, "QFT", nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatHeadStudy("QFT", heads))
+	fmt.Fprintln(out, experiments.FormatHeadStudy("QFT", heads))
 
 	placement, err := experiments.PlacementAblation(ctx, 16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatPlacement(placement))
+	fmt.Fprintln(out, experiments.FormatPlacement(placement))
 
 	alpha, err := experiments.AlphaAblation(ctx, 16, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatAlpha(alpha))
+	fmt.Fprintln(out, experiments.FormatAlpha(alpha))
 
 	opt, err := experiments.OptimizeAblation(ctx, 16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatOptimize(opt))
+	fmt.Fprintln(out, experiments.FormatOptimize(opt))
 
 	sched, err := experiments.SchedulerAblation(ctx, 16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatScheduler(sched))
+	fmt.Fprintln(out, experiments.FormatScheduler(sched))
 
 	suite, err := experiments.ShortDistanceSuite(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatSuite(suite))
+	fmt.Fprintln(out, experiments.FormatSuite(suite))
 
 	fig8, err := experiments.Fig8(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatAdvantage(experiments.AdvantageSummary(fig8, 32), 32))
+	fmt.Fprintln(out, experiments.FormatAdvantage(experiments.AdvantageSummary(fig8, 32), 32))
 
 	robust, err := experiments.Robustness(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatRobustness(robust))
+	fmt.Fprintln(out, experiments.FormatRobustness(robust))
 
 	addr, err := experiments.AddressingStudy(64, 16, 8)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatAddressing(64, 16, addr))
+	fmt.Fprintln(out, experiments.FormatAddressing(64, 16, addr))
 
 	gates, err := experiments.GateModeAblation(ctx, 16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(experiments.FormatGateMode(gates))
+	fmt.Fprintln(out, experiments.FormatGateMode(gates))
+	return nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2Smoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Table II", "QFT", "ADDER"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Table III") {
+		t.Error("-table2 also produced Table III")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if err := run(ctx, []string{"-fig6"}, &out); err == nil {
+		t.Error("cancelled fig6 run reported success")
+	}
+}

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	linq -bench QFT -ions 64 -head 16 [-maxswaplen 14] [-inserter linq|stochastic] [-v]
+//	linq -bench QFT -ions 64 -head 16 [-maxswaplen 14] [-inserter linq|stochastic] [-passes] [-v]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -25,24 +27,39 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("linq: ")
 
-	var (
-		bench      = flag.String("bench", "QFT", "benchmark name (ADDER, BV, QAOA, RCS, QFT, SQRT)")
-		ions       = flag.Int("ions", 0, "chain length (0 = benchmark width)")
-		head       = flag.Int("head", 16, "tape head size")
-		maxSwapLen = flag.Int("maxswaplen", 0, "max swap span (0 = head-1)")
-		alpha      = flag.Float64("alpha", 0, "Eq.1 lookahead discount (0 = default 0.7)")
-		inserter   = flag.String("inserter", "linq", "swap inserter: linq or stochastic")
-		seed       = flag.Int64("seed", 1, "seed for the stochastic inserter")
-		verbose    = flag.Bool("v", false, "print the tape itinerary")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h / -help: usage already printed, exit clean
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command: it parses args, compiles and
+// simulates the benchmark, and writes the report to out.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linq", flag.ContinueOnError)
+	var (
+		bench      = fs.String("bench", "QFT", "benchmark name (ADDER, BV, QAOA, RCS, QFT, SQRT)")
+		ions       = fs.Int("ions", 0, "chain length (0 = benchmark width)")
+		head       = fs.Int("head", 16, "tape head size")
+		maxSwapLen = fs.Int("maxswaplen", 0, "max swap span (0 = head-1)")
+		alpha      = fs.Float64("alpha", 0, "Eq.1 lookahead discount (0 = default 0.7)")
+		inserter   = fs.String("inserter", "linq", "swap inserter: linq or stochastic")
+		seed       = fs.Int64("seed", 1, "seed for the stochastic inserter")
+		passes     = fs.Bool("passes", false, "print per-pass compile stats")
+		verbose    = fs.Bool("v", false, "print the tape itinerary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
 	bm, err := tilt.BenchmarkByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := []tilt.Option{
 		tilt.WithDevice(*ions, *head),
@@ -54,42 +71,57 @@ func main() {
 	case "stochastic":
 		opts = append(opts, tilt.WithInserter(tilt.StochasticInserter(0, *seed)))
 	default:
-		log.Fatalf("unknown inserter %q", *inserter)
+		return fmt.Errorf("unknown inserter %q", *inserter)
 	}
 	be := tilt.NewTILT(opts...)
 
 	art, err := be.Compile(ctx, bm.Circuit)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := be.Simulate(ctx, art)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cr := art.Compile
-	fmt.Printf("benchmark      %s (%s)\n", bm.Name, bm.Comm)
-	fmt.Printf("qubits         %d on a %d-ion chain, head %d\n",
+	fmt.Fprintf(out, "benchmark      %s (%s)\n", bm.Name, bm.Comm)
+	fmt.Fprintf(out, "qubits         %d on a %d-ion chain, head %d\n",
 		bm.Qubits(), res.TILT.Device.NumIons, *head)
-	fmt.Printf("2Q gates       %d (CNOT-level)\n", tilt.TwoQubitGateCount(bm.Circuit))
-	fmt.Printf("native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
-	fmt.Printf("swaps          %d (opposing %d, ratio %.2f)\n",
+	fmt.Fprintf(out, "2Q gates       %d (CNOT-level)\n", tilt.TwoQubitGateCount(bm.Circuit))
+	fmt.Fprintf(out, "native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
+	fmt.Fprintf(out, "swaps          %d (opposing %d, ratio %.2f)\n",
 		res.TILT.SwapCount, res.TILT.OpposingSwaps, res.TILT.OpposingRatio())
-	fmt.Printf("tape moves     %d, travel %d spacings\n", res.TILT.Moves, res.TILT.DistSpacings)
-	fmt.Printf("t_swap         %v\n", res.TILT.TSwap)
-	fmt.Printf("t_move         %v\n", res.TILT.TMove)
-	fmt.Printf("success rate   %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
-	fmt.Printf("exec time      %.3f s\n", res.ExecTimeUs/1e6)
-	fmt.Printf("mean 2Q fid    %.6f\n", res.MeanTwoQubitFidelity)
+	fmt.Fprintf(out, "tape moves     %d, travel %d spacings\n", res.TILT.Moves, res.TILT.DistSpacings)
+	fmt.Fprintf(out, "t_swap         %v\n", res.TILT.TSwap)
+	fmt.Fprintf(out, "t_move         %v\n", res.TILT.TMove)
+	fmt.Fprintf(out, "success rate   %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
+	fmt.Fprintf(out, "exec time      %.3f s\n", res.ExecTimeUs/1e6)
+	fmt.Fprintf(out, "mean 2Q fid    %.6f\n", res.MeanTwoQubitFidelity)
+
+	if *passes {
+		fmt.Fprintln(out)
+		writePassTable(out, res.TILT.Passes)
+	}
 
 	if *verbose {
 		dev := res.TILT.Device
-		fmt.Fprintln(os.Stdout)
-		fmt.Fprintln(os.Stdout, trace.Summary(cr.Physical, cr.Schedule, dev))
-		fmt.Fprintln(os.Stdout)
-		fmt.Fprint(os.Stdout, trace.Timeline(cr.Schedule, dev))
-		fmt.Fprintln(os.Stdout)
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, trace.Summary(cr.Physical, cr.Schedule, dev))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, trace.Timeline(cr.Schedule, dev))
+		fmt.Fprintln(out)
 		prof := trace.Profile(cr.Physical, cr.Schedule, dev, noise.Default())
-		fmt.Fprint(os.Stdout, trace.FormatProfile(prof))
+		fmt.Fprint(out, trace.FormatProfile(prof))
+	}
+	return nil
+}
+
+// writePassTable renders the per-pass timing records.
+func writePassTable(out io.Writer, passes []tilt.PassTiming) {
+	fmt.Fprintf(out, "%-3s %-14s %12s %8s %8s %7s\n", "#", "pass", "wall", "gates<", "gates>", "delta")
+	for _, p := range passes {
+		fmt.Fprintf(out, "%-3d %-14s %12v %8d %8d %+7d\n",
+			p.Index, p.Pass, p.Wall, p.GatesBefore, p.GatesAfter, p.GateDelta())
 	}
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestRunHelpReturnsErrHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("err = %v, want flag.ErrHelp (main exits 0 on it)", err)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-bench", "BV", "-head", "16", "-passes"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"benchmark      BV", "swaps", "t_swap", "success rate", "insert-swaps", "schedule"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-bench", "NOPE"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunRejectsUnknownInserter(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-bench", "BV", "-inserter", "magic"}, &out); err == nil {
+		t.Error("unknown inserter accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -9,12 +9,15 @@
 //	tiltsim -qasm circuit.qasm -head 32 -gamma 2e-6 -epsilon 1e-4 -cooling 8
 //	tiltsim -bench QFT -compare           # adds Ideal TI and QCCD rows
 //	tiltsim -bench BV -emit out.qasm      # dump the compiled physical program
+//	tiltsim -bench BV -passes             # per-pass compile stats
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -31,29 +34,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tiltsim: ")
 
-	var (
-		bench      = flag.String("bench", "", "Table II benchmark name")
-		qasmPath   = flag.String("qasm", "", "OpenQASM 2.0 input file")
-		ions       = flag.Int("ions", 0, "chain length (0 = circuit width)")
-		head       = flag.Int("head", 16, "tape head size")
-		maxSwapLen = flag.Int("maxswaplen", 0, "max swap span (0 = head-1)")
-		optimize   = flag.Bool("optimize", false, "run the peephole optimizer")
-		compare    = flag.Bool("compare", false, "also simulate Ideal TI and QCCD")
-		emit       = flag.String("emit", "", "write the compiled physical program as QASM")
-
-		gamma   = flag.Float64("gamma", 0, "background heating rate 1/µs (0 = default)")
-		epsilon = flag.Float64("epsilon", 0, "two-qubit residual error (0 = default)")
-		k0      = flag.Float64("k0", 0, "per-shuttle heating scale (0 = default)")
-		cooling = flag.Int("cooling", 0, "sympathetic cooling interval in moves (0 = off)")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h / -help: usage already printed, exit clean
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command: it parses args, runs the
+// requested backends, and writes the report to out.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tiltsim", flag.ContinueOnError)
+	var (
+		bench      = fs.String("bench", "", "Table II benchmark name")
+		qasmPath   = fs.String("qasm", "", "OpenQASM 2.0 input file")
+		ions       = fs.Int("ions", 0, "chain length (0 = circuit width)")
+		head       = fs.Int("head", 16, "tape head size")
+		maxSwapLen = fs.Int("maxswaplen", 0, "max swap span (0 = head-1)")
+		optimize   = fs.Bool("optimize", false, "run the peephole optimizer")
+		compare    = fs.Bool("compare", false, "also simulate Ideal TI and QCCD")
+		emit       = fs.String("emit", "", "write the compiled physical program as QASM")
+		passes     = fs.Bool("passes", false, "print per-pass compile stats")
+
+		gamma   = fs.Float64("gamma", 0, "background heating rate 1/µs (0 = default)")
+		epsilon = fs.Float64("epsilon", 0, "two-qubit residual error (0 = default)")
+		k0      = fs.Float64("k0", 0, "per-shuttle heating scale (0 = default)")
+		cooling = fs.Int("cooling", 0, "sympathetic cooling interval in moves (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
 	c, name, err := loadCircuit(*bench, *qasmPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	p := noise.Default()
@@ -80,25 +98,31 @@ func main() {
 
 	art, err := be.Compile(ctx, c)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := be.Simulate(ctx, art)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("circuit        %s (%d qubits, %d gates, %d two-qubit at CNOT level)\n",
+	fmt.Fprintf(out, "circuit        %s (%d qubits, %d gates, %d two-qubit at CNOT level)\n",
 		name, c.NumQubits(), c.Len(), tilt.TwoQubitGateCount(c))
-	fmt.Printf("device         TILT %d ions, head %d\n", res.TILT.Device.NumIons, *head)
+	fmt.Fprintf(out, "device         TILT %d ions, head %d\n", res.TILT.Device.NumIons, *head)
 	if *optimize {
 		st := res.TILT.OptStats
-		fmt.Printf("optimizer      removed %d gates (%d merges, %d cancellations, %d identities)\n",
+		fmt.Fprintf(out, "optimizer      removed %d gates (%d merges, %d cancellations, %d identities)\n",
 			st.Total(), st.MergedRotations, st.CancelledPairs, st.DroppedIdentity)
 	}
-	fmt.Printf("swaps          %d (opposing ratio %.2f)\n", res.TILT.SwapCount, res.TILT.OpposingRatio())
-	fmt.Printf("tape moves     %d, travel %.0f µm\n", res.TILT.Moves, res.TILT.DistUm)
-	fmt.Printf("success        %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
-	fmt.Printf("exec time      %.3f s\n", res.ExecTimeUs/1e6)
+	fmt.Fprintf(out, "swaps          %d (opposing ratio %.2f)\n", res.TILT.SwapCount, res.TILT.OpposingRatio())
+	fmt.Fprintf(out, "tape moves     %d, travel %.0f µm\n", res.TILT.Moves, res.TILT.DistUm)
+	fmt.Fprintf(out, "success        %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
+	fmt.Fprintf(out, "exec time      %.3f s\n", res.ExecTimeUs/1e6)
+
+	if *passes {
+		for _, pt := range res.TILT.Passes {
+			fmt.Fprintf(out, "pass %-14s %12v %+6d gates\n", pt.Pass, pt.Wall, pt.GateDelta())
+		}
+	}
 
 	if *compare {
 		// The two baselines are independent, so batch them on the runner.
@@ -108,25 +132,26 @@ func main() {
 		})
 		for _, jr := range results {
 			if jr.Err != nil {
-				log.Fatalf("%s: %v", jr.Name, jr.Err)
+				return fmt.Errorf("%s: %w", jr.Name, jr.Err)
 			}
 		}
 		ideal, qr := results[0].Result, results[1].Result
-		fmt.Printf("ideal TI       %.6g (log %.4f)\n", ideal.SuccessRate, ideal.LogSuccess)
-		fmt.Printf("QCCD (cap %2d)  %.6g (log %.4f)\n",
+		fmt.Fprintf(out, "ideal TI       %.6g (log %.4f)\n", ideal.SuccessRate, ideal.LogSuccess)
+		fmt.Fprintf(out, "QCCD (cap %2d)  %.6g (log %.4f)\n",
 			qr.QCCD.Capacity, qr.SuccessRate, qr.LogSuccess)
 	}
 
 	if *emit != "" {
 		src, err := qasm.Write(art.Compile.Physical)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*emit, []byte(src), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote compiled program to %s\n", *emit)
+		fmt.Fprintf(out, "wrote compiled program to %s\n", *emit)
 	}
+	return nil
 }
 
 func loadCircuit(bench, qasmPath string) (*circuit.Circuit, string, error) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const tinyQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+`
+
+func writeTinyQASM(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ghz.qasm")
+	if err := os.WriteFile(path, []byte(tinyQASM), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQASMSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-qasm", writeTinyQASM(t), "-head", "2", "-passes"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"circuit", "4 qubits", "success", "pass decompose", "pass schedule"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEmitWritesCompiledProgram(t *testing.T) {
+	var out strings.Builder
+	emit := filepath.Join(t.TempDir(), "out.qasm")
+	err := run(context.Background(), []string{"-qasm", writeTinyQASM(t), "-head", "2", "-emit", emit}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "OPENQASM") {
+		t.Errorf("emitted file is not QASM:\n%s", src)
+	}
+}
+
+func TestRunRejectsBenchAndQASMTogether(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-bench", "BV", "-qasm", "x.qasm"}, &out)
+	if err == nil {
+		t.Error("both -bench and -qasm accepted")
+	}
+}
+
+func TestRunRequiresAnInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), nil, &out); err == nil {
+		t.Error("no input accepted")
+	}
+}

@@ -9,6 +9,9 @@
 package circuit
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"strings"
@@ -270,6 +273,32 @@ func (c *Circuit) ApplyCCX(c0, c1, tgt int) { c.MustAdd(CCX, 0, c0, c1, tgt) }
 
 // ApplyMeasure appends a computational-basis measurement marker.
 func (c *Circuit) ApplyMeasure(q int) { c.MustAdd(Measure, 0, q) }
+
+// Fingerprint returns a stable content hash of the circuit: a hex-encoded
+// SHA-256 over the register width and every gate's kind, rotation-angle bits,
+// and qubit operands, in program order. Two circuits share a fingerprint iff
+// they are gate-for-gate identical, so it keys content-addressed caches of
+// compiled artifacts. The fingerprint covers only circuit content — device,
+// noise, and compiler configuration must be keyed separately (or, as the
+// compile cache does, held fixed per cache).
+func (c *Circuit) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(c.numQubits))
+	for _, g := range c.gates {
+		put(uint64(g.Kind))
+		put(math.Float64bits(g.Theta))
+		put(uint64(len(g.Qubits)))
+		for _, q := range g.Qubits {
+			put(uint64(q))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Clone returns a deep copy of the circuit.
 func (c *Circuit) Clone() *Circuit {

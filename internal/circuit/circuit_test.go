@@ -305,3 +305,43 @@ func TestPropertyCloneEqual(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFingerprintStableAndContentSensitive(t *testing.T) {
+	build := func() *Circuit {
+		c := New(4)
+		c.ApplyH(0)
+		c.ApplyRZ(0.25, 1)
+		c.ApplyCNOT(0, 2)
+		return c
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical circuits have different fingerprints")
+	}
+	if got := a.Fingerprint(); got != a.Fingerprint() {
+		t.Error("fingerprint not deterministic across calls")
+	}
+
+	// Any content change must change the hash.
+	variants := []*Circuit{New(5), build(), build(), build()}
+	variants[0].ApplyH(0)
+	variants[0].ApplyRZ(0.25, 1)
+	variants[0].ApplyCNOT(0, 2)                                           // width differs
+	variants[1].ApplyX(3)                                                 // extra gate
+	variants[2].Gates()[1] = Gate{Kind: RZ, Theta: 0.5, Qubits: []int{1}} // angle differs
+	variants[3].Gates()[2] = Gate{Kind: CNOT, Qubits: []int{2, 0}}        // operand order differs
+	seen := map[string]bool{a.Fingerprint(): true}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d collides with a prior fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestFingerprintEmptyCircuitsDifferByWidth(t *testing.T) {
+	if New(3).Fingerprint() == New(4).Fingerprint() {
+		t.Error("empty circuits of different widths share a fingerprint")
+	}
+}

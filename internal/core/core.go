@@ -1,7 +1,10 @@
 // Package core implements LinQ, the paper's compiler + simulator toolflow
 // for the TILT architecture (Fig. 4): native-gate decomposition, initial
 // qubit placement, swap insertion, tape-movement scheduling, and noisy
-// simulation, with per-phase compile timings for Table III.
+// simulation. Compilation runs on the internal/pipeline pass framework, so
+// every phase carries a per-pass timing record (Table III's t_swap/t_move
+// fall out of the insert-swaps and schedule records) and callers can swap in
+// custom pass lists through CompileWith.
 package core
 
 import (
@@ -15,6 +18,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/noise"
 	"repro/internal/optimize"
+	"repro/internal/pipeline"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/swapins"
@@ -68,13 +72,27 @@ type CompileResult struct {
 	// Mappings before and after swap insertion.
 	InitialMapping *mapping.Mapping
 	FinalMapping   *mapping.Mapping
+	// Timings records every executed pass in order: wall-clock time plus
+	// gate counts before and after (Table III's t_swap and t_move are the
+	// insert-swaps and schedule records).
+	Timings []pipeline.PassTiming
 	// TSwap and TMove are the wall-clock compile times of the swap
-	// insertion and tape-scheduling phases (Table III's t_swap, t_move).
+	// insertion and tape-scheduling phases.
+	//
+	// Deprecated: aliases for the insert-swaps and schedule entries of
+	// Timings, kept for Table III compatibility; use PassTime or Timings.
 	TSwap time.Duration
 	TMove time.Duration
 	// OptStats reports peephole-optimizer eliminations (zero unless
 	// Config.Optimize was set).
 	OptStats optimize.Stats
+}
+
+// PassTime returns the wall-clock time of the first pass with the given name
+// (zero when no such pass ran).
+func (r *CompileResult) PassTime(name string) time.Duration {
+	t, _ := pipeline.Timing(r.Timings, name)
+	return t.Wall
 }
 
 // OpposingRatio returns OpposingSwaps/SwapCount (0 when no swaps).
@@ -91,11 +109,35 @@ func (r *CompileResult) Moves() int { return r.Schedule.Moves }
 // DistSpacings returns the scheduled tape travel in ion spacings.
 func (r *CompileResult) DistSpacings() int { return r.Schedule.Dist }
 
-// Compile runs the LinQ pipeline on a logical circuit: decompose → place →
-// insert swaps → schedule. The input circuit may contain any gate kind the
-// decomposer understands (including Toffolis). Cancellation of ctx is
-// observed between pipeline phases.
+// DefaultPasses returns the stock LinQ pass list for the configuration:
+// decompose → (optimize, when Config.Optimize) → place → insert-swaps →
+// schedule, the paper's Fig. 4 toolflow.
+func DefaultPasses(cfg Config) []pipeline.Pass {
+	passes := []pipeline.Pass{pipeline.Decompose()}
+	if cfg.Optimize {
+		passes = append(passes, pipeline.Optimize())
+	}
+	return append(passes,
+		pipeline.Place(cfg.Placement),
+		pipeline.InsertSwaps(cfg.inserter(), cfg.Swap),
+		pipeline.ScheduleTape(),
+	)
+}
+
+// Compile runs the stock LinQ pipeline on a logical circuit: decompose →
+// place → insert swaps → schedule. The input circuit may contain any gate
+// kind the decomposer understands (including Toffolis). Cancellation of ctx
+// is observed between passes and inside the swap-insertion and scheduling
+// inner loops.
 func Compile(ctx context.Context, c *circuit.Circuit, cfg Config) (*CompileResult, error) {
+	return CompileWith(ctx, c, cfg, nil, nil)
+}
+
+// CompileWith runs a custom pass list over the circuit (nil passes means
+// DefaultPasses(cfg)), reporting pass lifecycle events to obs when non-nil.
+// The pass list must produce a complete compilation — a physical circuit and
+// a schedule — or an error naming the missing phase is returned.
+func CompileWith(ctx context.Context, c *circuit.Circuit, cfg Config, passes []pipeline.Pass, obs pipeline.Observer) (*CompileResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -106,49 +148,32 @@ func Compile(ctx context.Context, c *circuit.Circuit, cfg Config) (*CompileResul
 		return nil, fmt.Errorf("core: circuit width %d exceeds chain %d",
 			c.NumQubits(), cfg.Device.NumIons)
 	}
-	native := decompose.ToNative(c)
-	var optStats optimize.Stats
-	if cfg.Optimize {
-		native, optStats = optimize.Run(native)
+	if passes == nil {
+		passes = DefaultPasses(cfg)
 	}
-
-	m0, err := mapping.Initial(native, cfg.Device.NumIons, cfg.Placement)
+	st := pipeline.NewState(c, cfg.Device, cfg.NoiseParams())
+	p := &pipeline.Pipeline{Passes: passes, Observer: obs}
+	timings, err := p.Run(ctx, st)
 	if err != nil {
 		return nil, err
 	}
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if st.Physical == nil || st.Schedule == nil {
+		return nil, st.Validate()
 	}
-	t0 := time.Now()
-	ins, err := cfg.inserter().Insert(native, m0, cfg.Device, cfg.Swap)
-	if err != nil {
-		return nil, err
+	cr := &CompileResult{
+		Native:         st.Native,
+		Physical:       st.Physical,
+		Schedule:       st.Schedule,
+		SwapCount:      st.SwapCount,
+		OpposingSwaps:  st.OpposingSwaps,
+		InitialMapping: st.InitialMapping,
+		FinalMapping:   st.FinalMapping,
+		Timings:        timings,
+		OptStats:       st.OptStats,
 	}
-	tSwap := time.Since(t0)
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t1 := time.Now()
-	sched, err := schedule.Tape(ins.Physical, cfg.Device)
-	if err != nil {
-		return nil, err
-	}
-	tMove := time.Since(t1)
-
-	return &CompileResult{
-		Native:         native,
-		Physical:       ins.Physical,
-		Schedule:       sched,
-		SwapCount:      ins.SwapCount,
-		OpposingSwaps:  ins.OpposingSwaps,
-		InitialMapping: ins.InitialMapping,
-		FinalMapping:   ins.FinalMapping,
-		TSwap:          tSwap,
-		TMove:          tMove,
-		OptStats:       optStats,
-	}, nil
+	cr.TSwap = cr.PassTime(pipeline.NameInsertSwaps)
+	cr.TMove = cr.PassTime(pipeline.NameSchedule)
+	return cr, nil
 }
 
 // Simulate evaluates a compiled program under the config's noise model.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/device"
 	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/swapins"
 	"repro/internal/workloads"
 	"repro/runner"
@@ -291,7 +292,9 @@ func FormatFig8(rows []Fig8Row) string {
 	return b.String()
 }
 
-// Table3Row is one line of Table III for one head size.
+// Table3Row is one line of Table III for one head size. TSwapSec and
+// TMoveSec come from the pipeline's generic PassTiming records (the
+// insert-swaps and schedule passes) rather than dedicated phase timers.
 type Table3Row struct {
 	Bench     string
 	Head      int
@@ -328,8 +331,11 @@ func Table3(ctx context.Context) ([]Table3Row, error) {
 			return nil, fmt.Errorf("table3 %s: %w", jr.Name, jr.Err)
 		}
 		row := meta[i]
-		row.TSwapSec = jr.Result.TILT.TSwap.Seconds()
-		row.TMoveSec = jr.Result.TILT.TMove.Seconds()
+		// t_swap and t_move are the insert-swaps and schedule entries of
+		// the per-pass timing records.
+		cr := jr.Artifact.Compile
+		row.TSwapSec = cr.PassTime(pipeline.NameInsertSwaps).Seconds()
+		row.TMoveSec = cr.PassTime(pipeline.NameSchedule).Seconds()
 		row.Moves = jr.Result.TILT.Moves
 		row.DistUm = jr.Result.TILT.DistUm
 		row.TExecSec = jr.Result.ExecTimeUs / 1e6

@@ -385,7 +385,7 @@ func SchedulerAblation(ctx context.Context, head int) ([]SchedulerRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scheduler ablation %s: %w", bm.Name, err)
 		}
-		sweepSched, err := schedule.Sweep(cr.Physical, cfg.Device)
+		sweepSched, err := schedule.Sweep(ctx, cr.Physical, cfg.Device)
 		if err != nil {
 			return nil, fmt.Errorf("scheduler ablation %s sweep: %w", bm.Name, err)
 		}

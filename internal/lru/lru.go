@@ -1,0 +1,85 @@
+// Package lru provides the small, concurrency-safe, bounded LRU cache behind
+// the compile cache: a fixed number of entries with least-recently-used
+// eviction and hit/miss counters.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU map from K to V. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	items  map[K]*list.Element
+	hits   int64
+	misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache bounded to max entries. max must be positive.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	if max <= 0 {
+		panic("lru: non-positive capacity")
+	}
+	return &Cache[K, V]{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, max),
+	}
+}
+
+// Get returns the value for k and marks it most recently used. The second
+// result reports whether the key was present; every call counts as a hit or
+// a miss.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes k, evicting the least-recently-used entry when
+// the cache is full.
+func (c *Cache[K, V]) Add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

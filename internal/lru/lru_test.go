@@ -1,0 +1,90 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetAddAndCounters(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a") // refresh a; b is now LRU
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed entry a was evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestAddRefreshesExistingKey(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("Get(a) = %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestNonPositiveCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(i%16, i)
+				c.Get(i % 16)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New[string, int](64)
+	for i := 0; i < 64; i++ {
+		c.Add(fmt.Sprint(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get("32")
+	}
+}

@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/decompose"
+	"repro/internal/mapping"
+	"repro/internal/optimize"
+	"repro/internal/schedule"
+	"repro/internal/swapins"
+)
+
+// Stock pass names, in Fig. 4 toolflow order. Timing records carry these
+// strings, so metric consumers (Table III, the -passes flags) can select
+// phases without depending on pass positions.
+const (
+	NameDecompose   = "decompose"
+	NameOptimize    = "optimize"
+	NamePlace       = "place"
+	NameInsertSwaps = "insert-swaps"
+	NameSchedule    = "schedule"
+)
+
+// passFunc builds a Pass from a name and a function.
+type passFunc struct {
+	name string
+	run  func(ctx context.Context, s *PassState) error
+}
+
+// Name implements Pass.
+func (p passFunc) Name() string { return p.name }
+
+// Run implements Pass.
+func (p passFunc) Run(ctx context.Context, s *PassState) error { return p.run(ctx, s) }
+
+// NewPass wraps a function as a named Pass — the shortest path to a custom
+// pass when defining a type is not worth it.
+func NewPass(name string, run func(ctx context.Context, s *PassState) error) Pass {
+	return passFunc{name: name, run: run}
+}
+
+// Decompose returns the stock lowering pass: it rewrites the input circuit
+// into the trapped-ion native gate set {RX, RY, RZ, XX} and stores it in
+// PassState.Native. Gates of any arity the decomposer understands (including
+// Toffolis) are accepted.
+func Decompose() Pass {
+	return passFunc{name: NameDecompose, run: func(ctx context.Context, s *PassState) error {
+		s.Native = decompose.ToNative(s.Input)
+		return nil
+	}}
+}
+
+// Optimize returns the stock peephole-optimization pass: rotation merging,
+// self-inverse cancellation, and identity dropping over PassState.Native,
+// accumulating elimination counts into PassState.OptStats.
+func Optimize() Pass {
+	return passFunc{name: NameOptimize, run: func(ctx context.Context, s *PassState) error {
+		if s.Native == nil {
+			return errors.New("no native circuit; run decompose first")
+		}
+		var st optimize.Stats
+		s.Native, st = optimize.Run(s.Native)
+		s.OptStats.MergedRotations += st.MergedRotations
+		s.OptStats.CancelledPairs += st.CancelledPairs
+		s.OptStats.DroppedIdentity += st.DroppedIdentity
+		return nil
+	}}
+}
+
+// Place returns the stock initial-placement pass for the given strategy: it
+// computes the logical→physical assignment over the device chain and stores
+// it in PassState.InitialMapping.
+func Place(strategy mapping.Strategy) Pass {
+	return passFunc{name: NamePlace, run: func(ctx context.Context, s *PassState) error {
+		if s.Native == nil {
+			return errors.New("no native circuit; run decompose first")
+		}
+		m0, err := mapping.Initial(s.Native, s.Device.NumIons, strategy)
+		if err != nil {
+			return err
+		}
+		s.InitialMapping = m0
+		return nil
+	}}
+}
+
+// InsertSwaps returns the stock swap-insertion pass (paper Algorithm 1 when
+// ins is swapins.LinQ): it rewrites the native circuit into a physical
+// circuit over tape slots, inserting SWAPs so every two-qubit gate fits under
+// the head, and records the swap statistics and final mapping. A nil ins
+// means swapins.LinQ.
+func InsertSwaps(ins swapins.Inserter, opt swapins.Options) Pass {
+	if ins == nil {
+		ins = swapins.LinQ{}
+	}
+	return passFunc{name: NameInsertSwaps, run: func(ctx context.Context, s *PassState) error {
+		if s.Native == nil {
+			return errors.New("no native circuit; run decompose first")
+		}
+		if s.InitialMapping == nil {
+			return errors.New("no initial mapping; run place first")
+		}
+		res, err := ins.Insert(ctx, s.Native, s.InitialMapping, s.Device, opt)
+		if err != nil {
+			return err
+		}
+		s.Physical = res.Physical
+		s.InitialMapping = res.InitialMapping
+		s.FinalMapping = res.FinalMapping
+		s.SwapCount = res.SwapCount
+		s.OpposingSwaps = res.OpposingSwaps
+		return nil
+	}}
+}
+
+// ScheduleTape returns the stock tape-movement scheduling pass (paper
+// Algorithm 2): it computes the head itinerary for the physical circuit and
+// stores it in PassState.Schedule.
+func ScheduleTape() Pass {
+	return passFunc{name: NameSchedule, run: func(ctx context.Context, s *PassState) error {
+		if s.Physical == nil {
+			return errors.New("no physical circuit; run insert-swaps first")
+		}
+		sched, err := schedule.Tape(ctx, s.Physical, s.Device)
+		if err != nil {
+			return err
+		}
+		s.Schedule = sched
+		return nil
+	}}
+}
+
+// Validate checks that the state holds a complete compilation: a native and
+// physical circuit plus a schedule that validates against the device. Run it
+// after a custom pipeline to catch pass lists that dropped a required phase.
+func (s *PassState) Validate() error {
+	if s.Native == nil {
+		return fmt.Errorf("pipeline: incomplete compilation: no native circuit (missing a %s pass?)", NameDecompose)
+	}
+	if s.Physical == nil {
+		return fmt.Errorf("pipeline: incomplete compilation: no physical circuit (missing an %s pass?)", NameInsertSwaps)
+	}
+	if s.Schedule == nil {
+		return fmt.Errorf("pipeline: incomplete compilation: no schedule (missing a %s pass?)", NameSchedule)
+	}
+	return s.Schedule.Validate(s.Physical, s.Device)
+}

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/decompose"
@@ -20,13 +21,13 @@ func BenchmarkTapeQFT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r, err := (swapins.LinQ{}).Insert(nat, m0, dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), nat, m0, dev, swapins.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Tape(r.Physical, dev); err != nil {
+		if _, err := Tape(context.Background(), r.Physical, dev); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -41,13 +42,13 @@ func BenchmarkSweepQFT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r, err := (swapins.LinQ{}).Insert(nat, m0, dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), nat, m0, dev, swapins.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Sweep(r.Physical, dev); err != nil {
+		if _, err := Sweep(context.Background(), r.Physical, dev); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,11 +6,18 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
 )
+
+// cancelCheckEvery is how many scheduling iterations run between context
+// checks: each Tape step already scans every head position, so checking every
+// step is cheap; the sweeping baseline visits many empty stops per unit of
+// work and amortizes its checks over cancelCheckEvery stops.
+const cancelCheckEvery = 64
 
 // Step is one head placement and the gates executed there, in execution
 // order (a valid topological order of the dependency DAG restricted to the
@@ -33,8 +40,10 @@ type Schedule struct {
 
 // Tape schedules the physical circuit c on the device. Every two-qubit gate
 // must already satisfy the head constraint (run swap insertion first);
-// otherwise an error naming the offending gate is returned.
-func Tape(c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
+// otherwise an error naming the offending gate is returned. Cancellation of
+// ctx is observed between head placements, so a cancelled batch job stops
+// mid-schedule.
+func Tape(ctx context.Context, c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,10 +61,16 @@ func Tape(c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := newScheduler(c, dev)
 	sched := &Schedule{}
 	cur := -1
 	for s.remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pos, gates := s.bestPosition(cur)
 		if len(gates) == 0 {
 			// Cannot happen when every gate fits some window; defensive.

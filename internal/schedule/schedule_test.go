@@ -1,8 +1,11 @@
 package schedule
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -17,7 +20,7 @@ func TestSingleWindowCircuitTakesOneMove(t *testing.T) {
 	c.ApplyH(0)
 	c.ApplyCNOT(0, 1)
 	c.ApplyCNOT(2, 3)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func TestBVStyleSweepMoves(t *testing.T) {
 	for q := 0; q < 64; q++ {
 		c.ApplyH(q)
 	}
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestBVStyleSweepMoves(t *testing.T) {
 	}
 	// And with a 32-ion head, 2 placements.
 	dev32 := device.TILT{NumIons: 64, HeadSize: 32}
-	s32, err := Tape(c, dev32)
+	s32, err := Tape(context.Background(), c, dev32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +68,7 @@ func TestRejectsOversizedGate(t *testing.T) {
 	dev := device.TILT{NumIons: 16, HeadSize: 4}
 	c := circuit.New(16)
 	c.ApplyCNOT(0, 10)
-	if _, err := Tape(c, dev); err == nil {
+	if _, err := Tape(context.Background(), c, dev); err == nil {
 		t.Error("gate wider than head should be rejected")
 	}
 }
@@ -74,7 +77,7 @@ func TestRejectsTernaryGate(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
 	c := circuit.New(8)
 	c.ApplyCCX(0, 1, 2)
-	if _, err := Tape(c, dev); err == nil {
+	if _, err := Tape(context.Background(), c, dev); err == nil {
 		t.Error("3-qubit gate should be rejected")
 	}
 }
@@ -82,7 +85,7 @@ func TestRejectsTernaryGate(t *testing.T) {
 func TestRejectsWideCircuit(t *testing.T) {
 	dev := device.TILT{NumIons: 4, HeadSize: 2}
 	c := circuit.New(8)
-	if _, err := Tape(c, dev); err == nil {
+	if _, err := Tape(context.Background(), c, dev); err == nil {
 		t.Error("circuit wider than chain should be rejected")
 	}
 }
@@ -95,7 +98,7 @@ func TestDependencyOrderAcrossWindows(t *testing.T) {
 	c.ApplyCNOT(0, 1)
 	c.ApplyCNOT(1, 2)
 	c.ApplyCNOT(9, 11)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestGreedyPrefersDenserWindow(t *testing.T) {
 	c.ApplyCNOT(8, 9)
 	c.ApplyCNOT(10, 11)
 	c.ApplyCNOT(9, 10)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +134,7 @@ func TestDistAccumulatesTravel(t *testing.T) {
 	c := circuit.New(12)
 	c.ApplyCNOT(0, 1)
 	c.ApplyCNOT(8, 11)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +154,11 @@ func TestScheduleCoversSwappedWorkload(t *testing.T) {
 	// End to end with swap insertion: a QFT on a small device.
 	bm := workloads.QFTN(10)
 	dev := device.TILT{NumIons: 10, HeadSize: 4}
-	r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(10), dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(10), dev, swapins.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Tape(r.Physical, dev)
+	s, err := Tape(context.Background(), r.Physical, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +175,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyCNOT(0, 1)
 	c.ApplyCNOT(1, 2)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +213,11 @@ func TestPropertyScheduleAlwaysValid(t *testing.T) {
 		head := 3 + int(headRaw)%4
 		dev := device.TILT{NumIons: n, HeadSize: head}
 		bm := workloads.Random(n, 20, seed)
-		r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
+		r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
 		if err != nil {
 			return false
 		}
-		s, err := Tape(r.Physical, dev)
+		s, err := Tape(context.Background(), r.Physical, dev)
 		if err != nil {
 			return false
 		}
@@ -229,11 +232,35 @@ func TestPropertyScheduleAlwaysValid(t *testing.T) {
 func TestEmptyCircuitSchedulesNoSteps(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
 	c := circuit.New(8)
-	s, err := Tape(c, dev)
+	s, err := Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Moves != 0 || len(s.Steps) != 0 {
 		t.Errorf("empty circuit: moves=%d steps=%d, want 0/0", s.Moves, len(s.Steps))
+	}
+}
+
+func TestTapePreCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bm, err := workloads.ByName("BV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.TILT{NumIons: bm.Qubits(), HeadSize: 16}
+	r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(dev.NumIons), dev, swapins.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := Tape(ctx, r.Physical, dev); !errors.Is(err, context.Canceled) {
+		t.Errorf("Tape err = %v, want context.Canceled", err)
+	}
+	if _, err := Sweep(ctx, r.Physical, dev); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sweep err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled scheduling took %v, want prompt return", d)
 	}
 }

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -15,8 +16,9 @@ import (
 //
 // The sweep visits every head position in order so that even gates with a
 // single valid placement (span = head−1) are reachable; empty stops record
-// no step and count no move.
-func Sweep(c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
+// no step and count no move. Cancellation of ctx is observed every few dozen
+// stops.
+func Sweep(ctx context.Context, c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,11 +47,21 @@ func Sweep(c *circuit.Circuit, dev device.TILT) (*Schedule, error) {
 		stops[p] = p
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cur := -1
 	idx := 0
 	dir := 1
 	stalls := 0
+	visited := 0
 	for s.remaining > 0 {
+		visited++
+		if visited%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		p := stops[idx]
 		gates := s.executableAt(p)
 		if len(gates) > 0 {

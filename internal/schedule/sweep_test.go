@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -14,11 +15,11 @@ import (
 func TestSweepCoversAllGates(t *testing.T) {
 	dev := device.TILT{NumIons: 16, HeadSize: 4}
 	bm := workloads.QFTN(12)
-	r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(16), dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(16), dev, swapins.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Sweep(r.Physical, dev)
+	s, err := Sweep(context.Background(), r.Physical, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestSweepHandlesExactSpanGate(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
 	c := circuit.New(8)
 	c.ApplyCNOT(1, 4) // span 3 = head−1, only position 1 works
-	s, err := Sweep(c, dev)
+	s, err := Sweep(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,22 +50,22 @@ func TestSweepRejectsOversizedGate(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
 	c := circuit.New(8)
 	c.ApplyCNOT(0, 7)
-	if _, err := Sweep(c, dev); err == nil {
+	if _, err := Sweep(context.Background(), c, dev); err == nil {
 		t.Error("oversized gate should be rejected")
 	}
 	ccx := circuit.New(8)
 	ccx.ApplyCCX(0, 1, 2)
-	if _, err := Sweep(ccx, dev); err == nil {
+	if _, err := Sweep(context.Background(), ccx, dev); err == nil {
 		t.Error("arity-3 gate should be rejected")
 	}
-	if _, err := Sweep(circuit.New(16), dev); err == nil {
+	if _, err := Sweep(context.Background(), circuit.New(16), dev); err == nil {
 		t.Error("wide circuit should be rejected")
 	}
 }
 
 func TestSweepEmptyCircuit(t *testing.T) {
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
-	s, err := Sweep(circuit.New(8), dev)
+	s, err := Sweep(context.Background(), circuit.New(8), dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,15 +78,15 @@ func TestGreedyBeatsOrMatchesSweep(t *testing.T) {
 	// Algorithm 2's whole point: fewer placements than a blind sweep.
 	dev := device.TILT{NumIons: 64, HeadSize: 16}
 	bm := workloads.QAOA()
-	r, err := (swapins.LinQ{}).Insert(decomposeArity2(t, bm), mapping.Identity(64), dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), decomposeArity2(t, bm), mapping.Identity(64), dev, swapins.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedy, err := Tape(r.Physical, dev)
+	greedy, err := Tape(context.Background(), r.Physical, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweep, err := Sweep(r.Physical, dev)
+	sweep, err := Sweep(context.Background(), r.Physical, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestPropertySweepAlwaysValid(t *testing.T) {
 		head := 3 + int(headRaw)%4
 		dev := device.TILT{NumIons: n, HeadSize: head}
 		bm := workloads.Random(n, 15, seed)
-		r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
+		r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
 		if err != nil {
 			return false
 		}
-		s, err := Sweep(r.Physical, dev)
+		s, err := Sweep(context.Background(), r.Physical, dev)
 		if err != nil {
 			return false
 		}

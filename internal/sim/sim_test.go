@@ -17,11 +17,11 @@ import (
 
 func compile(t *testing.T, c *circuit.Circuit, dev device.TILT) (*circuit.Circuit, *schedule.Schedule) {
 	t.Helper()
-	r, err := (swapins.LinQ{}).Insert(c, mapping.Identity(dev.NumIons), dev, swapins.Options{})
+	r, err := (swapins.LinQ{}).Insert(context.Background(), c, mapping.Identity(dev.NumIons), dev, swapins.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := schedule.Tape(r.Physical, dev)
+	s, err := schedule.Tape(context.Background(), r.Physical, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestSimulateRejectsBadInput(t *testing.T) {
 	if _, err := Simulate(context.Background(), c, sched, dev, noise.Default()); err == nil {
 		t.Error("schedule missing gates should be rejected")
 	}
-	good, err := schedule.Tape(c, dev)
+	good, err := schedule.Tape(context.Background(), c, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,11 +305,11 @@ func TestPropertySuccessRateInUnitInterval(t *testing.T) {
 		n := 12
 		dev := device.TILT{NumIons: n, HeadSize: 3 + int(headRaw)%5}
 		bm := workloads.Random(n, 15, seed)
-		r, err := (swapins.LinQ{}).Insert(bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
+		r, err := (swapins.LinQ{}).Insert(context.Background(), bm.Circuit, mapping.Identity(n), dev, swapins.Options{})
 		if err != nil {
 			return false
 		}
-		s, err := schedule.Tape(r.Physical, dev)
+		s, err := schedule.Tape(context.Background(), r.Physical, dev)
 		if err != nil {
 			return false
 		}

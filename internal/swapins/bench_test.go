@@ -1,6 +1,7 @@
 package swapins
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/decompose"
@@ -21,7 +22,7 @@ func BenchmarkLinQInsertQFT(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (LinQ{}).Insert(nat, m0, dev, Options{}); err != nil {
+		if _, err := (LinQ{}).Insert(context.Background(), nat, m0, dev, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func BenchmarkStochasticInsertQFT(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (Stochastic{Trials: 8, Seed: 1}).Insert(nat, m0, dev, Options{}); err != nil {
+		if _, err := (Stochastic{Trials: 8, Seed: 1}).Insert(context.Background(), nat, m0, dev, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@
 package swapins
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +30,27 @@ import (
 	"repro/internal/device"
 	"repro/internal/mapping"
 )
+
+// cancelCheckEvery is how many units of work (gates emitted or swaps
+// inserted) an inserter processes between context checks. Small enough that
+// a cancelled batch job stops mid-pass promptly, large enough that the check
+// never shows up in profiles.
+const cancelCheckEvery = 64
+
+// canceller amortizes ctx.Err() checks over inner-loop iterations.
+type canceller struct {
+	ctx context.Context
+	n   int
+}
+
+// check returns the context's error every cancelCheckEvery calls.
+func (cc *canceller) check() error {
+	cc.n++
+	if cc.n%cancelCheckEvery != 0 {
+		return nil
+	}
+	return cc.ctx.Err()
+}
 
 // Options configures an insertion pass.
 type Options struct {
@@ -108,8 +130,10 @@ type Inserter interface {
 	// Name identifies the strategy in reports.
 	Name() string
 	// Insert rewrites c (logical qubits) into a physical circuit using m0
-	// as the initial placement. m0 is not mutated.
-	Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error)
+	// as the initial placement. m0 is not mutated. Cancellation of ctx is
+	// observed inside the insertion loop (every few dozen gates/swaps), so
+	// a cancelled batch job stops mid-pass.
+	Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error)
 }
 
 // LinQ is the paper's Algorithm 1 heuristic inserter.
@@ -119,7 +143,7 @@ type LinQ struct{}
 func (LinQ) Name() string { return "linq" }
 
 // Insert implements Inserter.
-func (LinQ) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error) {
+func (LinQ) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error) {
 	opt = opt.withDefaults(dev)
 	if err := opt.validate(dev); err != nil {
 		return nil, err
@@ -127,6 +151,10 @@ func (LinQ) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt
 	if err := checkInput(c, m0, dev); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cc := canceller{ctx: ctx}
 
 	m := m0.Clone()
 	out := circuit.New(dev.NumIons)
@@ -142,6 +170,9 @@ func (LinQ) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt
 	nextTwoQ := 0
 
 	for gi, g := range c.Gates() {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
 		if !g.IsTwoQubit() {
 			emitMapped(out, g, m)
 			continue
@@ -150,6 +181,9 @@ func (LinQ) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt
 		// candidate strictly shortens the current gate, so this
 		// terminates.
 		for m.GateDistance(g.Qubits[0], g.Qubits[1]) > dev.MaxGateDistance() {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
 			cand := candidates(m, g, opt.MaxSwapLen)
 			if len(cand) == 0 {
 				return nil, fmt.Errorf("swapins: no candidate swap for gate %d (%s)", gi, g)
@@ -185,7 +219,7 @@ type Stochastic struct {
 func (Stochastic) Name() string { return "stochastic" }
 
 // Insert implements Inserter.
-func (s Stochastic) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error) {
+func (s Stochastic) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping, dev device.TILT, opt Options) (*Result, error) {
 	// The baseline deliberately ignores MaxSwapLen tightening: it always
 	// routes with the loosest distance (head width − 1), the first problem
 	// the paper identifies with it.
@@ -197,6 +231,10 @@ func (s Stochastic) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.T
 	if err := checkInput(c, m0, dev); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cc := canceller{ctx: ctx}
 	trials := s.Trials
 	if trials == 0 {
 		trials = 8
@@ -215,6 +253,9 @@ func (s Stochastic) Insert(c *circuit.Circuit, m0 *mapping.Mapping, dev device.T
 	nextTwoQ := 0
 
 	for gi, g := range c.Gates() {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
 		if !g.IsTwoQubit() {
 			emitMapped(out, g, m)
 			continue

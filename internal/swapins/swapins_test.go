@@ -1,9 +1,12 @@
 package swapins
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -78,7 +81,7 @@ func TestExecutableGatePassesThrough(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyCNOT(0, 3) // distance 3 = L−1: executable
 	for _, ins := range inserters() {
-		r, err := ins.Insert(c, mapping.Identity(8), dev, Options{})
+		r, err := ins.Insert(context.Background(), c, mapping.Identity(8), dev, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", ins.Name(), err)
 		}
@@ -96,7 +99,7 @@ func TestSingleLongGateGetsResolved(t *testing.T) {
 	c := circuit.New(10)
 	c.ApplyCNOT(0, 9) // distance 9, head allows 3
 	for _, ins := range inserters() {
-		r, err := ins.Insert(c, mapping.Identity(10), dev, Options{})
+		r, err := ins.Insert(context.Background(), c, mapping.Identity(10), dev, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", ins.Name(), err)
 		}
@@ -118,7 +121,7 @@ func TestLinQHonorsMaxSwapLen(t *testing.T) {
 	c.ApplyCNOT(0, 15)
 	c.ApplyCNOT(2, 14)
 	for _, maxLen := range []int{2, 4, 7} {
-		r, err := (LinQ{}).Insert(c, mapping.Identity(16), dev, Options{MaxSwapLen: maxLen})
+		r, err := (LinQ{}).Insert(context.Background(), c, mapping.Identity(16), dev, Options{MaxSwapLen: maxLen})
 		if err != nil {
 			t.Fatalf("maxLen=%d: %v", maxLen, err)
 		}
@@ -131,13 +134,13 @@ func TestOptionsValidation(t *testing.T) {
 	c := circuit.New(8)
 	c.ApplyCNOT(0, 7)
 	m := mapping.Identity(8)
-	if _, err := (LinQ{}).Insert(c, m, dev, Options{MaxSwapLen: 99}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), c, m, dev, Options{MaxSwapLen: 99}); err == nil {
 		t.Error("MaxSwapLen above head limit should fail")
 	}
-	if _, err := (LinQ{}).Insert(c, m, dev, Options{Alpha: 1.5}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), c, m, dev, Options{Alpha: 1.5}); err == nil {
 		t.Error("Alpha outside (0,1) should fail")
 	}
-	if _, err := (LinQ{}).Insert(c, m, dev, Options{Lookahead: -1}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), c, m, dev, Options{Lookahead: -1}); err == nil {
 		t.Error("negative lookahead should fail")
 	}
 }
@@ -146,17 +149,17 @@ func TestInputValidation(t *testing.T) {
 	dev := device.TILT{NumIons: 4, HeadSize: 2}
 	wide := circuit.New(8)
 	wide.ApplyCNOT(0, 7)
-	if _, err := (LinQ{}).Insert(wide, mapping.Identity(8), dev, Options{}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), wide, mapping.Identity(8), dev, Options{}); err == nil {
 		t.Error("circuit wider than chain should fail")
 	}
 	c := circuit.New(4)
 	c.ApplyCNOT(0, 3)
-	if _, err := (LinQ{}).Insert(c, mapping.Identity(8), dev, Options{}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), c, mapping.Identity(8), dev, Options{}); err == nil {
 		t.Error("mapping size mismatch should fail")
 	}
 	ccx := circuit.New(4)
 	ccx.ApplyCCX(0, 1, 2)
-	if _, err := (LinQ{}).Insert(ccx, mapping.Identity(4), dev, Options{}); err == nil {
+	if _, err := (LinQ{}).Insert(context.Background(), ccx, mapping.Identity(4), dev, Options{}); err == nil {
 		t.Error("3-qubit gate should be rejected (decompose first)")
 	}
 }
@@ -170,7 +173,7 @@ func TestOpposingSwapDetected(t *testing.T) {
 	c := circuit.New(10)
 	c.ApplyCNOT(0, 9)
 	c.ApplyCNOT(5, 1)
-	r, err := (LinQ{}).Insert(c, mapping.Identity(10), dev, Options{Alpha: 0.9})
+	r, err := (LinQ{}).Insert(context.Background(), c, mapping.Identity(10), dev, Options{Alpha: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +203,11 @@ func TestLinQBeatsStochasticOnLongRangeTraffic(t *testing.T) {
 	// Use the CNOT level (arity ≤ 2).
 	c := lowered(bm.Circuit)
 	m0 := mapping.Identity(12)
-	lr, err := (LinQ{}).Insert(c, m0, dev, Options{})
+	lr, err := (LinQ{}).Insert(context.Background(), c, m0, dev, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := (Stochastic{Trials: 8, Seed: 3}).Insert(c, m0, dev, Options{})
+	sr, err := (Stochastic{Trials: 8, Seed: 3}).Insert(context.Background(), c, m0, dev, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +231,7 @@ func TestPropertyBothInsertersPreserveSemantics(t *testing.T) {
 			return false
 		}
 		for _, ins := range inserters() {
-			r, err := ins.Insert(c, m0, dev, Options{})
+			r, err := ins.Insert(context.Background(), c, m0, dev, Options{})
 			if err != nil {
 				return false
 			}
@@ -263,11 +266,11 @@ func TestStochasticDeterministicForSeed(t *testing.T) {
 	bm := workloads.Random(10, 15, 4)
 	dev := device.TILT{NumIons: 10, HeadSize: 4}
 	m0 := mapping.Identity(10)
-	a, err := (Stochastic{Trials: 4, Seed: 9}).Insert(bm.Circuit, m0, dev, Options{})
+	a, err := (Stochastic{Trials: 4, Seed: 9}).Insert(context.Background(), bm.Circuit, m0, dev, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (Stochastic{Trials: 4, Seed: 9}).Insert(bm.Circuit, m0, dev, Options{})
+	b, err := (Stochastic{Trials: 4, Seed: 9}).Insert(context.Background(), bm.Circuit, m0, dev, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +283,7 @@ func TestMappingNotMutated(t *testing.T) {
 	bm := workloads.Random(8, 10, 2)
 	dev := device.TILT{NumIons: 8, HeadSize: 4}
 	m0 := mapping.Identity(8)
-	if _, err := (LinQ{}).Insert(bm.Circuit, m0, dev, Options{}); err != nil {
+	if _, err := (LinQ{}).Insert(context.Background(), bm.Circuit, m0, dev, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
@@ -294,3 +297,44 @@ func TestMappingNotMutated(t *testing.T) {
 // generator only emits H and CP, both arity ≤ 2, so this is the identity;
 // kept as a seam in case workloads gain 3-qubit gates.
 func lowered(c *circuit.Circuit) *circuit.Circuit { return c }
+
+func TestInsertPreCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bm, err := workloads.ByName("QFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.TILT{NumIons: bm.Qubits(), HeadSize: 16}
+	m0 := mapping.Identity(dev.NumIons)
+	for _, ins := range []Inserter{LinQ{}, Stochastic{Trials: 8, Seed: 1}} {
+		start := time.Now()
+		_, err := ins.Insert(ctx, bm.Circuit, m0, dev, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", ins.Name(), err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s: cancelled insert took %v, want prompt return", ins.Name(), d)
+		}
+	}
+}
+
+func TestInsertMidPassCancellationStopsInnerLoop(t *testing.T) {
+	// Cancel after the first context poll: the inserter must abandon the
+	// gate loop mid-pass rather than finishing the compile.
+	bm, err := workloads.ByName("QFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.TILT{NumIons: bm.Qubits(), HeadSize: 16}
+	m0 := mapping.Identity(dev.NumIons)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, err = (LinQ{}).Insert(ctx, bm.Circuit, m0, dev, Options{})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want nil or context.Canceled", err)
+	}
+}

@@ -1,8 +1,11 @@
 package tilt
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/pipeline"
 	"repro/internal/swapins"
 )
 
@@ -43,6 +46,52 @@ type config struct {
 	seed int64
 	// mcWorkers bounds the Monte-Carlo worker pool (0 = GOMAXPROCS).
 	mcWorkers int
+	// passes replaces the stock compiler pass list (WithPasses; nil means
+	// the stock LinQ pipeline for the configuration).
+	passes []pipeline.Pass
+	// extras are custom passes injected into the pass list (WithExtraPass).
+	extras []extraPass
+	// observer receives pass lifecycle events (WithPassObserver).
+	observer pipeline.Observer
+	// cacheSize bounds the compile cache (WithCompileCache; 0 = disabled).
+	cacheSize int
+}
+
+// extraPass is one WithExtraPass injection: pass runs right after the pass
+// named after ("" = append at the end of the pipeline).
+type extraPass struct {
+	after string
+	pass  pipeline.Pass
+}
+
+// passList materializes the compiler pass list: the custom list from
+// WithPasses (or the stock LinQ pipeline), with every WithExtraPass
+// injection spliced in after its anchor.
+func (c config) passList() ([]pipeline.Pass, error) {
+	passes := c.passes
+	if passes == nil {
+		passes = core.DefaultPasses(c.core)
+	} else {
+		passes = append([]pipeline.Pass(nil), passes...)
+	}
+	for _, e := range c.extras {
+		if e.after == "" {
+			passes = append(passes, e.pass)
+			continue
+		}
+		idx := -1
+		for i, p := range passes {
+			if p.Name() == e.after {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return nil, fmt.Errorf("tilt: WithExtraPass: no pass named %q in the pipeline", e.after)
+		}
+		passes = append(passes[:idx+1], append([]pipeline.Pass{e.pass}, passes[idx+1:]...)...)
+	}
+	return passes, nil
 }
 
 // Option configures a backend. Options are shared across backends; each
@@ -151,4 +200,54 @@ func WithMCWorkers(n int) Option {
 // for callers migrating from the legacy Options struct.
 func WithConfig(cfg Options) Option {
 	return func(c *config) { c.core = cfg }
+}
+
+// WithPasses replaces the TILT compiler's stock pass list with an explicit
+// one, so callers can reorder or drop phases (for ablations) or assemble a
+// pipeline from scratch. The list must still produce a complete compilation
+// — a physical circuit and a schedule — or Compile returns an error naming
+// the missing phase. Combine with StockPasses to start from the defaults:
+//
+//	passes := tilt.StockPasses(tilt.WithOptimize())
+//	be := tilt.NewTILT(tilt.WithOptimize(), tilt.WithPasses(passes...))
+func WithPasses(passes ...Pass) Option {
+	return func(c *config) { c.passes = passes }
+}
+
+// WithExtraPass injects a custom pass into the TILT compiler pipeline right
+// after the pass named after (use the Pass* name constants; "" appends at
+// the end). Compile fails with a descriptive error when no pass with that
+// name is in the pipeline. Multiple WithExtraPass options apply in order:
+//
+//	peephole := tilt.NewPass("my-peephole", func(ctx context.Context, s *tilt.PassState) error {
+//		// rewrite s.Native in place
+//		return nil
+//	})
+//	be := tilt.NewTILT(tilt.WithExtraPass(tilt.PassDecompose, peephole))
+func WithExtraPass(after string, p Pass) Option {
+	return func(c *config) { c.extras = append(c.extras, extraPass{after: after, pass: p}) }
+}
+
+// WithPassObserver registers an observer for pass lifecycle events during
+// TILT compilation — the hook for tracing, metrics, and progress reporting.
+// Use PassObserverFuncs to adapt plain functions.
+//
+// Within one Compile the observer's calls are sequential, but a backend
+// shared across goroutines (e.g. one backend fanned over a runner batch)
+// runs one pipeline per concurrent Compile, so the observer must be safe
+// for concurrent use in that setting.
+func WithPassObserver(obs PassObserver) Option {
+	return func(c *config) { c.observer = obs }
+}
+
+// WithCompileCache bounds a per-backend content-addressed compile cache to n
+// artifacts: Compile keys each circuit by Circuit.Fingerprint and returns
+// the cached *Artifact when an identical circuit was already compiled on
+// this backend, so sweeps that revisit the same circuit×config skip
+// recompilation entirely. The backend's configuration is fixed at
+// construction, so the fingerprint alone identifies the artifact. Cache
+// hit/miss counters are reported in Result.Cache. n <= 0 disables caching
+// (the default).
+func WithCompileCache(n int) Option {
+	return func(c *config) { c.cacheSize = n }
 }

@@ -1,0 +1,331 @@
+package tilt_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	tilt "repro"
+	"repro/runner"
+)
+
+// resultEqual compares two Results field by field, ignoring wall-clock pass
+// timings and cache counters (the only fields allowed to differ between a
+// cold and a cached run of the same circuit).
+func resultEqual(a, b *tilt.Result) bool {
+	ca, cb := *a, *b
+	ca.Cache, cb.Cache = nil, nil
+	if (ca.TILT == nil) != (cb.TILT == nil) {
+		return false
+	}
+	if ca.TILT != nil {
+		ta, tb := *ca.TILT, *cb.TILT
+		ta.Passes, tb.Passes = nil, nil
+		ta.TSwap, tb.TSwap = 0, 0
+		ta.TMove, tb.TMove = 0, 0
+		if !reflect.DeepEqual(ta, tb) {
+			return false
+		}
+		ca.TILT, cb.TILT = nil, nil
+	}
+	return reflect.DeepEqual(ca, cb)
+}
+
+func TestDefaultBackendReportsPassTimings(t *testing.T) {
+	bench := tilt.GHZ(16)
+	be := tilt.NewTILT(tilt.WithDevice(16, 8))
+	res, err := tilt.Execute(context.Background(), be, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{tilt.PassDecompose, tilt.PassPlace, tilt.PassInsertSwaps, tilt.PassSchedule}
+	if len(res.TILT.Passes) != len(want) {
+		t.Fatalf("got %d pass records, want %d", len(res.TILT.Passes), len(want))
+	}
+	for i, p := range res.TILT.Passes {
+		if p.Pass != want[i] {
+			t.Errorf("pass %d = %q, want %q", i, p.Pass, want[i])
+		}
+	}
+	// The deprecated Table III aliases must agree with the records.
+	if res.TILT.TSwap != res.TILT.Passes[2].Wall || res.TILT.TMove != res.TILT.Passes[3].Wall {
+		t.Error("TSwap/TMove do not alias the insert-swaps/schedule pass timings")
+	}
+}
+
+func TestWithExtraPassInjectsCustomPass(t *testing.T) {
+	bench := tilt.GHZ(16)
+	sawNative := 0
+	probe := tilt.NewPass("probe-native", func(ctx context.Context, s *tilt.PassState) error {
+		sawNative = s.Native.Len()
+		return nil
+	})
+	be := tilt.NewTILT(tilt.WithDevice(16, 8), tilt.WithExtraPass(tilt.PassDecompose, probe))
+	art, err := be.Compile(context.Background(), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawNative == 0 || sawNative != art.Compile.Native.Len() {
+		t.Errorf("probe saw %d native gates, want %d", sawNative, art.Compile.Native.Len())
+	}
+	if len(art.Compile.Timings) != 5 {
+		t.Fatalf("got %d pass records, want 5", len(art.Compile.Timings))
+	}
+	if art.Compile.Timings[1].Pass != "probe-native" {
+		t.Errorf("pass 1 = %q, want the injected probe", art.Compile.Timings[1].Pass)
+	}
+	// The injected pass must not perturb the compilation itself.
+	plain, err := tilt.NewTILT(tilt.WithDevice(16, 8)).Compile(context.Background(), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Compile.Physical.String() != plain.Compile.Physical.String() {
+		t.Error("observer-only pass changed the compiled program")
+	}
+}
+
+func TestWithExtraPassTransformsNativeCircuit(t *testing.T) {
+	// A custom peephole that strips leading RZ rotations (they commute with
+	// nothing before them and only add duration here) must both run and
+	// change the compiled program.
+	c := tilt.NewCircuit(8)
+	c.ApplyRZ(0.4, 0)
+	c.ApplyH(0)
+	for q := 0; q+1 < 8; q++ {
+		c.ApplyCNOT(q, q+1)
+	}
+	dropFirst := tilt.NewPass("drop-first-gate", func(ctx context.Context, s *tilt.PassState) error {
+		trimmed := tilt.NewCircuit(s.Native.NumQubits())
+		for _, g := range s.Native.Gates()[1:] {
+			if err := trimmed.Add(g); err != nil {
+				return err
+			}
+		}
+		s.Native = trimmed
+		return nil
+	})
+	be := tilt.NewTILT(tilt.WithDevice(8, 4), tilt.WithExtraPass(tilt.PassDecompose, dropFirst))
+	art, err := be.Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := tilt.NewTILT(tilt.WithDevice(8, 4)).Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := art.Compile.Native.Len(), plain.Compile.Native.Len()-1; got != want {
+		t.Errorf("native gates = %d, want %d", got, want)
+	}
+}
+
+func TestWithExtraPassUnknownAnchorFails(t *testing.T) {
+	probe := tilt.NewPass("probe", func(ctx context.Context, s *tilt.PassState) error { return nil })
+	be := tilt.NewTILT(tilt.WithDevice(16, 8), tilt.WithExtraPass("no-such-pass", probe))
+	_, err := be.Compile(context.Background(), tilt.GHZ(16).Circuit)
+	if err == nil || !strings.Contains(err.Error(), "no-such-pass") {
+		t.Errorf("err = %v, want unknown-anchor error", err)
+	}
+}
+
+func TestWithPassesReordersPipeline(t *testing.T) {
+	// Optimize after place is a legal reordering of the stock list.
+	bench := tilt.GHZ(16)
+	passes := []tilt.Pass{
+		tilt.DecomposePass(),
+		tilt.PlacePass(tilt.ProgramOrderPlacement),
+		tilt.OptimizePass(),
+		tilt.SwapInsertPass(nil, tilt.SwapOptions{}),
+		tilt.SchedulePass(),
+	}
+	be := tilt.NewTILT(tilt.WithDevice(16, 8), tilt.WithPasses(passes...))
+	res, err := tilt.Execute(context.Background(), be, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TILT.Passes[2].Pass != tilt.PassOptimize {
+		t.Errorf("pass 2 = %q, want optimize", res.TILT.Passes[2].Pass)
+	}
+	if res.SuccessRate <= 0 {
+		t.Errorf("success = %g", res.SuccessRate)
+	}
+}
+
+func TestWithPassesDroppedPhaseFails(t *testing.T) {
+	be := tilt.NewTILT(tilt.WithDevice(16, 8),
+		tilt.WithPasses(tilt.DecomposePass(), tilt.PlacePass(tilt.ProgramOrderPlacement)))
+	_, err := be.Compile(context.Background(), tilt.GHZ(16).Circuit)
+	if err == nil || !strings.Contains(err.Error(), "incomplete compilation") {
+		t.Errorf("err = %v, want incomplete-compilation error", err)
+	}
+}
+
+func TestWithPassObserverSeesPipeline(t *testing.T) {
+	var names []string
+	obs := tilt.PassObserverFuncs{
+		Finished: func(pt tilt.PassTiming, err error) {
+			if err != nil {
+				t.Errorf("pass %s: %v", pt.Pass, err)
+			}
+			names = append(names, pt.Pass)
+		},
+	}
+	be := tilt.NewTILT(tilt.WithDevice(16, 8), tilt.WithPassObserver(obs))
+	if _, err := be.Compile(context.Background(), tilt.GHZ(16).Circuit); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{tilt.PassDecompose, tilt.PassPlace, tilt.PassInsertSwaps, tilt.PassSchedule}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("observed %v, want %v", names, want)
+	}
+}
+
+func TestDirectPipelineMatchesBackend(t *testing.T) {
+	bench := tilt.GHZ(16)
+	dev := tilt.Device{NumIons: 16, HeadSize: 8}
+	st := tilt.NewPassState(bench.Circuit, dev, tilt.DefaultNoise())
+	timings, err := tilt.NewPipeline(tilt.StockPasses()...).Run(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 4 {
+		t.Fatalf("got %d timings, want 4", len(timings))
+	}
+	art, err := tilt.NewTILT(tilt.WithDevice(16, 8)).Compile(context.Background(), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Physical.String() != art.Compile.Physical.String() {
+		t.Error("direct pipeline and backend compile diverge")
+	}
+}
+
+func TestCompileCacheHitsAndBitIdenticalResults(t *testing.T) {
+	ctx := context.Background()
+	bench := tilt.GHZ(24)
+	be := tilt.NewTILT(tilt.WithDevice(24, 8), tilt.WithCompileCache(4))
+
+	a1, err := be.Compile(ctx, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := be.Simulate(ctx, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cache == nil || r1.Cache.Hits != 0 || r1.Cache.Misses != 1 {
+		t.Fatalf("after cold compile: cache = %+v, want 0 hits / 1 miss", r1.Cache)
+	}
+
+	// A gate-identical clone must hit the cache and return the same artifact.
+	a2, err := be.Compile(ctx, bench.Circuit.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Error("cache hit returned a different artifact")
+	}
+	r2, err := be.Simulate(ctx, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cache.Hits != 1 || r2.Cache.Entries != 1 {
+		t.Errorf("after cached compile: cache = %+v, want 1 hit / 1 entry", r2.Cache)
+	}
+	if !resultEqual(r1, r2) {
+		t.Error("cached Result differs from cold Result")
+	}
+
+	// A different circuit must miss.
+	a3, err := be.Compile(ctx, tilt.GHZ(23).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := be.Simulate(ctx, a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cache.Hits != 1 || r3.Cache.Misses != 2 || r3.Cache.Entries != 2 {
+		t.Errorf("after distinct circuit: cache = %+v, want 1 hit / 2 misses / 2 entries", r3.Cache)
+	}
+}
+
+func TestCompileCacheNotPoisonedByCallerMutation(t *testing.T) {
+	// The cached artifact must not alias the caller's mutable circuit.
+	ctx := context.Background()
+	be := tilt.NewTILT(tilt.WithDevice(8, 4), tilt.WithCompileCache(4))
+	c := tilt.GHZ(8).Circuit
+	gates := c.Len()
+	if _, err := be.Compile(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyX(0) // mutate after compiling
+	hit, err := be.Compile(ctx, tilt.GHZ(8).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Circuit.Len() != gates {
+		t.Errorf("cached Artifact.Circuit has %d gates, want %d (caller mutation leaked in)", hit.Circuit.Len(), gates)
+	}
+}
+
+func TestCompileCacheMatchesUncachedResult(t *testing.T) {
+	ctx := context.Background()
+	bench := tilt.GHZ(24)
+	cold, err := tilt.Execute(ctx, tilt.NewTILT(tilt.WithDevice(24, 8)), bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := tilt.NewTILT(tilt.WithDevice(24, 8), tilt.WithCompileCache(4))
+	var last *tilt.Result
+	for i := 0; i < 3; i++ {
+		last, err = tilt.Execute(ctx, cached, bench.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !resultEqual(cold, last) {
+		t.Error("cached backend Result differs from uncached backend Result")
+	}
+	if last.Cache.Hits != 2 {
+		t.Errorf("hits = %d, want 2", last.Cache.Hits)
+	}
+}
+
+func TestCompileCacheSharedAcrossRunnerSweep(t *testing.T) {
+	// A sweep that revisits the same circuit×config must compile once.
+	bench := tilt.GHZ(24)
+	be := tilt.NewTILT(tilt.WithDevice(24, 8), tilt.WithCompileCache(2))
+	var jobs []runner.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, runner.Job{Name: "sweep", Backend: be, Circuit: bench.Circuit})
+	}
+	results := runner.Run(context.Background(), jobs, runner.WithWorkers(4))
+	for _, jr := range results {
+		if jr.Err != nil {
+			t.Fatal(jr.Err)
+		}
+		if jr.Result.Cache == nil {
+			t.Fatal("no cache stats on swept Result")
+		}
+	}
+	for _, jr := range results[1:] {
+		if !resultEqual(results[0].Result, jr.Result) {
+			t.Error("swept Results diverge")
+			break
+		}
+	}
+	// Per-job snapshots race with other jobs' compiles, so assert on the
+	// settled counters after the batch: 8 sweep lookups plus this one, with
+	// at most the 4 concurrent first compiles missing.
+	res, err := tilt.Execute(context.Background(), be, bench.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := res.Cache.Hits + res.Cache.Misses; total != 9 {
+		t.Errorf("hits+misses = %d, want 9", total)
+	}
+	if res.Cache.Misses < 1 || res.Cache.Misses > 4 {
+		t.Errorf("misses = %d, want within [1,4] (bounded by the worker count)", res.Cache.Misses)
+	}
+}
