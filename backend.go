@@ -240,13 +240,21 @@ func (b *TILTBackend) Name() string { return "TILT" }
 // (by Fingerprint) was already compiled, the cached artifact is returned
 // without recompiling.
 func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	mx := b.cfg.mx
 	var key string
 	if b.cache != nil {
 		key = c.Fingerprint()
 		if a, ok := b.cache.Get(key); ok {
+			if mx != nil {
+				mx.cacheHits.With(b.Name()).Inc()
+			}
 			return a, nil
 		}
+		if mx != nil {
+			mx.cacheMisses.With(b.Name()).Inc()
+		}
 	}
+	start := time.Now()
 	cfg := b.cfg.resolved(c)
 	passes, err := cfg.passList()
 	if err != nil {
@@ -255,6 +263,13 @@ func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error
 	cr, err := core.CompileWith(ctx, c, cfg.core, passes, cfg.observer)
 	if err != nil {
 		return nil, err
+	}
+	if mx != nil {
+		mx.compiles.With(b.Name()).Inc()
+		mx.compileSec.With(b.Name()).Observe(time.Since(start).Seconds())
+		for _, pt := range cr.Timings {
+			mx.passSec.With(pt.Pass).Observe(pt.Wall.Seconds())
+		}
 	}
 	a := &Artifact{
 		Backend: b.Name(),
@@ -279,6 +294,7 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	sr, err := a.Compile.Simulate(ctx, a.cfg.core)
 	if err != nil {
 		return nil, err
@@ -307,6 +323,9 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 		hits, misses := b.cache.Stats()
 		res.Cache = &CacheStats{Hits: hits, Misses: misses, Entries: b.cache.Len()}
 	}
+	if mx := b.cfg.mx; mx != nil {
+		mx.simulateSec.With(b.Name()).Observe(time.Since(start).Seconds())
+	}
 	return res, nil
 }
 
@@ -323,8 +342,15 @@ func runMC(ctx context.Context, a *Artifact) (*MCStats, error) {
 	}
 
 	a.mcOnce.Do(func() {
+		mcOpts := []mc.EngineOption{mc.WithWorkers(a.cfg.mcWorkers)}
+		if mx := a.cfg.mx; mx != nil {
+			mcOpts = append(mcOpts, mc.WithShardObserver(func(shots int, elapsed time.Duration) {
+				mx.mcShots.Add(int64(shots))
+				mx.mcShardSec.Observe(elapsed.Seconds())
+			}))
+		}
 		a.mcEngine, a.mcErr = mc.NewEngine(a.Compile.Physical, a.Compile.Schedule,
-			a.cfg.core.Device, a.cfg.core.NoiseParams(), mc.WithWorkers(a.cfg.mcWorkers))
+			a.cfg.core.Device, a.cfg.core.NoiseParams(), mcOpts...)
 	})
 	if a.mcErr != nil {
 		return nil, a.mcErr
@@ -383,13 +409,19 @@ func (b *QCCDBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	cfg := b.cfg.resolved(c)
-	return &Artifact{
+	a := &Artifact{
 		Backend: b.Name(),
 		Circuit: c,
 		Native:  decompose.ToNative(c),
 		cfg:     cfg,
-	}, nil
+	}
+	if mx := b.cfg.mx; mx != nil {
+		mx.compiles.With(b.Name()).Inc()
+		mx.compileSec.With(b.Name()).Observe(time.Since(start).Seconds())
+	}
+	return a, nil
 }
 
 // Simulate implements Backend: run the capacity sweep concurrently and
@@ -398,10 +430,14 @@ func (b *QCCDBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	best, err := qccd.RunBestCapacity(ctx, a.Native, a.cfg.core.Device.NumIons,
 		a.cfg.capacities, a.cfg.core.NoiseParams())
 	if err != nil {
 		return nil, err
+	}
+	if mx := b.cfg.mx; mx != nil {
+		mx.simulateSec.With(b.Name()).Observe(time.Since(start).Seconds())
 	}
 	return &Result{
 		Backend:              b.Name(),
@@ -443,10 +479,15 @@ func (b *IdealTIBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	cfg := b.cfg.resolved(c)
 	native, mapped, err := core.PlaceIdeal(c, cfg.core.Device.NumIons)
 	if err != nil {
 		return nil, err
+	}
+	if mx := b.cfg.mx; mx != nil {
+		mx.compiles.With(b.Name()).Inc()
+		mx.compileSec.With(b.Name()).Observe(time.Since(start).Seconds())
 	}
 	return &Artifact{
 		Backend: b.Name(),
@@ -462,10 +503,14 @@ func (b *IdealTIBackend) Simulate(ctx context.Context, a *Artifact) (*Result, er
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	sr, err := sim.SimulateIdeal(ctx, a.Mapped,
 		device.IdealTI{NumIons: a.cfg.core.Device.NumIons}, a.cfg.core.NoiseParams())
 	if err != nil {
 		return nil, err
+	}
+	if mx := b.cfg.mx; mx != nil {
+		mx.simulateSec.With(b.Name()).Observe(time.Since(start).Seconds())
 	}
 	return resultFromSim(b.Name(), sr), nil
 }

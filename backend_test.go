@@ -3,11 +3,14 @@ package tilt_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
 	tilt "repro"
+	"repro/runner"
 )
 
 // TestTILTBackendParity pins the Backend redesign to the legacy facade: on
@@ -329,5 +332,124 @@ func TestRepeatSimulateReusesMCStats(t *testing.T) {
 	}
 	if first.MC == second.MC {
 		t.Error("results should not alias one MCStats value")
+	}
+}
+
+// TestCompileCacheConcurrentBatch drives one cached TILT backend from a
+// parallel runner batch (meaningful under -race) and asserts the settled
+// hit/miss totals: every distinct circuit was compiled exactly once during
+// the serial pre-warm, and every parallel job hit the cache. Counters are
+// only inspected after the batch settles — mid-flight snapshots race with
+// other jobs by design.
+func TestCompileCacheConcurrentBatch(t *testing.T) {
+	ctx := context.Background()
+	reg := tilt.NewMetricsRegistry()
+	be := tilt.NewTILT(tilt.WithDevice(0, 4), tilt.WithCompileCache(8), tilt.WithMetrics(reg))
+
+	distinct := []*tilt.Circuit{
+		tilt.GHZ(6).Circuit,
+		tilt.GHZ(7).Circuit,
+		tilt.GHZ(8).Circuit,
+		tilt.GHZ(9).Circuit,
+	}
+	// Pre-warm serially so the parallel phase's expected counts are exact:
+	// concurrent first compiles of one fingerprint may legitimately miss
+	// more than once (both check before either inserts).
+	for _, c := range distinct {
+		if _, err := be.Compile(ctx, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const repeats = 8
+	var jobs []runner.Job
+	for r := 0; r < repeats; r++ {
+		for i, c := range distinct {
+			jobs = append(jobs, runner.Job{
+				Name:    fmt.Sprintf("rep%d/ghz%d", r, i+6),
+				Backend: be,
+				Circuit: c,
+			})
+		}
+	}
+	results := runner.Run(ctx, jobs, runner.WithWorkers(8))
+	for _, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+	}
+
+	// Settled counters, via one extra Execute whose own Compile is one more
+	// hit (Result.Cache is the only public window onto the lru counters).
+	res, err := tilt.Execute(ctx, be, distinct[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := int64(repeats*len(distinct) + 1)
+	wantMisses := int64(len(distinct))
+	if res.Cache == nil {
+		t.Fatal("Result.Cache missing on a cached backend")
+	}
+	if res.Cache.Hits != wantHits || res.Cache.Misses != wantMisses {
+		t.Errorf("cache hits/misses = %d/%d, want %d/%d",
+			res.Cache.Hits, res.Cache.Misses, wantHits, wantMisses)
+	}
+	if res.Cache.Entries != len(distinct) {
+		t.Errorf("cache entries = %d, want %d", res.Cache.Entries, len(distinct))
+	}
+
+	// The metrics registry must agree with the lru counters once settled.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf(`linq_compile_cache_hits_total{backend="TILT"} %d`, wantHits),
+		fmt.Sprintf(`linq_compile_cache_misses_total{backend="TILT"} %d`, wantMisses),
+		fmt.Sprintf(`linq_compiles_total{backend="TILT"} %d`, len(distinct)),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestWithMetricsInstrumentsBackend: one compile+simulate on an instrumented
+// backend populates the latency histograms, the per-pass histograms, and —
+// with WithShots — the Monte-Carlo throughput counters.
+func TestWithMetricsInstrumentsBackend(t *testing.T) {
+	ctx := context.Background()
+	reg := tilt.NewMetricsRegistry()
+	const shots = 600 // 3 shards of 256/256/88
+	be := tilt.NewTILT(tilt.WithDevice(8, 4), tilt.WithMetrics(reg),
+		tilt.WithShots(shots), tilt.WithSeed(7))
+	if _, err := tilt.Execute(ctx, be, tilt.GHZ(8).Circuit); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`linq_compiles_total{backend="TILT"} 1`,
+		`linq_compile_seconds_count{backend="TILT"} 1`,
+		`linq_simulate_seconds_count{backend="TILT"} 1`,
+		`linq_pass_seconds_count{pass="decompose"} 1`,
+		`linq_pass_seconds_count{pass="schedule"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// GHZ(8) fits the statevector simulator, so both estimators run: shots
+	// are metered once per estimator.
+	if want := fmt.Sprintf("linq_mc_shots_total %d", 2*shots); !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q", want)
+	}
+	if !strings.Contains(out, "linq_mc_shard_seconds_count 6") {
+		t.Errorf("expected 6 metered MC shards:\n%s", out)
 	}
 }

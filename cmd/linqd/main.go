@@ -1,0 +1,140 @@
+// Command linqd is the LinQ job-queue execution daemon: an HTTP service
+// that accepts quantum circuits (OpenQASM 2.0 source or named Table II
+// workloads), queues them against the TILT, QCCD, and IdealTI backends on
+// bounded per-backend worker pools, and serves results, job lifecycle, and
+// Prometheus metrics. Duplicate circuits in flight are deduplicated by
+// content fingerprint, so a thundering herd of identical submissions costs
+// one compile.
+//
+// Usage:
+//
+//	linqd                              # serve on 127.0.0.1:8080
+//	linqd -addr 127.0.0.1:0 -addr-file /tmp/linqd.addr
+//	linqd -head 32 -workers 4 -cache 256 -shots 2000
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit {"qasm"|"workload", "backend", "priority", "ttl_ms"}
+//	GET    /v1/jobs/{id}        poll lifecycle state
+//	GET    /v1/jobs/{id}/result fetch the terminal outcome (409 until terminal)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness + lifecycle counters
+//
+// SIGINT/SIGTERM stop intake and drain: in-flight and queued jobs finish
+// (bounded by -drain) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tilt "repro"
+	"repro/internal/jobs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linqd: ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the daemon: parse flags, assemble the
+// backends, the job manager, and the HTTP server, serve until ctx is
+// cancelled, then drain. It returns once the drain completes.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linqd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once serving")
+		head     = fs.Int("head", 16, "TILT tape head size")
+		ions     = fs.Int("ions", 0, "chain length (0 = each circuit's width)")
+		workers  = fs.Int("workers", 0, "workers per backend pool (0 = GOMAXPROCS)")
+		cache    = fs.Int("cache", 128, "compile-cache entries per backend (0 disables)")
+		store    = fs.Int("store", 1024, "completed jobs kept for polling")
+		shots    = fs.Int("shots", 0, "Monte-Carlo cross-check shots on TILT (0 = analytic only)")
+		drain    = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := tilt.NewMetricsRegistry()
+	common := []tilt.Option{tilt.WithDevice(*ions, *head), tilt.WithMetrics(reg)}
+	tiltOpts := append([]tilt.Option{}, common...)
+	if *cache > 0 {
+		tiltOpts = append(tiltOpts, tilt.WithCompileCache(*cache))
+	}
+	if *shots > 0 {
+		tiltOpts = append(tiltOpts, tilt.WithShots(*shots))
+	}
+	mgr, err := jobs.New([]jobs.Pool{
+		{Name: "TILT", Backend: tilt.NewTILT(tiltOpts...), Workers: *workers},
+		{Name: "QCCD", Backend: tilt.NewQCCD(common...), Workers: *workers},
+		{Name: "IdealTI", Backend: tilt.NewIdealTI(common...), Workers: *workers},
+	}, jobs.WithStoreSize(*store), jobs.WithMetrics(reg))
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(mgr, reg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(out, "linqd: listening on %s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop intake (close the listener, finish in-flight
+	// HTTP exchanges), then drain the job queue so every accepted job
+	// reaches a terminal state before the process exits.
+	fmt.Fprintf(out, "linqd: shutting down, draining jobs (max %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+	}
+	drainErr := mgr.Shutdown(drainCtx)
+	st := mgr.Stats()
+	fmt.Fprintf(out, "linqd: drained: %d submitted (%d deduped), %d done, %d failed, %d cancelled\n",
+		st.Submitted, st.Deduped, st.Done, st.Failed, st.Cancelled)
+	if drainErr != nil {
+		return fmt.Errorf("linqd: drain incomplete: %w", drainErr)
+	}
+	return nil
+}

@@ -1,0 +1,473 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// daemon is one linqd instance started in-process for tests.
+type daemon struct {
+	base     string // http://host:port
+	cancel   context.CancelFunc
+	done     chan error
+	out      *bytes.Buffer // safe to read only after wait()
+	waitOnce sync.Once
+	err      error
+}
+
+// wait blocks until run() returns (cache the outcome so the test body and
+// the cleanup can both call it).
+func (d *daemon) wait(t *testing.T) error {
+	t.Helper()
+	d.waitOnce.Do(func() {
+		select {
+		case d.err = <-d.done:
+		case <-time.After(60 * time.Second):
+			d.err = fmt.Errorf("linqd did not shut down within 60s")
+		}
+	})
+	return d.err
+}
+
+// startDaemon boots run() on a random port and waits until it serves.
+func startDaemon(t *testing.T, extraArgs ...string) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	d := &daemon{cancel: cancel, done: make(chan error, 1), out: &bytes.Buffer{}}
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extraArgs...)
+	go func() { d.done <- run(ctx, args, d.out) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := d.wait(t); err != nil {
+			t.Errorf("linqd shutdown: %v", err)
+		}
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.base = "http://" + string(b)
+			return d
+		}
+		select {
+		case err := <-d.done:
+			d.waitOnce.Do(func() { d.err = err })
+			t.Fatalf("linqd exited before serving: %v\n%s", err, d.out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	t.Fatal("linqd never wrote its address file")
+	return nil
+}
+
+// api performs one JSON request and decodes the response body. It is
+// called from spawned client goroutines too, so failures report through
+// t.Errorf (never FailNow) and surface as status code 0 to the caller.
+func (d *daemon) api(t *testing.T, method, path string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Errorf("%s %s: marshal: %v", method, path, err)
+			return 0, nil
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, d.base+path, rd)
+	if err != nil {
+		t.Errorf("%s %s: %v", method, path, err)
+		return 0, nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Errorf("%s %s: %v", method, path, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("%s %s: read body: %v", method, path, err)
+		return 0, nil
+	}
+	var decoded map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Errorf("%s %s: non-JSON body %q", method, path, raw)
+			return resp.StatusCode, nil
+		}
+	}
+	return resp.StatusCode, decoded
+}
+
+// pollDone polls a job until it reaches a terminal state and returns the
+// raw result endpoint body (for byte-level comparisons).
+func (d *daemon) pollDone(t *testing.T, id string) (state string, rawResult []byte) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := d.api(t, http.MethodGet, "/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("status poll %s: HTTP %d: %v", id, code, body)
+		}
+		st, _ := body["state"].(string)
+		if st == "done" || st == "failed" || st == "cancelled" {
+			resp, err := http.Get(d.base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("result fetch %s: HTTP %d: %s", id, resp.StatusCode, raw)
+			}
+			return st, raw
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return "", nil
+}
+
+// ghzQASM renders an n-qubit GHZ circuit as OpenQASM source.
+func ghzQASM(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OPENQASM 2.0;\nqreg q[%d];\nh q[0];\n", n)
+	for q := 0; q+1 < n; q++ {
+		fmt.Fprintf(&b, "cx q[%d],q[%d];\n", q, q+1)
+	}
+	return b.String()
+}
+
+// metricValue extracts one series value from a Prometheus exposition.
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value in %q", series, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition:\n%s", series, exposition)
+	return 0
+}
+
+// TestEndToEndConcurrentClients is the acceptance scenario: N concurrent
+// HTTP clients submit a mix of duplicate and distinct circuits; duplicates
+// dedupe to one compile via the content fingerprint, every client receives
+// a bit-identical Result, and /metrics reports consistent job and cache
+// counts once the traffic settles.
+func TestEndToEndConcurrentClients(t *testing.T) {
+	// Head 4 so the narrow duplicate circuit fits every submitted width.
+	d := startDaemon(t, "-head", "4")
+
+	const clients = 6
+	const dupWidth = 10 // every client submits this GHZ twice
+	type submission struct {
+		id  string
+		dup bool
+	}
+	var (
+		mu   sync.Mutex
+		subs []submission
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			widths := []int{dupWidth, 16 + 2*c, dupWidth, 17 + 2*c}
+			for i, w := range widths {
+				code, body := d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+					"name":     fmt.Sprintf("client%d-%d", c, i),
+					"backend":  "TILT",
+					"qasm":     ghzQASM(w),
+					"priority": i % 2,
+				})
+				if code != http.StatusAccepted {
+					t.Errorf("submit: HTTP %d: %v", code, body)
+					return
+				}
+				mu.Lock()
+				subs = append(subs, submission{id: body["id"].(string), dup: w == dupWidth})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := clients * 4
+	if len(subs) != total {
+		t.Fatalf("submitted %d jobs, want %d", len(subs), total)
+	}
+
+	var dupResults [][]byte
+	for _, s := range subs {
+		state, raw := d.pollDone(t, s.id)
+		if state != "done" {
+			t.Fatalf("job %s finished %s: %s", s.id, state, raw)
+		}
+		if s.dup {
+			dupResults = append(dupResults, raw)
+		}
+	}
+
+	// Every duplicate's Result must be bit-identical: same compile, same
+	// simulate, byte-equal JSON rendering of the result field.
+	var ref map[string]json.RawMessage
+	if err := json.Unmarshal(dupResults[0], &ref); err != nil {
+		t.Fatal(err)
+	}
+	for i, raw := range dupResults[1:] {
+		var got map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref["result"], got["result"]) {
+			t.Errorf("duplicate %d: result differs from the first duplicate:\n%s\nvs\n%s",
+				i+1, ref["result"], got["result"])
+		}
+	}
+
+	// Settled metrics: the duplicate circuit compiled exactly once (dedup
+	// in flight, content-addressed cache afterwards), so TILT compiles
+	// equal the distinct fingerprint count.
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := 2*clients + 1
+	if got := metricValue(t, string(expo), `linq_compiles_total{backend="TILT"}`); got != float64(distinct) {
+		t.Errorf("linq_compiles_total = %v, want %d (duplicates must share one compile)", got, distinct)
+	}
+	for series, want := range map[string]float64{
+		`linq_jobs_submitted_total{backend="TILT"}`:             float64(total),
+		`linq_jobs_finished_total{backend="TILT",state="done"}`: float64(total),
+		`linq_jobs_queued{backend="TILT"}`:                      0,
+		`linq_jobs_running{backend="TILT"}`:                     0,
+	} {
+		if got := metricValue(t, string(expo), series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	// Cache misses equal distinct fingerprints; hits cover whatever the
+	// dedup layer didn't absorb — together they account for every compile
+	// request that reached the backend.
+	misses := metricValue(t, string(expo), `linq_compile_cache_misses_total{backend="TILT"}`)
+	if misses != float64(distinct) {
+		t.Errorf("cache misses = %v, want %v", misses, distinct)
+	}
+
+	// Shut down and verify the drain report: everything already done, so
+	// the daemon exits cleanly with nothing cancelled.
+	d.cancel()
+	if err := d.wait(t); err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	if out := d.out.String(); !strings.Contains(out, fmt.Sprintf("%d done, 0 failed, 0 cancelled", total)) {
+		t.Errorf("drain report mismatch:\n%s", out)
+	}
+}
+
+// TestSigtermDrainsInFlightJobs: shutdown arrives while jobs are queued
+// and running; the daemon refuses new work but every accepted job still
+// runs to done before exit.
+func TestSigtermDrainsInFlightJobs(t *testing.T) {
+	d := startDaemon(t, "-workers", "1")
+	const n = 5
+	for i := 0; i < n; i++ {
+		code, body := d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+			"backend": "TILT", "qasm": ghzQASM(24 + i),
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %v", i, code, body)
+		}
+	}
+	// Cancel immediately: with one worker most of the batch is still
+	// queued, so the drain has real work to do.
+	d.cancel()
+	if err := d.wait(t); err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	out := d.out.String()
+	if !strings.Contains(out, fmt.Sprintf("%d submitted", n)) ||
+		!strings.Contains(out, fmt.Sprintf("%d done, 0 failed, 0 cancelled", n)) {
+		t.Errorf("drain did not complete the accepted jobs:\n%s", out)
+	}
+}
+
+// TestSubmitValidationErrors covers the 400 surface, including the
+// actionable QASM line number.
+func TestSubmitValidationErrors(t *testing.T) {
+	d := startDaemon(t)
+
+	code, body := d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT",
+		"qasm":    "qreg q[4];\nh q[0];\nfrobnicate q[1];\n",
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("malformed QASM: HTTP %d, want 400", code)
+	}
+	if line, ok := body["line"].(float64); !ok || line != 3 {
+		t.Errorf("malformed QASM: line = %v, want 3 (body %v)", body["line"], body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "unsupported gate") {
+		t.Errorf("malformed QASM: error = %q", body["error"])
+	}
+
+	code, _ = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT", "qasm": ghzQASM(4), "workload": "QFT",
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("qasm+workload: HTTP %d, want 400", code)
+	}
+
+	code, _ = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{"backend": "TILT"})
+	if code != http.StatusBadRequest {
+		t.Errorf("no circuit: HTTP %d, want 400", code)
+	}
+
+	code, _ = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "Q-9000", "qasm": ghzQASM(4),
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown backend: HTTP %d, want 400", code)
+	}
+
+	code, _ = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{"workload": "NOPE"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown workload: HTTP %d, want 400", code)
+	}
+
+	code, _ = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT", "qasm": ghzQASM(4), "ttl_ms": -5,
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("negative ttl_ms: HTTP %d, want 400", code)
+	}
+
+	// A TTL near int64-milliseconds max must not overflow into an
+	// instantly-expiring duration: the job still runs to done.
+	code, body = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT", "qasm": ghzQASM(16), "ttl_ms": int64(1) << 62,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("huge ttl_ms: HTTP %d: %v", code, body)
+	}
+	if state, _ := d.pollDone(t, body["id"].(string)); state != "done" {
+		t.Errorf("huge-TTL job finished %s, want done", state)
+	}
+
+	if code, _ := d.api(t, http.MethodGet, "/v1/jobs/j-unknown", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+}
+
+// TestWorkloadSubmissionAndBackends: a named workload runs on the ideal
+// backend, and the result endpoint is 409 until terminal.
+func TestWorkloadSubmissionAndBackends(t *testing.T) {
+	d := startDaemon(t)
+	code, body := d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"workload": "BV", "backend": "IdealTI",
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, body)
+	}
+	id := body["id"].(string)
+	state, raw := d.pollDone(t, id)
+	if state != "done" {
+		t.Fatalf("BV/IdealTI finished %s: %s", state, raw)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	result, ok := res["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result object: %s", raw)
+	}
+	if result["Backend"] != "IdealTI" {
+		t.Errorf("result backend = %v, want IdealTI", result["Backend"])
+	}
+	if name, _ := res["name"].(string); name != "BV" {
+		t.Errorf("job name = %q, want BV (defaulted from the workload)", name)
+	}
+}
+
+// TestCancelEndpoint cancels a queued job behind a busy single worker.
+func TestCancelEndpoint(t *testing.T) {
+	d := startDaemon(t, "-workers", "1")
+	// Occupy the worker, then queue a victim behind it.
+	code, body := d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT", "qasm": ghzQASM(20),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %v", code, body)
+	}
+	first := body["id"].(string)
+	code, body = d.api(t, http.MethodPost, "/v1/jobs", map[string]any{
+		"backend": "TILT", "qasm": ghzQASM(21),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %v", code, body)
+	}
+	victim := body["id"].(string)
+
+	code, body = d.api(t, http.MethodDelete, "/v1/jobs/"+victim, nil)
+	if code == http.StatusOK {
+		state, _ := d.pollDone(t, victim)
+		if state != "cancelled" {
+			t.Errorf("cancelled job finished %s", state)
+		}
+	} else if code != http.StatusConflict {
+		// The tiny head-of-line job may already have drained the queue;
+		// only a terminal-state conflict is acceptable then.
+		t.Errorf("cancel: HTTP %d: %v", code, body)
+	}
+	if state, _ := d.pollDone(t, first); state != "done" {
+		t.Errorf("head-of-line job finished %s, want done", state)
+	}
+
+	if code, _ := d.api(t, http.MethodDelete, "/v1/jobs/j-unknown", nil); code != http.StatusNotFound {
+		t.Errorf("cancel unknown: HTTP %d, want 404", code)
+	}
+}
+
+// TestHealthz checks liveness and the lifecycle counters surface.
+func TestHealthz(t *testing.T) {
+	d := startDaemon(t)
+	code, body := d.api(t, http.MethodGet, "/healthz", nil)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: HTTP %d: %v", code, body)
+	}
+	backends, _ := body["backends"].([]any)
+	if len(backends) != 3 {
+		t.Errorf("backends = %v, want the three pools", body["backends"])
+	}
+	if _, ok := body["jobs"].(map[string]any); !ok {
+		t.Errorf("healthz missing jobs stats: %v", body)
+	}
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	tilt "repro"
+	"repro/internal/jobs"
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+// maxBodyBytes bounds a submission body (QASM source included).
+const maxBodyBytes = 8 << 20
+
+// server wires the job manager and the metrics registry into HTTP handlers.
+type server struct {
+	mgr      *jobs.Manager
+	reg      *tilt.MetricsRegistry
+	start    time.Time
+	httpReqs httpCounter
+}
+
+// httpCounter abstracts the request counter so handlers don't care about
+// the metrics package's concrete vec type.
+type httpCounter func(route string, code int)
+
+func newServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *server {
+	vec := reg.CounterVec("linqd_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	return &server{
+		mgr:   mgr,
+		reg:   reg,
+		start: time.Now(),
+		httpReqs: func(route string, code int) {
+			vec.With(route, strconv.Itoa(code)).Inc()
+		},
+	}
+}
+
+// routes builds the daemon's mux.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body. Exactly one of QASM/Workload
+// selects the circuit.
+type submitRequest struct {
+	// Name labels the job in status responses (optional).
+	Name string `json:"name,omitempty"`
+	// Backend is the target pool: TILT (default), QCCD, or IdealTI.
+	Backend string `json:"backend,omitempty"`
+	// QASM is OpenQASM 2.0 source text.
+	QASM string `json:"qasm,omitempty"`
+	// Workload names a built-in benchmark (ADDER, BV, QAOA, RCS, QFT, SQRT).
+	Workload string `json:"workload,omitempty"`
+	// Priority orders the queue: higher runs earlier (default 0).
+	Priority int `json:"priority,omitempty"`
+	// TTLMs bounds the queue wait in milliseconds (0 = unbounded).
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// jobJSON is the wire form of a job snapshot.
+type jobJSON struct {
+	ID        string       `json:"id"`
+	Name      string       `json:"name,omitempty"`
+	Backend   string       `json:"backend"`
+	State     jobs.State   `json:"state"`
+	Priority  int          `json:"priority,omitempty"`
+	Deduped   bool         `json:"deduped,omitempty"`
+	Submitted string       `json:"submitted,omitempty"`
+	Started   string       `json:"started,omitempty"`
+	Finished  string       `json:"finished,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Result    *tilt.Result `json:"result,omitempty"`
+}
+
+func toJobJSON(j jobs.Job, withResult bool) jobJSON {
+	out := jobJSON{
+		ID:        j.ID,
+		Name:      j.Name,
+		Backend:   j.Backend,
+		State:     j.State,
+		Priority:  j.Priority,
+		Deduped:   j.Deduped,
+		Submitted: stamp(j.Submitted),
+		Started:   stamp(j.Started),
+		Finished:  stamp(j.Finished),
+		Error:     j.Error,
+	}
+	if withResult && j.Result != nil {
+		// Shallow-copy so the Result instance shared between deduped
+		// subscribers is never mutated, and strip the compile-cache
+		// snapshot: those counters are backend-global operational state
+		// (served by /metrics), not part of this job's outcome — leaving
+		// them in would make otherwise bit-identical duplicate results
+		// differ by scrape timing.
+		r := *j.Result
+		r.Cache = nil
+		out.Result = &r
+	}
+	return out
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	const route = "submit"
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, route, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err), nil)
+		return
+	}
+	if req.Backend == "" {
+		req.Backend = "TILT"
+	}
+
+	var circ *tilt.Circuit
+	switch {
+	case req.QASM != "" && req.Workload != "":
+		s.writeError(w, route, http.StatusBadRequest, `pass exactly one of "qasm" or "workload"`, nil)
+		return
+	case req.QASM != "":
+		c, err := qasm.Parse(req.QASM)
+		if err != nil {
+			// Surface the parse position so the 400 is actionable.
+			extra := map[string]any{}
+			var pe *qasm.ParseError
+			if errors.As(err, &pe) && pe.Line > 0 {
+				extra["line"] = pe.Line
+			}
+			s.writeError(w, route, http.StatusBadRequest, err.Error(), extra)
+			return
+		}
+		circ = c
+	case req.Workload != "":
+		bm, err := workloads.ByName(req.Workload)
+		if err != nil {
+			s.writeError(w, route, http.StatusBadRequest, err.Error(), nil)
+			return
+		}
+		circ = bm.Circuit
+		if req.Name == "" {
+			req.Name = bm.Name
+		}
+	default:
+		s.writeError(w, route, http.StatusBadRequest, `pass exactly one of "qasm" or "workload"`, nil)
+		return
+	}
+
+	// ttl_ms is client-controlled: reject negatives and cap the multiply so
+	// a huge value can't overflow int64 nanoseconds into a bogus short (or
+	// dropped) TTL.
+	const maxTTLMs = math.MaxInt64 / int64(time.Millisecond)
+	if req.TTLMs < 0 {
+		s.writeError(w, route, http.StatusBadRequest, `"ttl_ms" must be non-negative`, nil)
+		return
+	}
+	if req.TTLMs > maxTTLMs {
+		req.TTLMs = maxTTLMs
+	}
+	id, err := s.mgr.Submit(jobs.Request{
+		Name:     req.Name,
+		Backend:  req.Backend,
+		Circuit:  circ,
+		Priority: req.Priority,
+		TTL:      time.Duration(req.TTLMs) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, jobs.ErrUnknownBackend):
+		s.writeError(w, route, http.StatusBadRequest, err.Error(), nil)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		s.writeError(w, route, http.StatusServiceUnavailable, err.Error(), nil)
+		return
+	case err != nil:
+		s.writeError(w, route, http.StatusInternalServerError, err.Error(), nil)
+		return
+	}
+	s.writeJSON(w, route, http.StatusAccepted, map[string]any{
+		"id":         id,
+		"status_url": "/v1/jobs/" + id,
+		"result_url": "/v1/jobs/" + id + "/result",
+	})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	const route = "status"
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, false))
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	const route = "result"
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+		return
+	}
+	if !j.State.Terminal() {
+		s.writeError(w, route, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; result not ready", j.ID, j.State),
+			map[string]any{"state": j.State})
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, true))
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	const route = "cancel"
+	id := r.PathValue("id")
+	switch err := s.mgr.Cancel(id); {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+	case errors.Is(err, jobs.ErrTerminal):
+		s.writeError(w, route, http.StatusConflict, err.Error(), nil)
+	case err != nil:
+		s.writeError(w, route, http.StatusInternalServerError, err.Error(), nil)
+	default:
+		s.writeJSON(w, route, http.StatusOK, map[string]any{
+			"id": id, "state": jobs.StateCancelled,
+		})
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+	s.httpReqs("metrics", http.StatusOK)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends := s.mgr.Backends()
+	sort.Strings(backends)
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"backends": backends,
+		"jobs":     s.mgr.Stats(),
+	})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, route string, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	s.httpReqs(route, code)
+}
+
+func (s *server) writeError(w http.ResponseWriter, route string, code int, msg string, extra map[string]any) {
+	body := map[string]any{"error": msg}
+	for k, v := range extra {
+		body[k] = v
+	}
+	s.writeJSON(w, route, code, body)
+}

@@ -1,0 +1,687 @@
+// Package jobs is the asynchronous job-execution service behind cmd/linqd:
+// an in-memory manager that accepts compile+simulate work against named
+// backends and runs it on bounded per-backend worker pools, layered on the
+// repro/runner batch executor.
+//
+// Submit returns immediately with a job ID; callers poll Get for the
+// lifecycle (queued → running → done/failed/cancelled) and the Result.
+// Queued work is ordered by priority (then FIFO), bounded by an optional
+// per-job TTL on queue wait, and deduplicated by circuit content: while an
+// identical circuit (by Circuit.Fingerprint) is queued or running against
+// the same backend, duplicate submissions attach to the in-flight execution
+// and share its single compile+simulate — every subscriber receives the
+// same Result. Completed jobs land in a bounded LRU result store
+// (internal/lru), so the manager's memory use is capped no matter how much
+// traffic it serves.
+//
+// Shutdown stops intake and drains: every accepted job still reaches a
+// terminal state before Shutdown returns (or is cancelled when the drain
+// context expires first).
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	tilt "repro"
+	"repro/internal/lru"
+	"repro/internal/metrics"
+	"repro/runner"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle: Queued → Running → one of the three terminal states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors returned by the manager.
+var (
+	// ErrNotFound: the job ID is unknown — never submitted, or evicted
+	// from the bounded result store.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrUnknownBackend: the request names a backend no pool serves.
+	ErrUnknownBackend = errors.New("jobs: unknown backend")
+	// ErrClosed: the manager is shut down and no longer accepts work.
+	ErrClosed = errors.New("jobs: manager is shut down")
+	// ErrTTLExpired: the job's TTL elapsed before a worker picked it up.
+	ErrTTLExpired = errors.New("jobs: TTL expired before the job started")
+	// ErrTerminal: Cancel was called on a job that already finished.
+	ErrTerminal = errors.New("jobs: job already in a terminal state")
+)
+
+// Pool declares one backend worker pool.
+type Pool struct {
+	// Name is the backend name clients submit against (e.g. "TILT").
+	Name string
+	// Backend executes the pool's jobs. Backends must be safe for
+	// concurrent use (the tilt backends are).
+	Backend tilt.Backend
+	// Workers bounds the pool's concurrent executions (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// Request is one job submission.
+type Request struct {
+	// Name labels the job (free-form, may be empty).
+	Name string
+	// Backend selects the pool by name.
+	Backend string
+	// Circuit is the logical circuit to compile and simulate. The manager
+	// holds a reference until the job finishes; callers must not mutate it.
+	Circuit *tilt.Circuit
+	// Priority orders the queue: higher runs earlier (FIFO within a
+	// priority). Zero is the default priority.
+	Priority int
+	// TTL bounds the queue wait: a job still queued TTL after submission
+	// fails with ErrTTLExpired instead of running. Zero means no bound.
+	TTL time.Duration
+}
+
+// Job is an immutable snapshot of one submission's lifecycle, returned by
+// Get.
+type Job struct {
+	ID       string
+	Name     string
+	Backend  string
+	State    State
+	Priority int
+	// Deduped reports that this submission attached to an in-flight
+	// execution of an identical circuit instead of compiling its own.
+	Deduped bool
+	// Submitted/Started/Finished are the lifecycle timestamps (zero when
+	// the phase has not happened).
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Result is the outcome (terminal done jobs only).
+	Result *tilt.Result
+	// Error is the failure message (terminal failed/cancelled jobs only).
+	Error string
+}
+
+// jobState is the manager's mutable record of one submission; all fields
+// are guarded by Manager.mu.
+type jobState struct {
+	id        string
+	name      string
+	backend   string
+	priority  int
+	deduped   bool
+	submitted time.Time
+	deadline  time.Time // zero = no TTL
+	state     State
+	exec      *execution
+}
+
+// execution is one physical compile+simulate: the unit the pools queue and
+// run. Duplicate submissions subscribe to one execution.
+type execution struct {
+	key     string // backend NUL fingerprint — the dedup index key
+	pool    *pool
+	circuit *tilt.Circuit
+	name    string // first subscriber's name, for runner labels
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	subs     map[string]*jobState // by job ID
+	priority int                  // max over subscribers, fixed FIFO seq below
+	seq      uint64
+	index    int // heap index, -1 once popped or removed
+
+	state   State // StateQueued or StateRunning
+	started time.Time
+}
+
+// pool is the runtime of one Pool declaration.
+type pool struct {
+	m       *Manager
+	name    string
+	backend tilt.Backend
+	workers int
+	q       execQueue
+	cond    *sync.Cond // waits on Manager.mu for queue or shutdown activity
+}
+
+// Manager is the asynchronous job service. Create one with New; all
+// methods are safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	pools    map[string]*pool
+	jobs     map[string]*jobState // active (non-terminal) jobs
+	inflight map[string]*execution
+	store    *lru.Cache[string, Job] // terminal snapshots, bounded
+	seq      uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	runnerOpts []runner.Option
+	mx         *instruments
+	stats      Stats // cumulative lifecycle counts, guarded by mu
+}
+
+// Stats is a consistent snapshot of the manager's lifecycle counters: the
+// cumulative totals plus the current queue and running depths.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Deduped   int64 `json:"deduped"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+}
+
+// Stats returns a snapshot of the lifecycle counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Option configures a Manager.
+type Option func(*managerConfig)
+
+type managerConfig struct {
+	storeSize int
+	metrics   *metrics.Registry
+}
+
+// WithStoreSize bounds the completed-job result store to n entries
+// (default 1024); the least recently fetched jobs are evicted first and
+// read as ErrNotFound afterwards.
+func WithStoreSize(n int) Option {
+	return func(c *managerConfig) { c.storeSize = n }
+}
+
+// WithMetrics instruments the manager against the registry: submission,
+// dedup, and completion counters, queue/running gauges, and queue-wait and
+// run-time histograms, plus the runner's per-job latency families. Share
+// the registry with the backends' tilt.WithMetrics for one scrapeable view.
+func WithMetrics(r *tilt.MetricsRegistry) Option {
+	return func(c *managerConfig) { c.metrics = r }
+}
+
+// instruments holds the manager's pre-resolved metric handles.
+type instruments struct {
+	submitted *metrics.CounterVec   // linq_jobs_submitted_total{backend}
+	deduped   *metrics.CounterVec   // linq_jobs_deduped_total{backend}
+	finished  *metrics.CounterVec   // linq_jobs_finished_total{backend,state}
+	expired   *metrics.CounterVec   // linq_jobs_ttl_expired_total{backend}
+	queued    *metrics.GaugeVec     // linq_jobs_queued{backend}
+	running   *metrics.GaugeVec     // linq_jobs_running{backend}
+	queueSec  *metrics.HistogramVec // linq_job_queue_seconds{backend}
+	runSec    *metrics.HistogramVec // linq_job_run_seconds{backend}
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	return &instruments{
+		submitted: r.CounterVec("linq_jobs_submitted_total",
+			"Jobs accepted by Submit.", "backend"),
+		deduped: r.CounterVec("linq_jobs_deduped_total",
+			"Submissions that attached to an in-flight identical circuit.", "backend"),
+		finished: r.CounterVec("linq_jobs_finished_total",
+			"Jobs reaching a terminal state, by outcome.", "backend", "state"),
+		expired: r.CounterVec("linq_jobs_ttl_expired_total",
+			"Jobs that timed out in the queue.", "backend"),
+		queued: r.GaugeVec("linq_jobs_queued",
+			"Jobs currently waiting in the queue.", "backend"),
+		running: r.GaugeVec("linq_jobs_running",
+			"Jobs currently executing.", "backend"),
+		queueSec: r.HistogramVec("linq_job_queue_seconds",
+			"Queue wait from submission to execution start.", nil, "backend"),
+		runSec: r.HistogramVec("linq_job_run_seconds",
+			"Execution time from start to terminal state.", nil, "backend"),
+	}
+}
+
+// New starts a manager serving the given pools and their workers.
+func New(pools []Pool, opts ...Option) (*Manager, error) {
+	cfg := managerConfig{storeSize: 1024}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("jobs: no pools configured")
+	}
+	if cfg.storeSize < 1 {
+		return nil, fmt.Errorf("jobs: store size %d < 1", cfg.storeSize)
+	}
+	m := &Manager{
+		pools:    make(map[string]*pool, len(pools)),
+		jobs:     make(map[string]*jobState),
+		inflight: make(map[string]*execution),
+		store:    lru.New[string, Job](cfg.storeSize),
+	}
+	if cfg.metrics != nil {
+		m.mx = newInstruments(cfg.metrics)
+		m.runnerOpts = append(m.runnerOpts, runner.WithMetrics(cfg.metrics))
+	}
+	for _, pc := range pools {
+		if pc.Name == "" || pc.Backend == nil {
+			return nil, fmt.Errorf("jobs: pool %q needs a name and a backend", pc.Name)
+		}
+		if _, dup := m.pools[pc.Name]; dup {
+			return nil, fmt.Errorf("jobs: duplicate pool %q", pc.Name)
+		}
+		workers := pc.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		p := &pool{m: m, name: pc.Name, backend: pc.Backend, workers: workers}
+		p.cond = sync.NewCond(&m.mu)
+		m.pools[pc.Name] = p
+	}
+	for _, p := range m.pools {
+		for w := 0; w < p.workers; w++ {
+			m.wg.Add(1)
+			go p.worker()
+		}
+	}
+	return m, nil
+}
+
+// Backends returns the configured pool names (sorted by the caller if
+// order matters).
+func (m *Manager) Backends() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.pools))
+	for name := range m.pools {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Submit accepts one job and returns its ID. The job runs asynchronously;
+// poll Get for progress and the result.
+func (m *Manager) Submit(req Request) (string, error) {
+	if req.Circuit == nil {
+		return "", fmt.Errorf("jobs: nil circuit")
+	}
+	// Hash outside the lock: fingerprints of wide circuits aren't free.
+	fp := req.Circuit.Fingerprint()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	p, ok := m.pools[req.Backend]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownBackend, req.Backend)
+	}
+
+	m.seq++
+	j := &jobState{
+		id:        fmt.Sprintf("j-%08d", m.seq),
+		name:      req.Name,
+		backend:   req.Backend,
+		priority:  req.Priority,
+		submitted: time.Now(),
+		state:     StateQueued,
+	}
+	if req.TTL > 0 {
+		j.deadline = j.submitted.Add(req.TTL)
+	}
+
+	key := req.Backend + "\x00" + fp
+	if e, live := m.inflight[key]; live {
+		// Identical circuit already queued or running here: subscribe to
+		// its single compile+simulate instead of queueing another.
+		j.deduped = true
+		j.exec = e
+		e.subs[j.id] = j
+		j.state = e.state
+		if e.state == StateQueued && req.Priority > e.priority {
+			e.priority = req.Priority
+			heap.Fix(&p.q, e.index)
+		}
+		if e.state == StateRunning {
+			j.deadline = time.Time{} // already started: TTL is satisfied
+		}
+		m.stats.Submitted++
+		m.stats.Deduped++
+		if m.mx != nil {
+			m.mx.submitted.With(j.backend).Inc()
+			m.mx.deduped.With(j.backend).Inc()
+			if j.state == StateQueued {
+				m.mx.queued.With(j.backend).Inc()
+			} else {
+				m.mx.running.With(j.backend).Inc()
+			}
+		}
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		e := &execution{
+			key:      key,
+			pool:     p,
+			circuit:  req.Circuit,
+			name:     req.Name,
+			ctx:      ctx,
+			cancel:   cancel,
+			subs:     map[string]*jobState{j.id: j},
+			priority: req.Priority,
+			seq:      m.seq,
+			state:    StateQueued,
+		}
+		j.exec = e
+		m.inflight[key] = e
+		heap.Push(&p.q, e)
+		p.cond.Signal()
+		m.stats.Submitted++
+		if m.mx != nil {
+			m.mx.submitted.With(j.backend).Inc()
+			m.mx.queued.With(j.backend).Inc()
+		}
+	}
+	m.jobs[j.id] = j
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job. Unknown IDs — including jobs evicted
+// from the bounded result store — return ErrNotFound.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		// Lazy TTL expiry: a queued job past its deadline reads as failed
+		// even before a worker would have pruned it at pop time.
+		if j.state == StateQueued && !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			m.expireLocked(j)
+		} else {
+			return m.snapshotLocked(j), nil
+		}
+	}
+	if snap, ok := m.store.Get(id); ok {
+		return snap, nil
+	}
+	return Job{}, ErrNotFound
+}
+
+// Cancel cancels one submission. A queued job is withdrawn; a running
+// job's execution is interrupted through its context unless other
+// submissions still subscribe to it (they keep it alive and keep their
+// results). Cancelling a finished job returns ErrTerminal; an unknown ID
+// returns ErrNotFound.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		if _, done := m.store.Get(id); done {
+			return ErrTerminal
+		}
+		return ErrNotFound
+	}
+	m.detachLocked(j)
+	m.finalizeLocked(j, StateCancelled, nil, context.Canceled.Error())
+	return nil
+}
+
+// Shutdown stops intake and drains: queued and running jobs keep executing
+// until every accepted job reaches a terminal state. If ctx expires first,
+// the remaining executions are cancelled (their jobs finish as cancelled)
+// and Shutdown returns ctx.Err() once the workers exit.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	for _, p := range m.pools {
+		p.cond.Broadcast()
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, e := range m.inflight {
+			e.cancel()
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// snapshotLocked renders the live job as a public snapshot.
+func (m *Manager) snapshotLocked(j *jobState) Job {
+	snap := Job{
+		ID:        j.id,
+		Name:      j.name,
+		Backend:   j.backend,
+		State:     j.state,
+		Priority:  j.priority,
+		Deduped:   j.deduped,
+		Submitted: j.submitted,
+	}
+	if j.exec != nil && j.state == StateRunning {
+		snap.Started = j.exec.started
+	}
+	return snap
+}
+
+// finalizeLocked moves a job to a terminal state: snapshot into the result
+// store, drop from the active set, book the metrics.
+func (m *Manager) finalizeLocked(j *jobState, st State, res *tilt.Result, errMsg string) {
+	now := time.Now()
+	prev := j.state
+	j.state = st
+	snap := m.snapshotLocked(j)
+	snap.State = st
+	snap.Finished = now
+	snap.Result = res
+	snap.Error = errMsg
+	if j.exec != nil && !j.exec.started.IsZero() {
+		snap.Started = j.exec.started
+	}
+	m.store.Add(j.id, snap)
+	delete(m.jobs, j.id)
+	switch st {
+	case StateDone:
+		m.stats.Done++
+	case StateFailed:
+		m.stats.Failed++
+	case StateCancelled:
+		m.stats.Cancelled++
+	}
+	if m.mx != nil {
+		switch prev {
+		case StateQueued:
+			m.mx.queued.With(j.backend).Dec()
+		case StateRunning:
+			m.mx.running.With(j.backend).Dec()
+			m.mx.runSec.With(j.backend).Observe(now.Sub(snap.Started).Seconds())
+		}
+		m.mx.finished.With(j.backend, string(st)).Inc()
+	}
+}
+
+// detachLocked unsubscribes a job from its execution; the last subscriber
+// leaving cancels and retires the execution.
+func (m *Manager) detachLocked(j *jobState) {
+	e := j.exec
+	if e == nil {
+		return
+	}
+	delete(e.subs, j.id)
+	if len(e.subs) > 0 {
+		// The departed subscriber may have been the one holding the
+		// priority up; recompute so the survivors queue at their own level.
+		if e.state == StateQueued && j.priority >= e.priority {
+			max := math.MinInt
+			for _, s := range e.subs {
+				if s.priority > max {
+					max = s.priority
+				}
+			}
+			if max != e.priority {
+				e.priority = max
+				if e.index >= 0 {
+					heap.Fix(&e.pool.q, e.index)
+				}
+			}
+		}
+		return
+	}
+	// Guard against the key having been re-claimed by a fresh execution
+	// submitted after this one was already being torn down.
+	if m.inflight[e.key] == e {
+		delete(m.inflight, e.key)
+	}
+	if e.state == StateQueued && e.index >= 0 {
+		heap.Remove(&e.pool.q, e.index)
+	}
+	e.cancel()
+}
+
+// expireLocked fails a queued job whose TTL elapsed.
+func (m *Manager) expireLocked(j *jobState) {
+	m.detachLocked(j)
+	if m.mx != nil {
+		m.mx.expired.With(j.backend).Inc()
+	}
+	m.finalizeLocked(j, StateFailed, nil, ErrTTLExpired.Error())
+}
+
+// worker is one pool worker: pop the highest-priority execution, run it
+// through the runner, fan the outcome out to every subscriber. Workers
+// exit once the manager is closed and the pool's queue is drained — that
+// is the graceful-drain guarantee Shutdown waits on.
+func (p *pool) worker() {
+	m := p.m
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for p.q.Len() == 0 && !m.closed {
+			p.cond.Wait()
+		}
+		if p.q.Len() == 0 {
+			m.mu.Unlock()
+			return // closed and drained
+		}
+		e := heap.Pop(&p.q).(*execution)
+
+		// Prune subscribers whose TTL expired while queued; if none are
+		// left the execution is dropped without compiling anything.
+		now := time.Now()
+		for _, j := range e.subs {
+			if !j.deadline.IsZero() && now.After(j.deadline) {
+				m.expireLocked(j)
+			}
+		}
+		if len(e.subs) == 0 {
+			continue
+		}
+
+		e.state = StateRunning
+		e.started = now
+		for _, j := range e.subs {
+			j.state = StateRunning
+			if m.mx != nil {
+				m.mx.queued.With(j.backend).Dec()
+				m.mx.running.With(j.backend).Inc()
+				m.mx.queueSec.With(j.backend).Observe(now.Sub(j.submitted).Seconds())
+			}
+		}
+		m.mu.Unlock()
+
+		// One runner job per execution: panic recovery, latency metering,
+		// and cancellation semantics all come from the runner layer.
+		res := runner.Run(e.ctx, []runner.Job{{
+			Name:    e.name,
+			Backend: p.backend,
+			Circuit: e.circuit,
+		}}, append([]runner.Option{runner.WithWorkers(1)}, m.runnerOpts...)...)[0]
+
+		m.mu.Lock()
+		m.completeLocked(e, res)
+	}
+}
+
+// completeLocked retires a finished execution and fans its outcome out to
+// every remaining subscriber. All subscribers share the same Result
+// pointer: results are read-only and bit-identical by construction, so
+// duplicates genuinely pay for one compile and one simulate.
+func (m *Manager) completeLocked(e *execution, res runner.JobResult) {
+	if m.inflight[e.key] == e {
+		delete(m.inflight, e.key)
+	}
+	e.cancel() // release the context's resources
+	st := StateDone
+	errMsg := ""
+	if res.Err != nil {
+		errMsg = res.Err.Error()
+		st = StateFailed
+		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+			st = StateCancelled
+		}
+	}
+	for _, j := range e.subs {
+		m.finalizeLocked(j, st, res.Result, errMsg)
+	}
+	e.subs = nil
+}
+
+// execQueue is a max-heap of executions by (priority, FIFO sequence).
+type execQueue []*execution
+
+func (q execQueue) Len() int { return len(q) }
+func (q execQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q execQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *execQueue) Push(x any) {
+	e := x.(*execution)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *execQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
@@ -67,6 +68,9 @@ type Engine struct {
 	evs     []gateEvent
 	ions    int
 	workers int
+	// obs, when set, is called after every completed shard with the shard's
+	// shot count and wall-clock time (WithShardObserver).
+	obs func(shots int, elapsed time.Duration)
 
 	idealOnce sync.Once
 	ideal     *qsim.State // final ideal state, computed on first StateFidelity
@@ -80,6 +84,15 @@ type EngineOption func(*Engine)
 // only the wall-clock time.
 func WithWorkers(n int) EngineOption {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithShardObserver registers fn to be called after every successfully
+// completed shard with that shard's shot count and wall-clock time — the
+// hook the telemetry layer uses to meter Monte-Carlo throughput. Shards run
+// concurrently, so fn must be safe for concurrent use. The observer never
+// affects the estimates.
+func WithShardObserver(fn func(shots int, elapsed time.Duration)) EngineOption {
+	return func(e *Engine) { e.obs = fn }
 }
 
 // NewEngine validates the schedule and flattens it into per-gate error
@@ -194,6 +207,7 @@ func (e *Engine) CleanProbability(ctx context.Context, shots int, seed int64) (e
 	clean := make([]int64, nShards)
 	err = e.forEachShard(ctx, nShards, func() func(int) error {
 		return func(shard int) error {
+			start := time.Now()
 			rng := rand.New(rand.NewSource(shardSeed(seed, shard)))
 			count := shardShots(shots, shard)
 			n := int64(0)
@@ -214,6 +228,9 @@ func (e *Engine) CleanProbability(ctx context.Context, shots int, seed int64) (e
 				n++
 			}
 			clean[shard] = n
+			if e.obs != nil {
+				e.obs(count, time.Since(start))
+			}
 			return nil
 		}
 	})
@@ -256,6 +273,7 @@ func (e *Engine) StateFidelity(ctx context.Context, shots int, seed int64) (esti
 	err = e.forEachShard(ctx, nShards, func() func(int) error {
 		st := qsim.NewState(e.ions) // one reusable statevector per worker
 		return func(shard int) error {
+			start := time.Now()
 			rng := rand.New(rand.NewSource(shardSeed(seed, shard)))
 			count := shardShots(shots, shard)
 			var w welford
@@ -277,6 +295,9 @@ func (e *Engine) StateFidelity(ctx context.Context, shots int, seed int64) (esti
 				w.add(st.FidelityWith(e.ideal))
 			}
 			stats[shard] = w
+			if e.obs != nil {
+				e.obs(count, time.Since(start))
+			}
 			return nil
 		}
 	})

@@ -30,7 +30,26 @@ import (
 	"repro/internal/circuit"
 )
 
-// Parse converts OpenQASM 2.0 source text into a circuit.
+// ParseError is a positioned parse failure: Line is the 1-based source line
+// the offending statement is on (0 when the error concerns the whole file,
+// e.g. a missing qreg declaration). Callers that relay parse failures —
+// cmd/linqd turns them into HTTP 400 bodies — can unwrap it with errors.As
+// to report an actionable location instead of a flat string.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error in the package's historical format.
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return "qasm: " + e.Msg
+	}
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse converts OpenQASM 2.0 source text into a circuit. Failures are
+// returned as *ParseError carrying the offending line number.
 func Parse(src string) (*circuit.Circuit, error) {
 	p := &parser{}
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -47,12 +66,12 @@ func Parse(src string) (*circuit.Circuit, error) {
 				continue
 			}
 			if err := p.statement(stmt); err != nil {
-				return nil, fmt.Errorf("qasm: line %d: %w", lineNo+1, err)
+				return nil, &ParseError{Line: lineNo + 1, Msg: err.Error()}
 			}
 		}
 	}
 	if p.c == nil {
-		return nil, fmt.Errorf("qasm: no qreg declaration found")
+		return nil, &ParseError{Msg: "no qreg declaration found"}
 	}
 	return p.c, nil
 }

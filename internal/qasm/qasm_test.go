@@ -1,6 +1,8 @@
 package qasm
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -216,5 +218,102 @@ func TestStatementsOnOneLine(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Errorf("gates = %d, want 2", c.Len())
+	}
+}
+
+// TestParseErrorsCarryLineNumbers: every malformed-input class surfaces a
+// *ParseError whose Line points at the offending statement, so servers can
+// return actionable 400s.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name:     "unsupported gate",
+			src:      "qreg q[4];\nh q[0];\nfrobnicate q[1];\n",
+			wantLine: 3,
+			wantMsg:  "unsupported gate",
+		},
+		{
+			name:     "gate before qreg",
+			src:      "h q[0];\nqreg q[4];\n",
+			wantLine: 1,
+			wantMsg:  "gate before qreg",
+		},
+		{
+			name:     "qubit out of range",
+			src:      "qreg q[2];\ncx q[0],q[5];\n",
+			wantLine: 2,
+			wantMsg:  "out of range",
+		},
+		{
+			name:     "unknown register",
+			src:      "qreg q[2];\nh r[0];\n",
+			wantLine: 2,
+			wantMsg:  "unknown register",
+		},
+		{
+			name:     "unterminated angle",
+			src:      "qreg q[2];\n\nrx(pi/2 q[0];\n",
+			wantLine: 3,
+			wantMsg:  "unterminated angle",
+		},
+		{
+			name:     "missing angle parameter",
+			src:      "qreg q[2];\nrx q[0];\n",
+			wantLine: 2,
+			wantMsg:  "requires an angle",
+		},
+		{
+			name:     "bad qreg size",
+			src:      "qreg q[zero];\n",
+			wantLine: 1,
+			wantMsg:  "bad qreg size",
+		},
+		{
+			name:     "multiple qregs",
+			src:      "qreg q[2];\nqreg r[2];\n",
+			wantLine: 2,
+			wantMsg:  "multiple qreg declarations",
+		},
+		{
+			name:     "division by zero angle",
+			src:      "qreg q[2];\nrz(pi/0) q[0];\n",
+			wantLine: 2,
+			wantMsg:  "division by zero",
+		},
+		{
+			name:     "no qreg at all",
+			src:      "// just a comment\n",
+			wantLine: 0,
+			wantMsg:  "no qreg declaration",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("malformed input parsed successfully")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError: %v", err, err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(pe.Msg, tc.wantMsg) {
+				t.Errorf("msg = %q, want substring %q", pe.Msg, tc.wantMsg)
+			}
+			if tc.wantLine > 0 {
+				wantPrefix := fmt.Sprintf("qasm: line %d: ", tc.wantLine)
+				if !strings.HasPrefix(err.Error(), wantPrefix) {
+					t.Errorf("Error() = %q, want prefix %q", err.Error(), wantPrefix)
+				}
+			}
+		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/swapins"
 )
@@ -55,6 +56,48 @@ type config struct {
 	observer pipeline.Observer
 	// cacheSize bounds the compile cache (WithCompileCache; 0 = disabled).
 	cacheSize int
+	// metrics is the telemetry registry (WithMetrics; nil = no telemetry).
+	metrics *metrics.Registry
+	// mx caches the resolved instrument handles for the hot paths; built
+	// once in newConfig so Compile/Simulate never take the registry lock.
+	mx *backendInstruments
+}
+
+// backendInstruments holds the pre-resolved metric instruments the backends
+// record into. All families are shared across backends and distinguished by
+// a backend (or pass) label.
+type backendInstruments struct {
+	compiles    *metrics.CounterVec   // linq_compiles_total{backend}
+	cacheHits   *metrics.CounterVec   // linq_compile_cache_hits_total{backend}
+	cacheMisses *metrics.CounterVec   // linq_compile_cache_misses_total{backend}
+	compileSec  *metrics.HistogramVec // linq_compile_seconds{backend}
+	simulateSec *metrics.HistogramVec // linq_simulate_seconds{backend}
+	passSec     *metrics.HistogramVec // linq_pass_seconds{pass}
+	mcShots     *metrics.Counter      // linq_mc_shots_total
+	mcShardSec  *metrics.Histogram    // linq_mc_shard_seconds
+}
+
+// newBackendInstruments resolves (get-or-create) every backend family in
+// the registry.
+func newBackendInstruments(r *metrics.Registry) *backendInstruments {
+	return &backendInstruments{
+		compiles: r.CounterVec("linq_compiles_total",
+			"Compilations executed (cache misses and uncached compiles).", "backend"),
+		cacheHits: r.CounterVec("linq_compile_cache_hits_total",
+			"Compile-cache hits by circuit fingerprint.", "backend"),
+		cacheMisses: r.CounterVec("linq_compile_cache_misses_total",
+			"Compile-cache misses by circuit fingerprint.", "backend"),
+		compileSec: r.HistogramVec("linq_compile_seconds",
+			"Wall-clock compile latency.", nil, "backend"),
+		simulateSec: r.HistogramVec("linq_simulate_seconds",
+			"Wall-clock simulate latency.", nil, "backend"),
+		passSec: r.HistogramVec("linq_pass_seconds",
+			"Wall-clock time of one compiler pass.", nil, "pass"),
+		mcShots: r.Counter("linq_mc_shots_total",
+			"Monte-Carlo trajectory shots completed."),
+		mcShardSec: r.Histogram("linq_mc_shard_seconds",
+			"Wall-clock time of one Monte-Carlo shard.", nil),
+	}
 }
 
 // extraPass is one WithExtraPass injection: pass runs right after the pass
@@ -110,6 +153,9 @@ func newConfig(opts []Option) config {
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.metrics != nil {
+		cfg.mx = newBackendInstruments(cfg.metrics)
 	}
 	return cfg
 }
@@ -238,6 +284,17 @@ func WithExtraPass(after string, p Pass) Option {
 // for concurrent use in that setting.
 func WithPassObserver(obs PassObserver) Option {
 	return func(c *config) { c.observer = obs }
+}
+
+// WithMetrics instruments the backend against the given telemetry registry
+// (NewMetricsRegistry): compile and simulate latencies, per-pass wall-clock
+// histograms, compile-cache hit/miss counters, and Monte-Carlo shard
+// throughput all record into shared linq_* metric families. One registry can
+// be shared by any number of backends (series carry a backend label) and by
+// the runner and jobs layers; expose it with MetricsRegistry.WritePrometheus.
+// A nil registry disables telemetry (the default).
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(c *config) { c.metrics = r }
 }
 
 // WithCompileCache bounds a per-backend content-addressed compile cache to n

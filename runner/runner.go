@@ -17,11 +17,15 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	tilt "repro"
+	"repro/internal/metrics"
 )
 
 // Job is one unit of batch work: a circuit to run on a backend.
@@ -56,6 +60,7 @@ type JobResult struct {
 // options carries the Run knobs.
 type options struct {
 	workers int
+	mx      *instruments
 }
 
 // Option configures a batch run.
@@ -65,6 +70,52 @@ type Option func(*options)
 // GOMAXPROCS). Values below 1 are treated as 1.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithMetrics records per-job telemetry into the registry: completion
+// counters by backend and outcome (runner_jobs_total) and a per-backend job
+// latency histogram (runner_job_seconds). Share the registry with the
+// backends' tilt.WithMetrics to expose the whole stack through one scrape.
+func WithMetrics(r *tilt.MetricsRegistry) Option {
+	return func(o *options) { o.mx = newInstruments(r) }
+}
+
+// instruments holds the pre-resolved runner metric handles.
+type instruments struct {
+	jobs   *metrics.CounterVec   // runner_jobs_total{backend,status}
+	jobSec *metrics.HistogramVec // runner_job_seconds{backend}
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	return &instruments{
+		jobs: r.CounterVec("runner_jobs_total",
+			"Batch jobs finished, by backend and outcome (ok, error, cancelled).",
+			"backend", "status"),
+		jobSec: r.HistogramVec("runner_job_seconds",
+			"Wall-clock compile+simulate latency of one batch job.", nil, "backend"),
+	}
+}
+
+// record books one finished job into the registry.
+func (mx *instruments) record(res JobResult) {
+	status := "ok"
+	switch {
+	case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
+		status = "cancelled"
+	case res.Err != nil:
+		status = "error"
+	}
+	backend := res.Backend
+	if backend == "" {
+		// A panic before the backend identified itself (nil Backend, or a
+		// panicking Name()) leaves the field empty; don't mint an
+		// empty-label series for it.
+		backend = "unknown"
+	}
+	mx.jobs.With(backend, status).Inc()
+	if res.Elapsed > 0 {
+		mx.jobSec.With(backend).Observe(res.Elapsed.Seconds())
+	}
 }
 
 // Run executes the jobs on a bounded worker pool and returns one JobResult
@@ -98,7 +149,7 @@ func Run(ctx context.Context, jobs []Job, opts ...Option) []JobResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(ctx, i, jobs[i])
+				results[i] = runOne(ctx, i, jobs[i], o.mx)
 			}
 		}()
 	}
@@ -106,14 +157,29 @@ func Run(ctx context.Context, jobs []Job, opts ...Option) []JobResult {
 	return results
 }
 
-// runOne executes a single job, honoring cancellation before it starts.
-func runOne(ctx context.Context, i int, j Job) JobResult {
-	res := JobResult{Name: j.Name, Index: i, Backend: j.Backend.Name()}
+// runOne executes a single job, honoring cancellation before it starts. A
+// panic anywhere in the job — the Backend's Compile/Simulate or a nil
+// Backend — is recovered into JobResult.Err (with the stack trace), so one
+// bad job can never take down the worker pool or lose the rest of the
+// batch's results.
+func runOne(ctx context.Context, i int, j Job, mx *instruments) (res JobResult) {
+	res = JobResult{Name: j.Name, Index: i}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Result = nil
+			res.Err = fmt.Errorf("runner: job %d (%q) panicked: %v\n%s", i, j.Name, r, debug.Stack())
+			res.Elapsed = time.Since(start)
+		}
+		if mx != nil {
+			mx.record(res)
+		}
+	}()
+	res.Backend = j.Backend.Name()
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
 	}
-	start := time.Now()
 	a, err := j.Backend.Compile(ctx, j.Circuit)
 	if err != nil {
 		res.Err = err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -188,5 +189,97 @@ func TestRunRealBackends(t *testing.T) {
 func TestRunEmptyBatch(t *testing.T) {
 	if got := runner.Run(context.Background(), nil); len(got) != 0 {
 		t.Errorf("got %d results for an empty batch", len(got))
+	}
+}
+
+// panicBackend panics in Compile — a stand-in for a buggy custom Backend.
+type panicBackend struct{}
+
+func (panicBackend) Name() string { return "panic" }
+func (panicBackend) Compile(ctx context.Context, c *tilt.Circuit) (*tilt.Artifact, error) {
+	panic("boom: backend bug")
+}
+func (panicBackend) Simulate(ctx context.Context, a *tilt.Artifact) (*tilt.Result, error) {
+	return nil, nil
+}
+
+// TestRunRecoversPanickingJob: a panic inside one job lands in that job's
+// JobResult.Err and the rest of the batch completes normally — the worker
+// pool survives.
+func TestRunRecoversPanickingJob(t *testing.T) {
+	const n = 12
+	jobs := make([]runner.Job, n)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Name:    fmt.Sprintf("job-%d", i),
+			Backend: &fakeBackend{name: "fake"},
+			Circuit: tilt.NewCircuit(2),
+		}
+	}
+	jobs[3].Backend = panicBackend{}
+	jobs[8].Backend = nil // nil Backend panics on Name(): must also be contained
+
+	results := runner.Run(context.Background(), jobs, runner.WithWorkers(3))
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, jr := range results {
+		switch i {
+		case 3:
+			if jr.Err == nil || !strings.Contains(jr.Err.Error(), "panicked") {
+				t.Errorf("job 3: err = %v, want recovered panic", jr.Err)
+			}
+			if !strings.Contains(jr.Err.Error(), "boom: backend bug") {
+				t.Errorf("job 3: panic value missing from error: %v", jr.Err)
+			}
+		case 8:
+			if jr.Err == nil || !strings.Contains(jr.Err.Error(), "panicked") {
+				t.Errorf("job 8: err = %v, want recovered panic", jr.Err)
+			}
+		default:
+			if jr.Err != nil || jr.Result == nil {
+				t.Errorf("job %d lost to a neighboring panic: err=%v", i, jr.Err)
+			}
+		}
+	}
+}
+
+// TestRunWithMetrics: after the batch settles, the registry's counters
+// account for every job by outcome and the latency histogram saw every
+// completed job.
+func TestRunWithMetrics(t *testing.T) {
+	reg := tilt.NewMetricsRegistry()
+	jobs := make([]runner.Job, 10)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Name:    fmt.Sprintf("job-%d", i),
+			Backend: &fakeBackend{name: "fake"},
+			Circuit: tilt.NewCircuit(2),
+		}
+	}
+	jobs[2].Backend = nil // panics before Name(): must land in "unknown"
+	jobs[4].Backend = &fakeBackend{
+		name:    "fake",
+		compile: func(ctx context.Context) error { return errors.New("synthetic failure") },
+	}
+	jobs[7].Backend = panicBackend{}
+
+	runner.Run(context.Background(), jobs, runner.WithWorkers(4), runner.WithMetrics(reg))
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`runner_jobs_total{backend="fake",status="ok"} 7`,
+		`runner_jobs_total{backend="fake",status="error"} 1`,
+		`runner_jobs_total{backend="panic",status="error"} 1`,
+		`runner_jobs_total{backend="unknown",status="error"} 1`,
+		`runner_job_seconds_count{backend="fake"} 8`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/device"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/noise"
 	"repro/internal/pipeline"
 	"repro/internal/qccd"
@@ -143,6 +144,16 @@ func SchedulePass() Pass { return pipeline.ScheduleTape() }
 func StockPasses(opts ...Option) []Pass {
 	return core.DefaultPasses(newConfig(opts).core)
 }
+
+// MetricsRegistry is the telemetry registry behind WithMetrics: a
+// dependency-free set of named atomic counters, gauges, and latency
+// histograms with a Prometheus text-exposition writer (WritePrometheus).
+// Share one registry across backends, the runner, and the jobs layer to get
+// a single scrapeable view of the whole serving stack.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty telemetry registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // Metrics reports simulated success rate, execution time, and gate census.
 //
