@@ -69,6 +69,14 @@ type Artifact struct {
 	// Simulate reuses it so device width and noise stay consistent.
 	cfg config
 
+	// via and inner are set only on pool-owned wrapper artifacts: via
+	// records which fan-out member produced the compilation and inner is
+	// the member's own artifact, so PoolBackend.Simulate routes back to
+	// the same endpoint without ever mutating the member's artifact (which
+	// may be shared through a compile cache).
+	via   *poolMember
+	inner *Artifact
+
 	// mcOnce/mcEngine cache the Monte-Carlo engine (flattened event
 	// stream + ideal state) and mcStats the finished estimates: (shots,
 	// seed) are fixed per backend, so repeated Simulate calls on one

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	experiments [-table2] [-fig6] [-fig7] [-fig8] [-table3]
+//	experiments -backend "tilt://?head=16"          # Table II suite on any registry backend
+//	experiments -backend linqd://127.0.0.1:8080 -bench BV,QFT
 package main
 
 import (
@@ -19,6 +21,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
+	tilt "repro"
 	"repro/internal/experiments"
 )
 
@@ -51,9 +56,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		mcCheck    = fs.Bool("mc", false, "run the Monte-Carlo cross-validation of the analytic model")
 		mcShots    = fs.Int("mc-shots", 4000, "Monte-Carlo shots per benchmark")
 		mcSeed     = fs.Int64("mc-seed", 1, "Monte-Carlo RNG seed")
+		backendURI = fs.String("backend", "", "run the benchmark suite through this registry backend URI (tilt://…, linqd://host:port, …) instead of the paper artifacts")
+		benchList  = fs.String("bench", "", "comma-separated benchmark subset for -backend (default: all of Table II)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *backendURI != "" {
+		be, err := tilt.Open(ctx, *backendURI)
+		if err != nil {
+			return err
+		}
+		var names []string
+		if *benchList != "" {
+			names = strings.Split(*benchList, ",")
+		}
+		rows, err := experiments.BackendSuite(ctx, be, names)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatBackendSuite(be.Name(), rows))
+		return nil
+	}
+	if *benchList != "" {
+		return fmt.Errorf("-bench only applies together with -backend")
 	}
 
 	all := !*table2 && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*extensions && !*mcCheck

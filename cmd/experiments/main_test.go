@@ -37,3 +37,22 @@ func TestRunHonorsCancellation(t *testing.T) {
 		t.Error("cancelled fig6 run reported success")
 	}
 }
+
+func TestRunBackendSuiteFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-backend", "idealti://", "-bench", "BV"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"IdealTI", "BV"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if err := run(context.Background(), []string{"-backend", "nope://"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run(context.Background(), []string{"-bench", "BV"}, &out); err == nil {
+		t.Error("-bench without -backend accepted")
+	}
+}

@@ -2,9 +2,15 @@
 // the compilation and simulation metrics (the per-application view of
 // Tables II–III and Fig. 6). Ctrl-C cancels a long compile.
 //
+// The backend comes from the registry: the device flags assemble a
+// tilt:// URI under the hood, and -backend accepts any registered URI
+// directly — including linqd://host:port for remote execution on a daemon.
+//
 // Usage:
 //
 //	linq -bench QFT -ions 64 -head 16 [-maxswaplen 14] [-inserter linq|stochastic] [-passes] [-v]
+//	linq -bench QFT -backend "tilt://?ions=64&head=16&optimize=1"
+//	linq -bench BV -backend linqd://127.0.0.1:8080?backend=TILT
 package main
 
 import (
@@ -14,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	tilt "repro"
@@ -38,12 +46,14 @@ func main() {
 	}
 }
 
-// run is the testable body of the command: it parses args, compiles and
-// simulates the benchmark, and writes the report to out.
+// run is the testable body of the command: it parses args, opens the
+// backend through the registry, compiles and simulates the benchmark, and
+// writes the report to out.
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("linq", flag.ContinueOnError)
 	var (
 		bench      = fs.String("bench", "QFT", "benchmark name (ADDER, BV, QAOA, RCS, QFT, SQRT)")
+		backendURI = fs.String("backend", "", "backend URI for tilt.Open (e.g. tilt://?ions=64&head=16, linqd://127.0.0.1:8080); overrides the device flags")
 		ions       = fs.Int("ions", 0, "chain length (0 = benchmark width)")
 		head       = fs.Int("head", 16, "tape head size")
 		maxSwapLen = fs.Int("maxswaplen", 0, "max swap span (0 = head-1)")
@@ -61,19 +71,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := []tilt.Option{
-		tilt.WithDevice(*ions, *head),
-		tilt.WithSwapOptions(tilt.SwapOptions{MaxSwapLen: *maxSwapLen, Alpha: *alpha}),
+	uri := *backendURI
+	if uri == "" {
+		// The device flags are sugar for a tilt:// registry URI.
+		q := url.Values{}
+		q.Set("ions", strconv.Itoa(*ions))
+		q.Set("head", strconv.Itoa(*head))
+		q.Set("maxswaplen", strconv.Itoa(*maxSwapLen))
+		q.Set("alpha", strconv.FormatFloat(*alpha, 'g', -1, 64))
+		q.Set("inserter", *inserter)
+		q.Set("seed", strconv.FormatInt(*seed, 10))
+		uri = "tilt://?" + q.Encode()
 	}
-	switch *inserter {
-	case "linq":
-		opts = append(opts, tilt.WithInserter(tilt.LinQInserter()))
-	case "stochastic":
-		opts = append(opts, tilt.WithInserter(tilt.StochasticInserter(0, *seed)))
-	default:
-		return fmt.Errorf("unknown inserter %q", *inserter)
+	be, err := tilt.Open(ctx, uri)
+	if err != nil {
+		return err
 	}
-	be := tilt.NewTILT(opts...)
 
 	art, err := be.Compile(ctx, bm.Circuit)
 	if err != nil {
@@ -84,27 +97,40 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	cr := art.Compile
 	fmt.Fprintf(out, "benchmark      %s (%s)\n", bm.Name, bm.Comm)
-	fmt.Fprintf(out, "qubits         %d on a %d-ion chain, head %d\n",
-		bm.Qubits(), res.TILT.Device.NumIons, *head)
+	fmt.Fprintf(out, "backend        %s\n", be.Name())
 	fmt.Fprintf(out, "2Q gates       %d (CNOT-level)\n", tilt.TwoQubitGateCount(bm.Circuit))
-	fmt.Fprintf(out, "native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
-	fmt.Fprintf(out, "swaps          %d (opposing %d, ratio %.2f)\n",
-		res.TILT.SwapCount, res.TILT.OpposingSwaps, res.TILT.OpposingRatio())
-	fmt.Fprintf(out, "tape moves     %d, travel %d spacings\n", res.TILT.Moves, res.TILT.DistSpacings)
-	fmt.Fprintf(out, "t_swap         %v\n", res.TILT.TSwap)
-	fmt.Fprintf(out, "t_move         %v\n", res.TILT.TMove)
+	if cr := art.Compile; cr != nil {
+		fmt.Fprintf(out, "native gates   %d (%d XX)\n", cr.Native.Len(), cr.Native.TwoQubitCount())
+	}
+	if ts := res.TILT; ts != nil {
+		fmt.Fprintf(out, "qubits         %d on a %d-ion chain, head %d\n",
+			bm.Qubits(), ts.Device.NumIons, ts.Device.HeadSize)
+		fmt.Fprintf(out, "swaps          %d (opposing %d, ratio %.2f)\n",
+			ts.SwapCount, ts.OpposingSwaps, ts.OpposingRatio())
+		fmt.Fprintf(out, "tape moves     %d, travel %d spacings\n", ts.Moves, ts.DistSpacings)
+		fmt.Fprintf(out, "t_swap         %v\n", ts.TSwap)
+		fmt.Fprintf(out, "t_move         %v\n", ts.TMove)
+	} else {
+		fmt.Fprintf(out, "qubits         %d\n", bm.Qubits())
+	}
 	fmt.Fprintf(out, "success rate   %.6g (log %.4f)\n", res.SuccessRate, res.LogSuccess)
 	fmt.Fprintf(out, "exec time      %.3f s\n", res.ExecTimeUs/1e6)
 	fmt.Fprintf(out, "mean 2Q fid    %.6f\n", res.MeanTwoQubitFidelity)
 
 	if *passes {
+		if res.TILT == nil {
+			return fmt.Errorf("-passes needs a TILT backend (got %s)", be.Name())
+		}
 		fmt.Fprintln(out)
 		writePassTable(out, res.TILT.Passes)
 	}
 
 	if *verbose {
+		cr := art.Compile
+		if cr == nil || res.TILT == nil {
+			return fmt.Errorf("-v needs a local TILT backend with a compiled schedule (got %s)", be.Name())
+		}
 		dev := res.TILT.Device
 		fmt.Fprintln(out)
 		fmt.Fprintln(out, trace.Summary(cr.Physical, cr.Schedule, dev))

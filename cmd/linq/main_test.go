@@ -49,3 +49,22 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunBackendURI(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-bench", "BV", "-backend", "idealti://"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend        IdealTI") {
+		t.Errorf("report missing backend name:\n%s", out.String())
+	}
+
+	// TILT-only views fail cleanly on a non-TILT backend.
+	if err := run(context.Background(), []string{"-bench", "BV", "-backend", "idealti://", "-passes"}, &out); err == nil {
+		t.Error("-passes on IdealTI accepted")
+	}
+	// Malformed URIs surface Open's error.
+	if err := run(context.Background(), []string{"-bench", "BV", "-backend", "nope://"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

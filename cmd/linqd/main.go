@@ -14,12 +14,14 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit {"qasm"|"workload", "backend", "priority", "ttl_ms"}
+//	POST   /v1/jobs             submit {"qasm"|"workload"|"circuit", "backend", "priority", "ttl_ms"}
 //	GET    /v1/jobs/{id}        poll lifecycle state
-//	GET    /v1/jobs/{id}/result fetch the terminal outcome (409 until terminal)
+//	GET    /v1/jobs/{id}/result fetch the terminal outcome (409 until terminal;
+//	                            ?wait=5s blocks daemon-side until terminal or timeout)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/backends         pools served here + registered tilt.Open schemes
 //	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness + lifecycle counters
+//	GET    /healthz             liveness + version + lifecycle counters
 //
 // SIGINT/SIGTERM stop intake and drain: in-flight and queued jobs finish
 // (bounded by -drain) before the process exits.
@@ -41,6 +43,7 @@ import (
 
 	tilt "repro"
 	"repro/internal/jobs"
+	"repro/internal/linqhttp"
 )
 
 func main() {
@@ -73,9 +76,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		store    = fs.Int("store", 1024, "completed jobs kept for polling")
 		shots    = fs.Int("shots", 0, "Monte-Carlo cross-check shots on TILT (0 = analytic only)")
 		drain    = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
+		version  = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "linqd %s\n", linqhttp.Version())
+		return nil
 	}
 
 	reg := tilt.NewMetricsRegistry()
@@ -96,7 +104,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	srv := newServer(mgr, reg)
+	srv := linqhttp.NewServer(mgr, reg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -110,7 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.routes()}
+	httpSrv := &http.Server{Handler: srv.Routes()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

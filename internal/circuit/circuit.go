@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -88,6 +89,17 @@ func (k Kind) Native() bool {
 		return true
 	}
 	return false
+}
+
+// KindByName returns the kind with the given lowercase mnemonic (the
+// Kind.String form, e.g. "cx", "rz").
+func KindByName(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: unknown gate kind %q", name)
 }
 
 // Gate is a single quantum operation on one, two, or three qubits.
@@ -298,6 +310,69 @@ func (c *Circuit) Fingerprint() string {
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// gateJSON is the stable wire form of one gate: the lowercase kind
+// mnemonic, the qubit operands, and the rotation angle for parameterized
+// kinds. It is shared by the linqd submission API and the remote backend.
+type gateJSON struct {
+	Kind   string  `json:"kind"`
+	Qubits []int   `json:"qubits"`
+	Theta  float64 `json:"theta,omitempty"`
+}
+
+// circuitJSON is the stable wire form of a circuit.
+type circuitJSON struct {
+	Qubits int        `json:"qubits"`
+	Gates  []gateJSON `json:"gates"`
+}
+
+// MarshalJSON renders the circuit in its stable wire form:
+//
+//	{"qubits": 3, "gates": [{"kind": "h", "qubits": [0]},
+//	                        {"kind": "cx", "qubits": [0, 1]},
+//	                        {"kind": "rz", "qubits": [2], "theta": 0.25}]}
+//
+// The encoding is lossless: UnmarshalJSON reconstructs a gate-for-gate
+// identical circuit (equal Fingerprint), which is what lets the remote
+// backend ship arbitrary circuits to a linqd daemon.
+func (c *Circuit) MarshalJSON() ([]byte, error) {
+	out := circuitJSON{Qubits: c.numQubits, Gates: make([]gateJSON, len(c.gates))}
+	for i, g := range c.gates {
+		out.Gates[i] = gateJSON{Kind: g.Kind.String(), Qubits: g.Qubits, Theta: g.Theta}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the MarshalJSON wire form, validating every gate
+// against the register exactly as Add does.
+func (c *Circuit) UnmarshalJSON(data []byte) error {
+	var in circuitJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("circuit: %w", err)
+	}
+	if in.Qubits <= 0 {
+		return fmt.Errorf("circuit: non-positive qubit count %d", in.Qubits)
+	}
+	parsed := Circuit{numQubits: in.Qubits, gates: make([]Gate, 0, len(in.Gates))}
+	for i, gj := range in.Gates {
+		kind, err := KindByName(gj.Kind)
+		if err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+		g, err := NewGate(kind, gj.Theta, gj.Qubits...)
+		if err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+		for _, q := range g.Qubits {
+			if q >= parsed.numQubits {
+				return fmt.Errorf("gate %d: qubit %d out of range [0,%d)", i, q, parsed.numQubits)
+			}
+		}
+		parsed.gates = append(parsed.gates, g)
+	}
+	*c = parsed
+	return nil
 }
 
 // Clone returns a deep copy of the circuit.

@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -343,5 +344,64 @@ func TestFingerprintStableAndContentSensitive(t *testing.T) {
 func TestFingerprintEmptyCircuitsDifferByWidth(t *testing.T) {
 	if New(3).Fingerprint() == New(4).Fingerprint() {
 		t.Error("empty circuits of different widths share a fingerprint")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New(5)
+	c.ApplyH(0)
+	c.ApplyCNOT(0, 1)
+	c.ApplyRZ(0.25, 2)
+	c.ApplyRZ(0, 3) // zero-angle parameterized gate must survive omitempty
+	c.ApplyCP(-math.Pi/3, 1, 4)
+	c.ApplyXX(1.5, 2, 3)
+	c.ApplyCCX(0, 1, 2)
+	c.ApplyMeasure(4)
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &Circuit{}
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if got.Fingerprint() != c.Fingerprint() {
+		t.Errorf("round trip changed the circuit:\n in %s\nout %s", c, got)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"zero qubits", `{"qubits":0,"gates":[]}`},
+		{"unknown kind", `{"qubits":2,"gates":[{"kind":"nope","qubits":[0]}]}`},
+		{"bad arity", `{"qubits":2,"gates":[{"kind":"cx","qubits":[0]}]}`},
+		{"out of range", `{"qubits":2,"gates":[{"kind":"h","qubits":[2]}]}`},
+		{"theta on unparameterized", `{"qubits":2,"gates":[{"kind":"h","qubits":[0],"theta":1}]}`},
+		{"not json", `{"qubits":`},
+	}
+	for _, tc := range cases {
+		var c Circuit
+		if err := json.Unmarshal([]byte(tc.src), &c); err == nil {
+			t.Errorf("%s: unmarshal accepted %s", tc.name, tc.src)
+		}
+	}
+}
+
+func TestKindByNameCoversEveryKind(t *testing.T) {
+	for k := I; k < numKinds; k++ {
+		got, err := KindByName(k.String())
+		if err != nil {
+			t.Fatalf("KindByName(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("KindByName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := KindByName("bogus"); err == nil {
+		t.Error("KindByName accepted an unknown mnemonic")
 	}
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	tilt "repro"
+	"repro/internal/decompose"
+	"repro/internal/workloads"
+	"repro/runner"
+)
+
+// This file is the registry-era entry point: run the Table II workloads
+// through any Backend the caller obtained from tilt.Open — an in-process
+// engine, a remote linqd daemon, or a Pool over a fleet — so the paper's
+// benchmark inventory doubles as a portable acceptance workload for every
+// execution surface.
+
+// BackendRow is one Table II workload executed on an arbitrary backend.
+type BackendRow struct {
+	Bench  string
+	Qubits int
+	TwoQ   int
+	// Res is the unified result (nil when the job failed).
+	Res *tilt.Result
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// BackendSuite runs the named Table II workloads (all six when names is
+// empty) through the backend as one concurrent runner batch and returns
+// one row per workload, in input order.
+func BackendSuite(ctx context.Context, be tilt.Backend, names []string) ([]BackendRow, error) {
+	var benches []workloads.Benchmark
+	if len(names) == 0 {
+		benches = workloads.All()
+	} else {
+		for _, name := range names {
+			bm, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, bm)
+		}
+	}
+	jobs := make([]runner.Job, len(benches))
+	for i, bm := range benches {
+		jobs[i] = runner.Job{Name: bm.Name, Backend: be, Circuit: bm.Circuit}
+	}
+	results := runner.Run(ctx, jobs)
+	rows := make([]BackendRow, len(benches))
+	for i, bm := range benches {
+		rows[i] = BackendRow{
+			Bench:  bm.Name,
+			Qubits: bm.Qubits(),
+			TwoQ:   decompose.TwoQubitGateCount(bm.Circuit),
+			Res:    results[i].Result,
+			Err:    results[i].Err,
+		}
+	}
+	return rows, nil
+}
+
+// FormatBackendSuite renders the suite as an aligned table headed by the
+// backend's name.
+func FormatBackendSuite(backend string, rows []BackendRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark suite on backend %s\n", backend)
+	fmt.Fprintf(&b, "%-8s %7s %7s %12s %10s %12s\n",
+		"bench", "qubits", "2Q", "log success", "success", "exec (s)")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-8s %7d %7d  error: %v\n", r.Bench, r.Qubits, r.TwoQ, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %7d %7d %12.4f %10.4g %12.3f\n",
+			r.Bench, r.Qubits, r.TwoQ, r.Res.LogSuccess, r.Res.SuccessRate, r.Res.ExecTimeUs/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package experiments_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	tilt "repro"
+	"repro/internal/experiments"
+)
+
+func TestBackendSuiteSubsetOnIdealTI(t *testing.T) {
+	ctx := context.Background()
+	be, err := tilt.Open(ctx, "idealti://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := experiments.BackendSuite(ctx, be, []string{"BV", "ADDER"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Bench != "BV" || rows[1].Bench != "ADDER" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Bench, r.Err)
+		}
+		if r.Res == nil || r.Res.Backend != "IdealTI" || r.Res.SuccessRate <= 0 {
+			t.Errorf("%s: result %+v", r.Bench, r.Res)
+		}
+		if r.Qubits == 0 || r.TwoQ == 0 {
+			t.Errorf("%s: missing inventory columns: %+v", r.Bench, r)
+		}
+	}
+	text := experiments.FormatBackendSuite(be.Name(), rows)
+	if !strings.Contains(text, "IdealTI") || !strings.Contains(text, "BV") {
+		t.Errorf("format output:\n%s", text)
+	}
+
+	if _, err := experiments.BackendSuite(ctx, be, []string{"NOPE"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -59,13 +59,20 @@ var (
 	ErrNotFound = errors.New("jobs: job not found")
 	// ErrUnknownBackend: the request names a backend no pool serves.
 	ErrUnknownBackend = errors.New("jobs: unknown backend")
-	// ErrClosed: the manager is shut down and no longer accepts work.
-	ErrClosed = errors.New("jobs: manager is shut down")
+	// ErrShuttingDown: the manager is draining (Shutdown was called) and
+	// no longer accepts work. Remote clients and pool breakers key on this
+	// to tell a deliberate drain apart from an endpoint failure.
+	ErrShuttingDown = errors.New("jobs: manager is shutting down; not accepting new jobs")
 	// ErrTTLExpired: the job's TTL elapsed before a worker picked it up.
 	ErrTTLExpired = errors.New("jobs: TTL expired before the job started")
 	// ErrTerminal: Cancel was called on a job that already finished.
 	ErrTerminal = errors.New("jobs: job already in a terminal state")
 )
+
+// ErrClosed is the manager's shut-down error.
+//
+// Deprecated: use ErrShuttingDown (same value; errors.Is matches either).
+var ErrClosed = ErrShuttingDown
 
 // Pool declares one backend worker pool.
 type Pool struct {
@@ -169,6 +176,7 @@ type Manager struct {
 	jobs     map[string]*jobState // active (non-terminal) jobs
 	inflight map[string]*execution
 	store    *lru.Cache[string, Job] // terminal snapshots, bounded
+	waiters  map[string][]chan Job   // Wait callers, by job ID
 	seq      uint64
 	closed   bool
 	wg       sync.WaitGroup
@@ -279,6 +287,7 @@ func New(pools []Pool, opts ...Option) (*Manager, error) {
 		jobs:     make(map[string]*jobState),
 		inflight: make(map[string]*execution),
 		store:    lru.New[string, Job](cfg.storeSize),
+		waiters:  make(map[string][]chan Job),
 	}
 	if cfg.metrics != nil {
 		m.mx = newInstruments(cfg.metrics)
@@ -332,7 +341,7 @@ func (m *Manager) Submit(req Request) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return "", ErrClosed
+		return "", ErrShuttingDown
 	}
 	p, ok := m.pools[req.Backend]
 	if !ok {
@@ -426,6 +435,58 @@ func (m *Manager) Get(id string) (Job, error) {
 	return Job{}, ErrNotFound
 }
 
+// Wait blocks until the job reaches a terminal state and returns its final
+// snapshot — the push-style alternative to polling Get, used by linqd's
+// blocking ?wait= result fetch. A job already terminal returns immediately;
+// an unknown ID returns ErrNotFound; when ctx expires first, Wait returns
+// ctx.Err() (poll Get for the state at that moment).
+func (m *Manager) Wait(ctx context.Context, id string) (Job, error) {
+	m.mu.Lock()
+	j, live := m.jobs[id]
+	if live {
+		// Same lazy TTL expiry as Get: an expired queued job terminates now
+		// rather than blocking the waiter until a worker prunes it.
+		if j.state == StateQueued && !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			m.expireLocked(j)
+		} else {
+			ch := make(chan Job, 1)
+			m.waiters[id] = append(m.waiters[id], ch)
+			m.mu.Unlock()
+			select {
+			case snap := <-ch:
+				return snap, nil
+			case <-ctx.Done():
+				m.mu.Lock()
+				chs := m.waiters[id]
+				for i, c := range chs {
+					if c == ch {
+						m.waiters[id] = append(chs[:i], chs[i+1:]...)
+						break
+					}
+				}
+				if len(m.waiters[id]) == 0 {
+					delete(m.waiters, id)
+				}
+				m.mu.Unlock()
+				// The job may have finished while we raced ctx: prefer the
+				// snapshot if finalize already delivered it.
+				select {
+				case snap := <-ch:
+					return snap, nil
+				default:
+				}
+				return Job{}, ctx.Err()
+			}
+		}
+	}
+	if snap, ok := m.store.Get(id); ok {
+		m.mu.Unlock()
+		return snap, nil
+	}
+	m.mu.Unlock()
+	return Job{}, ErrNotFound
+}
+
 // Cancel cancels one submission. A queued job is withdrawn; a running
 // job's execution is interrupted through its context unless other
 // submissions still subscribe to it (they keep it alive and keep their
@@ -510,6 +571,10 @@ func (m *Manager) finalizeLocked(j *jobState, st State, res *tilt.Result, errMsg
 	}
 	m.store.Add(j.id, snap)
 	delete(m.jobs, j.id)
+	for _, ch := range m.waiters[j.id] {
+		ch <- snap // buffered; each waiter registers exactly one slot
+	}
+	delete(m.waiters, j.id)
 	switch st {
 	case StateDone:
 		m.stats.Done++

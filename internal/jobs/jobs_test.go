@@ -557,3 +557,83 @@ func TestCancelledHighPrioritySubscriberDeescalates(t *testing.T) {
 		t.Errorf("execution order %v, want %v", order, want)
 	}
 }
+
+func TestWaitBlocksUntilTerminal(t *testing.T) {
+	be := &fakeBackend{name: "fake", gate: make(chan struct{})}
+	m := newManager(t, []jobs.Pool{{Name: "fake", Backend: be, Workers: 1}})
+
+	id, err := m.Submit(jobs.Request{Backend: "fake", Circuit: tilt.GHZ(4).Circuit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate is closed: Wait must observe the running job, block, and
+	// wake with the done snapshot once the execution finishes.
+	type outcome struct {
+		j   jobs.Job
+		err error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		j, err := m.Wait(ctx, id)
+		got <- outcome{j, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let Wait register before releasing
+	close(be.gate)
+
+	out := <-got
+	if out.err != nil {
+		t.Fatalf("Wait: %v", out.err)
+	}
+	if out.j.State != jobs.StateDone || out.j.Result == nil {
+		t.Fatalf("Wait snapshot = %+v, want done with result", out.j)
+	}
+
+	// Already-terminal jobs return immediately.
+	j, err := m.Wait(context.Background(), id)
+	if err != nil || j.State != jobs.StateDone {
+		t.Fatalf("Wait on terminal job = %+v, %v", j, err)
+	}
+}
+
+func TestWaitHonorsContextAndUnknownID(t *testing.T) {
+	be := &fakeBackend{name: "fake", gate: make(chan struct{})}
+	defer close(be.gate)
+	m := newManager(t, []jobs.Pool{{Name: "fake", Backend: be, Workers: 1}})
+
+	if _, err := m.Wait(context.Background(), "j-bogus"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Errorf("Wait unknown id: err = %v, want ErrNotFound", err)
+	}
+
+	id, err := m.Submit(jobs.Request{Backend: "fake", Circuit: tilt.GHZ(4).Circuit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Wait(ctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Wait on gated job: err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestSubmitAfterShutdownIsTyped(t *testing.T) {
+	be := &fakeBackend{name: "fake"}
+	m, err := jobs.New([]jobs.Pool{{Name: "fake", Backend: be}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Submit(jobs.Request{Backend: "fake", Circuit: tilt.GHZ(3).Circuit})
+	if !errors.Is(err, jobs.ErrShuttingDown) {
+		t.Errorf("Submit after Shutdown: err = %v, want ErrShuttingDown", err)
+	}
+	if !errors.Is(err, jobs.ErrClosed) {
+		t.Errorf("deprecated ErrClosed alias must still match: err = %v", err)
+	}
+}

@@ -1,13 +1,21 @@
-package main
+// Package linqhttp is the HTTP layer of the linqd daemon: the job
+// submission/lifecycle/result API over a jobs.Manager, plus the metrics,
+// health, and backend-discovery endpoints. It lives outside cmd/linqd so
+// tests (and embedders) can mount the same API on an httptest server that
+// the tilt.Remote client backend talks to.
+package linqhttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	tilt "repro"
@@ -16,11 +24,42 @@ import (
 	"repro/internal/workloads"
 )
 
-// maxBodyBytes bounds a submission body (QASM source included).
+// maxBodyBytes bounds a submission body (QASM source or JSON circuit
+// included).
 const maxBodyBytes = 8 << 20
 
-// server wires the job manager and the metrics registry into HTTP handlers.
-type server struct {
+// maxResultWait caps the daemon-side blocking ?wait= on a result fetch, so
+// a client cannot pin a handler goroutine for hours.
+const maxResultWait = 60 * time.Second
+
+// Machine-readable error codes carried in the "code" field of error
+// responses, so clients (the Remote backend, Pool breakers) can branch
+// without parsing prose.
+const (
+	CodeBadRequest     = "bad_request"
+	CodeParseError     = "parse_error"
+	CodeUnknownBackend = "unknown_backend"
+	CodeShuttingDown   = "shutting_down"
+	CodeNotFound       = "not_found"
+	CodeNotReady       = "not_ready"
+	CodeTerminal       = "terminal"
+	CodeInternal       = "internal"
+)
+
+// Version reports the daemon's build version: the main module version
+// stamped by the Go toolchain, or "devel" when building from a working
+// tree without version info. The build info is immutable for the process
+// lifetime, so it is parsed once, not per health probe.
+var Version = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+})
+
+// Server wires the job manager and the metrics registry into HTTP
+// handlers. Create one with NewServer and mount Routes.
+type Server struct {
 	mgr      *jobs.Manager
 	reg      *tilt.MetricsRegistry
 	start    time.Time
@@ -31,10 +70,12 @@ type server struct {
 // the metrics package's concrete vec type.
 type httpCounter func(route string, code int)
 
-func newServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *server {
+// NewServer returns the HTTP layer over the manager, instrumenting every
+// request into the registry.
+func NewServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *Server {
 	vec := reg.CounterVec("linqd_http_requests_total",
 		"HTTP requests served, by route and status code.", "route", "code")
-	return &server{
+	return &Server{
 		mgr:   mgr,
 		reg:   reg,
 		start: time.Now(),
@@ -44,20 +85,21 @@ func newServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *server {
 	}
 }
 
-// routes builds the daemon's mux.
-func (s *server) routes() *http.ServeMux {
+// Routes builds the daemon's mux.
+func (s *Server) Routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// submitRequest is the POST /v1/jobs body. Exactly one of QASM/Workload
-// selects the circuit.
+// submitRequest is the POST /v1/jobs body. Exactly one of QASM, Workload,
+// or Circuit selects the program.
 type submitRequest struct {
 	// Name labels the job in status responses (optional).
 	Name string `json:"name,omitempty"`
@@ -67,6 +109,9 @@ type submitRequest struct {
 	QASM string `json:"qasm,omitempty"`
 	// Workload names a built-in benchmark (ADDER, BV, QAOA, RCS, QFT, SQRT).
 	Workload string `json:"workload,omitempty"`
+	// Circuit is a JSON gate list in the circuit wire form — the lossless
+	// path the tilt.Remote backend uses for arbitrary circuits.
+	Circuit *tilt.Circuit `json:"circuit,omitempty"`
 	// Priority orders the queue: higher runs earlier (default 0).
 	Priority int `json:"priority,omitempty"`
 	// TTLMs bounds the queue wait in milliseconds (0 = unbounded).
@@ -122,23 +167,33 @@ func stamp(t time.Time) string {
 	return t.UTC().Format(time.RFC3339Nano)
 }
 
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	const route = "submit"
 	var req submitRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeError(w, route, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err), nil)
+		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("invalid JSON body: %v", err), nil)
 		return
 	}
 	if req.Backend == "" {
 		req.Backend = "TILT"
 	}
 
+	sources := 0
+	for _, set := range []bool{req.QASM != "", req.Workload != "", req.Circuit != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+			`pass exactly one of "qasm", "workload", or "circuit"`, nil)
+		return
+	}
+
 	var circ *tilt.Circuit
 	switch {
-	case req.QASM != "" && req.Workload != "":
-		s.writeError(w, route, http.StatusBadRequest, `pass exactly one of "qasm" or "workload"`, nil)
-		return
 	case req.QASM != "":
 		c, err := qasm.Parse(req.QASM)
 		if err != nil {
@@ -148,14 +203,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if errors.As(err, &pe) && pe.Line > 0 {
 				extra["line"] = pe.Line
 			}
-			s.writeError(w, route, http.StatusBadRequest, err.Error(), extra)
+			s.writeError(w, route, http.StatusBadRequest, CodeParseError, err.Error(), extra)
 			return
 		}
 		circ = c
 	case req.Workload != "":
 		bm, err := workloads.ByName(req.Workload)
 		if err != nil {
-			s.writeError(w, route, http.StatusBadRequest, err.Error(), nil)
+			s.writeError(w, route, http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
 			return
 		}
 		circ = bm.Circuit
@@ -163,8 +218,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			req.Name = bm.Name
 		}
 	default:
-		s.writeError(w, route, http.StatusBadRequest, `pass exactly one of "qasm" or "workload"`, nil)
-		return
+		circ = req.Circuit // already validated by Circuit.UnmarshalJSON
 	}
 
 	// ttl_ms is client-controlled: reject negatives and cap the multiply so
@@ -172,7 +226,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// dropped) TTL.
 	const maxTTLMs = math.MaxInt64 / int64(time.Millisecond)
 	if req.TTLMs < 0 {
-		s.writeError(w, route, http.StatusBadRequest, `"ttl_ms" must be non-negative`, nil)
+		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+			`"ttl_ms" must be non-negative`, nil)
 		return
 	}
 	if req.TTLMs > maxTTLMs {
@@ -187,13 +242,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, jobs.ErrUnknownBackend):
-		s.writeError(w, route, http.StatusBadRequest, err.Error(), nil)
+		s.writeError(w, route, http.StatusBadRequest, CodeUnknownBackend, err.Error(), nil)
 		return
-	case errors.Is(err, jobs.ErrClosed):
-		s.writeError(w, route, http.StatusServiceUnavailable, err.Error(), nil)
+	case errors.Is(err, jobs.ErrShuttingDown):
+		s.writeError(w, route, http.StatusServiceUnavailable, CodeShuttingDown, err.Error(), nil)
 		return
 	case err != nil:
-		s.writeError(w, route, http.StatusInternalServerError, err.Error(), nil)
+		s.writeError(w, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 		return
 	}
 	s.writeJSON(w, route, http.StatusAccepted, map[string]any{
@@ -203,25 +258,50 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	const route = "status"
 	j, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
 		return
 	}
 	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, false))
 }
 
-func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	const route = "result"
-	j, err := s.mgr.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("invalid wait %q: want a non-negative duration like 5s", waitStr), nil)
+			return
+		}
+		if d > maxResultWait {
+			d = maxResultWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		j, err := s.mgr.Wait(ctx, id)
+		cancel()
+		switch {
+		case err == nil:
+			s.writeJSON(w, route, http.StatusOK, toJobJSON(j, true))
+			return
+		case errors.Is(err, jobs.ErrNotFound):
+			s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
+			return
+		}
+		// Wait timed out (or the client's context died): fall through and
+		// report the job's state at this moment, exactly like a plain poll.
+	}
+	j, err := s.mgr.Get(id)
 	if err != nil {
-		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
 		return
 	}
 	if !j.State.Terminal() {
-		s.writeError(w, route, http.StatusConflict,
+		s.writeError(w, route, http.StatusConflict, CodeNotReady,
 			fmt.Sprintf("job %s is %s; result not ready", j.ID, j.State),
 			map[string]any{"state": j.State})
 		return
@@ -229,16 +309,16 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, true))
 }
 
-func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	const route = "cancel"
 	id := r.PathValue("id")
 	switch err := s.mgr.Cancel(id); {
 	case errors.Is(err, jobs.ErrNotFound):
-		s.writeError(w, route, http.StatusNotFound, err.Error(), nil)
+		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
 	case errors.Is(err, jobs.ErrTerminal):
-		s.writeError(w, route, http.StatusConflict, err.Error(), nil)
+		s.writeError(w, route, http.StatusConflict, CodeTerminal, err.Error(), nil)
 	case err != nil:
-		s.writeError(w, route, http.StatusInternalServerError, err.Error(), nil)
+		s.writeError(w, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 	default:
 		s.writeJSON(w, route, http.StatusOK, map[string]any{
 			"id": id, "state": jobs.StateCancelled,
@@ -246,25 +326,40 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleBackends is the discovery endpoint: the pools this daemon serves
+// (the names POST /v1/jobs accepts) and the URI schemes the process's
+// backend registry knows (the names tilt.Open accepts), so a client can
+// enumerate the execution surface before submitting.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	pools := s.mgr.Backends()
+	sort.Strings(pools)
+	s.writeJSON(w, "backends", http.StatusOK, map[string]any{
+		"backends": pools,
+		"schemes":  tilt.Backends(),
+		"version":  Version(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)
 	s.httpReqs("metrics", http.StatusOK)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	backends := s.mgr.Backends()
 	sort.Strings(backends)
 	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{
 		"status":   "ok",
+		"version":  Version(),
 		"uptime_s": int64(time.Since(s.start).Seconds()),
 		"backends": backends,
 		"jobs":     s.mgr.Stats(),
 	})
 }
 
-func (s *server) writeJSON(w http.ResponseWriter, route string, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, route string, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -273,10 +368,10 @@ func (s *server) writeJSON(w http.ResponseWriter, route string, code int, v any)
 	s.httpReqs(route, code)
 }
 
-func (s *server) writeError(w http.ResponseWriter, route string, code int, msg string, extra map[string]any) {
-	body := map[string]any{"error": msg}
+func (s *Server) writeError(w http.ResponseWriter, route string, status int, code, msg string, extra map[string]any) {
+	body := map[string]any{"error": msg, "code": code}
 	for k, v := range extra {
 		body[k] = v
 	}
-	s.writeJSON(w, route, code, body)
+	s.writeJSON(w, route, status, body)
 }

@@ -1,0 +1,341 @@
+package tilt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// PoolBackend fans work out across a fleet of member backends behind the
+// single Backend contract: Compile picks a member (least-loaded by default,
+// round-robin on request), Simulate routes the artifact back to the member
+// that compiled it, and a per-member circuit breaker takes failing
+// endpoints out of rotation for a cooldown. Members are typically Remote
+// backends pointing at N linqd daemons, but any Backend mix works — the
+// runner and the jobs manager scale across the fleet with zero call-site
+// changes.
+//
+// A PoolBackend is safe for concurrent use.
+type PoolBackend struct {
+	name     string
+	members  []*poolMember
+	rr       bool // round-robin instead of least-loaded
+	next     atomic.Uint64
+	failMax  int           // consecutive endpoint failures that open the breaker
+	cooldown time.Duration // how long an open breaker keeps a member out
+	mx       *poolInstruments
+}
+
+// poolMember is one endpoint plus its load and breaker state.
+type poolMember struct {
+	b        Backend
+	inflight atomic.Int64 // Compile/Simulate calls currently executing here
+
+	mu        sync.Mutex
+	fails     int       // consecutive endpoint failures
+	openUntil time.Time // breaker open until (zero = closed)
+}
+
+// PoolOption configures a PoolBackend.
+type PoolOption func(*PoolBackend)
+
+// PoolRoundRobin picks members in strict rotation instead of the default
+// least-loaded choice — useful when members are identical and call costs
+// are uniform.
+func PoolRoundRobin() PoolOption {
+	return func(p *PoolBackend) { p.rr = true }
+}
+
+// PoolLeastLoaded picks the member with the fewest in-flight calls (the
+// default; ties break by member order).
+func PoolLeastLoaded() PoolOption {
+	return func(p *PoolBackend) { p.rr = false }
+}
+
+// PoolWithBreaker tunes the per-member circuit breaker: failMax
+// consecutive endpoint failures open it and the member sits out for
+// cooldown before the next attempt half-opens it (defaults 3 and 15s). A
+// daemon that reports it is draining (RemoteError.ShuttingDown) opens the
+// breaker immediately without counting as a failure.
+func PoolWithBreaker(failMax int, cooldown time.Duration) PoolOption {
+	return func(p *PoolBackend) { p.failMax, p.cooldown = failMax, cooldown }
+}
+
+// PoolWithName overrides the pool's Backend name (default "pool(n)").
+func PoolWithName(name string) PoolOption {
+	return func(p *PoolBackend) { p.name = name }
+}
+
+// PoolWithMetrics instruments the pool against the registry: pick counters,
+// endpoint-failure and breaker-trip counters, and open-breaker/in-flight
+// gauges, all labeled by member backend name.
+func PoolWithMetrics(r *MetricsRegistry) PoolOption {
+	return func(p *PoolBackend) { p.mx = newPoolInstruments(r) }
+}
+
+// poolInstruments holds the pool's pre-resolved metric handles.
+type poolInstruments struct {
+	picks    *metrics.CounterVec // linq_pool_picks_total{endpoint}
+	failures *metrics.CounterVec // linq_pool_endpoint_failures_total{endpoint}
+	trips    *metrics.CounterVec // linq_pool_breaker_trips_total{endpoint}
+	open     *metrics.GaugeVec   // linq_pool_breaker_open{endpoint}
+	inflight *metrics.GaugeVec   // linq_pool_inflight{endpoint}
+}
+
+func newPoolInstruments(r *metrics.Registry) *poolInstruments {
+	return &poolInstruments{
+		picks: r.CounterVec("linq_pool_picks_total",
+			"Pool routing decisions, by member endpoint.", "endpoint"),
+		failures: r.CounterVec("linq_pool_endpoint_failures_total",
+			"Endpoint-attributable member failures (transport, 5xx).", "endpoint"),
+		trips: r.CounterVec("linq_pool_breaker_trips_total",
+			"Breaker openings, by member endpoint.", "endpoint"),
+		open: r.GaugeVec("linq_pool_breaker_open",
+			"1 while the member's breaker is open.", "endpoint"),
+		inflight: r.GaugeVec("linq_pool_inflight",
+			"Calls currently executing on the member.", "endpoint"),
+	}
+}
+
+// ErrEmptyPool is returned by Pool when no members are given.
+var ErrEmptyPool = errors.New("tilt: Pool needs at least one backend")
+
+// Pool returns a fan-out backend over the members. Members must be safe
+// for concurrent use (all backends in this package are).
+func Pool(members []Backend, opts ...PoolOption) (*PoolBackend, error) {
+	if len(members) == 0 {
+		return nil, ErrEmptyPool
+	}
+	p := &PoolBackend{
+		name:     fmt.Sprintf("pool(%d)", len(members)),
+		failMax:  3,
+		cooldown: 15 * time.Second,
+	}
+	for i, b := range members {
+		if b == nil {
+			return nil, fmt.Errorf("tilt: Pool member %d is nil", i)
+		}
+		p.members = append(p.members, &poolMember{b: b})
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.failMax < 1 {
+		p.failMax = 1
+	}
+	return p, nil
+}
+
+// Name implements Backend.
+func (p *PoolBackend) Name() string { return p.name }
+
+// Members returns the member backends, in pool order.
+func (p *PoolBackend) Members() []Backend {
+	out := make([]Backend, len(p.members))
+	for i, m := range p.members {
+		out[i] = m.b
+	}
+	return out
+}
+
+// Healthy returns how many members currently have a closed (or half-open)
+// breaker.
+func (p *PoolBackend) Healthy() int {
+	now := time.Now()
+	n := 0
+	for _, m := range p.members {
+		m.mu.Lock()
+		if m.openUntil.IsZero() || !now.Before(m.openUntil) {
+			n++
+		}
+		m.mu.Unlock()
+	}
+	return n
+}
+
+// Compile implements Backend: pick a member and compile there. The
+// returned artifact is a pool-owned wrapper that remembers its member, so
+// Simulate lands on the same endpoint. The member's own artifact is never
+// mutated — it may be a shared compile-cache entry handed to concurrent
+// callers.
+func (p *PoolBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	m := p.pick()
+	if p.mx != nil {
+		p.mx.picks.With(m.b.Name()).Inc()
+	}
+	a, err := poolCall(p, m, func() (*Artifact, error) { return m.b.Compile(ctx, c) })
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Backend: a.Backend,
+		Circuit: a.Circuit,
+		Native:  a.Native,
+		Compile: a.Compile,
+		Mapped:  a.Mapped,
+		via:     m,
+		inner:   a,
+	}, nil
+}
+
+// Simulate implements Backend: route the artifact to the member that
+// compiled it.
+func (p *PoolBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("tilt: %s.Simulate: nil artifact", p.name)
+	}
+	m := a.via
+	if m == nil || a.inner == nil || !p.owns(m) {
+		return nil, fmt.Errorf("tilt: %s.Simulate: artifact was not compiled by this pool", p.name)
+	}
+	return poolCall(p, m, func() (*Result, error) { return m.b.Simulate(ctx, a.inner) })
+}
+
+// owns reports whether m is one of p's members.
+func (p *PoolBackend) owns(m *poolMember) bool {
+	for _, cand := range p.members {
+		if cand == m {
+			return true
+		}
+	}
+	return false
+}
+
+// pick chooses the member to route the next call to: among the members
+// whose breaker is closed (or whose cooldown elapsed — the half-open
+// probe), round-robin or least-loaded. With every breaker open, the least
+// recently opened member is tried anyway so the pool degrades to retrying
+// rather than failing fast forever.
+func (p *PoolBackend) pick() *poolMember {
+	now := time.Now()
+	avail := make([]*poolMember, 0, len(p.members))
+	for _, m := range p.members {
+		m.mu.Lock()
+		ok := m.openUntil.IsZero() || !now.Before(m.openUntil)
+		m.mu.Unlock()
+		if ok {
+			avail = append(avail, m)
+		}
+	}
+	if len(avail) == 0 {
+		// Total outage: probe the member whose breaker opened first.
+		oldest := p.members[0]
+		for _, m := range p.members[1:] {
+			m.mu.Lock()
+			mu := m.openUntil
+			m.mu.Unlock()
+			oldest.mu.Lock()
+			ou := oldest.openUntil
+			oldest.mu.Unlock()
+			if mu.Before(ou) {
+				oldest = m
+			}
+		}
+		return oldest
+	}
+	if p.rr {
+		return avail[int((p.next.Add(1)-1)%uint64(len(avail)))]
+	}
+	best := avail[0]
+	for _, m := range avail[1:] {
+		if m.inflight.Load() < best.inflight.Load() {
+			best = m
+		}
+	}
+	return best
+}
+
+// poolCall runs fn against the member with load accounting and breaker
+// bookkeeping. (A package function because Go methods cannot carry type
+// parameters.)
+func poolCall[T any](p *PoolBackend, m *poolMember, fn func() (T, error)) (T, error) {
+	m.inflight.Add(1)
+	if p.mx != nil {
+		p.mx.inflight.With(m.b.Name()).Inc()
+	}
+	// Deferred so a panicking member (recovered upstream by the runner)
+	// cannot leave phantom in-flight load that skews least-loaded picks.
+	defer func() {
+		m.inflight.Add(-1)
+		if p.mx != nil {
+			p.mx.inflight.With(m.b.Name()).Dec()
+		}
+	}()
+	out, err := fn()
+	p.observe(m, err)
+	return out, err
+}
+
+// observe updates the member's breaker from one call outcome.
+func (p *PoolBackend) observe(m *poolMember, err error) {
+	if err == nil {
+		m.mu.Lock()
+		wasOpen := !m.openUntil.IsZero()
+		m.fails = 0
+		m.openUntil = time.Time{}
+		m.mu.Unlock()
+		if wasOpen && p.mx != nil {
+			p.mx.open.With(m.b.Name()).Set(0)
+		}
+		return
+	}
+	drain, fault := classifyPoolError(err)
+	if !drain && !fault {
+		return // circuit-level or caller-cancelled: not the endpoint's fault
+	}
+	if p.mx != nil && fault {
+		p.mx.failures.With(m.b.Name()).Inc()
+	}
+	m.mu.Lock()
+	trip := drain // a draining daemon leaves rotation immediately
+	if fault {
+		m.fails++
+		// openUntil is only non-zero between a trip and the next success,
+		// so a fault there is a failed half-open probe: re-open on that
+		// single probe instead of demanding failMax fresh failures.
+		trip = trip || m.fails >= p.failMax || !m.openUntil.IsZero()
+	}
+	if trip {
+		m.fails = 0
+		m.openUntil = time.Now().Add(p.cooldown)
+	}
+	m.mu.Unlock()
+	if trip && p.mx != nil {
+		p.mx.trips.With(m.b.Name()).Inc()
+		p.mx.open.With(m.b.Name()).Set(1)
+	}
+}
+
+// classifyPoolError splits an error into the breaker-relevant categories:
+// drain (the endpoint said it is shutting down — deliberate) and fault
+// (transport failures and 5xx — the endpoint is unhealthy). Everything
+// else — caller cancellation, 4xx circuit/validation errors — leaves the
+// breaker alone.
+func classifyPoolError(err error) (drain, fault bool) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		if re.ShuttingDown() {
+			return true, false
+		}
+		return false, re.Temporary()
+	}
+	return false, false
+}
+
+// String renders the pool and its member names.
+func (p *PoolBackend) String() string {
+	names := make([]string, len(p.members))
+	for i, m := range p.members {
+		names[i] = m.b.Name()
+	}
+	return p.name + "[" + strings.Join(names, ", ") + "]"
+}

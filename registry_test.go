@@ -1,0 +1,152 @@
+package tilt_test
+
+import (
+	"context"
+	"net/url"
+	"strings"
+	"testing"
+
+	tilt "repro"
+)
+
+func TestBackendsListsBuiltinSchemes(t *testing.T) {
+	got := map[string]bool{}
+	for _, s := range tilt.Backends() {
+		got[s] = true
+	}
+	for _, want := range []string{"tilt", "qccd", "idealti", "linqd"} {
+		if !got[want] {
+			t.Errorf("Backends() = %v: missing builtin scheme %q", tilt.Backends(), want)
+		}
+	}
+}
+
+func TestOpenBuiltinSchemes(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		uri  string
+		name string
+	}{
+		{"tilt://?ions=12&head=4", "TILT"},
+		{"qccd://?ions=12", "QCCD"},
+		{"idealti://?ions=12", "IdealTI"},
+	}
+	for _, tc := range cases {
+		be, err := tilt.Open(ctx, tc.uri)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", tc.uri, err)
+		}
+		if be.Name() != tc.name {
+			t.Errorf("Open(%q).Name() = %q, want %q", tc.uri, be.Name(), tc.name)
+		}
+		res, err := tilt.Execute(ctx, be, tilt.GHZ(8).Circuit)
+		if err != nil {
+			t.Fatalf("Execute over Open(%q): %v", tc.uri, err)
+		}
+		if res.SuccessRate <= 0 || res.SuccessRate > 1 {
+			t.Errorf("Open(%q): success rate %v out of range", tc.uri, res.SuccessRate)
+		}
+	}
+}
+
+func TestOpenAppliesQueryOptions(t *testing.T) {
+	ctx := context.Background()
+	// head=4 on a 16-wide circuit forces tape moves; the same circuit on
+	// the default head-16 device needs none. Observable through TILTStats.
+	narrow, err := tilt.Open(ctx, "tilt://?head=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := tilt.Open(ctx, "tilt://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tilt.GHZ(16).Circuit
+	rn, err := tilt.Execute(ctx, narrow, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := tilt.Execute(ctx, wide, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.TILT.Moves <= rw.TILT.Moves {
+		t.Errorf("head=4 moves (%d) not above head-16 moves (%d): query options ignored?",
+			rn.TILT.Moves, rw.TILT.Moves)
+	}
+
+	// shots enables the Monte-Carlo cross-check.
+	mc, err := tilt.Open(ctx, "tilt://?ions=8&head=8&shots=50&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tilt.Execute(ctx, mc, tilt.GHZ(8).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MC == nil || res.MC.Shots != 50 || res.MC.Seed != 3 {
+		t.Errorf("shots/seed query did not reach the backend: MC = %+v", res.MC)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		uri     string
+		wantSub string
+	}{
+		{"nope://", `unknown scheme "nope"`},
+		{"plain-string", "no scheme"},
+		{"tilt://?bogus=1", `unknown parameter "bogus"`},
+		{"tilt://?ions=abc", `parameter ions="abc"`},
+		{"tilt://somehost?ions=4", "takes no host"},
+		{"tilt://?placement=sideways", `placement="sideways"`},
+		{"linqd://", "needs a host"},
+		{"linqd://h:1?bogus=1", `unknown parameter "bogus"`},
+	}
+	for _, tc := range cases {
+		_, err := tilt.Open(ctx, tc.uri)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Open(%q): err = %v, want substring %q", tc.uri, err, tc.wantSub)
+		}
+	}
+}
+
+func TestRegisterCustomSchemeAndCollisions(t *testing.T) {
+	tilt.Register("registry-test", func(ctx context.Context, u *url.URL) (tilt.Backend, error) {
+		return tilt.NewIdealTI(), nil
+	})
+	be, err := tilt.Open(context.Background(), "registry-test://")
+	if err != nil || be.Name() != "IdealTI" {
+		t.Fatalf("Open of custom scheme: %v, %v", be, err)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate Register", func() {
+		tilt.Register("registry-test", func(ctx context.Context, u *url.URL) (tilt.Backend, error) {
+			return nil, nil
+		})
+	})
+	mustPanic("empty scheme", func() { tilt.Register("", nil) })
+	mustPanic("nil factory", func() { tilt.Register("registry-test-nil", nil) })
+}
+
+func TestOpenRejectsTrialsWithoutStochastic(t *testing.T) {
+	ctx := context.Background()
+	for _, uri := range []string{"tilt://?trials=500", "tilt://?inserter=linq&trials=500"} {
+		if _, err := tilt.Open(ctx, uri); err == nil || !strings.Contains(err.Error(), "trials") {
+			t.Errorf("Open(%q): err = %v, want trials rejection", uri, err)
+		}
+	}
+	if _, err := tilt.Open(ctx, "tilt://?inserter=stochastic&trials=4&seed=1"); err != nil {
+		t.Errorf("trials with stochastic inserter rejected: %v", err)
+	}
+}

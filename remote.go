@@ -1,0 +1,383 @@
+package tilt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// RemoteBackend executes circuits on a linqd daemon over its HTTP job API:
+// Simulate submits the job, blocks on the daemon's ?wait= result fetch
+// (falling back to poll-with-backoff), and decodes the unified Result.
+// Cancelling the context aborts the wait and propagates a best-effort
+// DELETE so the daemon stops working on the job too.
+//
+// A RemoteBackend satisfies the same Backend contract as the in-process
+// engines, so the runner, the jobs manager, and Pool fan it out unchanged.
+// It is safe for concurrent use. Construct with Remote or
+// Open(ctx, "linqd://host:port?backend=TILT").
+type RemoteBackend struct {
+	base    string // http://host:port, no trailing slash
+	backend string // server-side pool name ("TILT", "QCCD", "IdealTI")
+	client  *http.Client
+	wait    time.Duration // server-side block per result fetch (0 = pure polling)
+	pollMin time.Duration // poll backoff floor
+	pollMax time.Duration // poll backoff ceiling
+	name    string
+}
+
+// RemoteOption configures a RemoteBackend.
+type RemoteOption func(*RemoteBackend)
+
+// RemoteTarget selects the daemon-side backend pool the jobs run on
+// (default "TILT").
+func RemoteTarget(backend string) RemoteOption {
+	return func(b *RemoteBackend) { b.backend = backend }
+}
+
+// RemoteHTTPClient replaces the HTTP client (default: a client with a 5
+// minute overall request timeout; per-call cancellation still comes from
+// the caller's context).
+func RemoteHTTPClient(c *http.Client) RemoteOption {
+	return func(b *RemoteBackend) { b.client = c }
+}
+
+// RemoteWait bounds the daemon-side blocking wait per result fetch
+// (default 15s; the daemon caps it at 60s). Zero disables blocking fetches
+// and falls back to pure polling with exponential backoff.
+func RemoteWait(d time.Duration) RemoteOption {
+	return func(b *RemoteBackend) { b.wait = d }
+}
+
+// RemotePollInterval sets the poll backoff range used between result
+// fetches that return "not ready" (defaults 10ms..1s, doubling).
+func RemotePollInterval(min, max time.Duration) RemoteOption {
+	return func(b *RemoteBackend) { b.pollMin, b.pollMax = min, max }
+}
+
+// Remote returns a client backend for the linqd daemon at addr
+// ("host:port" or a full http:// URL).
+func Remote(addr string, opts ...RemoteOption) *RemoteBackend {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	b := &RemoteBackend{
+		base:    base,
+		backend: "TILT",
+		client:  &http.Client{Timeout: 5 * time.Minute},
+		wait:    15 * time.Second,
+		pollMin: 10 * time.Millisecond,
+		pollMax: time.Second,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	b.name = fmt.Sprintf("linqd:%s@%s", b.backend, strings.TrimPrefix(strings.TrimPrefix(b.base, "https://"), "http://"))
+	return b
+}
+
+func init() {
+	Register("linqd", func(ctx context.Context, u *url.URL) (Backend, error) {
+		if u.Host == "" {
+			return nil, fmt.Errorf("linqd:// needs a host, e.g. linqd://127.0.0.1:8080")
+		}
+		q := u.Query()
+		var opts []RemoteOption
+		if q.Has("backend") {
+			opts = append(opts, RemoteTarget(q.Get("backend")))
+		}
+		if q.Has("wait") {
+			d, err := time.ParseDuration(q.Get("wait"))
+			if err != nil {
+				return nil, fmt.Errorf("parameter wait=%q: %w", q.Get("wait"), err)
+			}
+			opts = append(opts, RemoteWait(d))
+		}
+		for k := range q {
+			if k != "backend" && k != "wait" {
+				return nil, fmt.Errorf("unknown parameter %q (known: backend, wait)", k)
+			}
+		}
+		return Remote(u.Host, opts...), nil
+	})
+}
+
+// RemoteError is a structured failure from a linqd daemon: the HTTP status
+// (0 for transport-level failures that never got a response), the daemon's
+// machine-readable code when it sent one, and the human-readable message.
+// Pool's breaker logic keys on it to separate endpoint failures from
+// circuit-level errors.
+type RemoteError struct {
+	// Status is the HTTP status code; 0 means the request itself failed
+	// (connection refused, reset, ...).
+	Status int
+	// Code is the daemon's machine-readable error code, e.g.
+	// "shutting_down" when intake is draining. Empty when not provided.
+	Code string
+	// Message is the human-readable error.
+	Message string
+	// Line is the 1-based QASM source line for parse failures (0 otherwise).
+	Line int
+	// cause is the underlying transport error, if any.
+	cause error
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	var b strings.Builder
+	b.WriteString("linqd: ")
+	if e.Status > 0 {
+		fmt.Fprintf(&b, "HTTP %d: ", e.Status)
+	}
+	b.WriteString(e.Message)
+	if e.Code != "" {
+		fmt.Fprintf(&b, " (code %s)", e.Code)
+	}
+	if e.Line > 0 {
+		fmt.Fprintf(&b, " (line %d)", e.Line)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the transport-level cause so errors.Is still matches
+// context cancellation through the wrapper.
+func (e *RemoteError) Unwrap() error { return e.cause }
+
+// ShuttingDown reports that the daemon refused the work because it is
+// draining — deliberate, not a fault.
+func (e *RemoteError) ShuttingDown() bool { return e.Code == codeShuttingDown }
+
+// Temporary reports whether retrying against the same endpoint could
+// plausibly succeed: transport failures and 5xx/429 responses.
+func (e *RemoteError) Temporary() bool {
+	return e.Status == 0 || e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// codeShuttingDown is the daemon's machine-readable drain code (kept in
+// sync with internal/linqhttp).
+const codeShuttingDown = "shutting_down"
+
+// Name implements Backend.
+func (b *RemoteBackend) Name() string { return b.name }
+
+// Target returns the daemon-side backend pool name jobs run on.
+func (b *RemoteBackend) Target() string { return b.backend }
+
+// Addr returns the daemon's base URL.
+func (b *RemoteBackend) Addr() string { return b.base }
+
+// Compile implements Backend. Compilation happens daemon-side as part of
+// the submitted job, so Compile only validates the circuit and wraps it in
+// an artifact for Simulate to ship.
+func (b *RemoteBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("tilt: %s.Compile: nil circuit", b.name)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("tilt: %s.Compile: %w", b.name, err)
+	}
+	return &Artifact{Backend: b.name, Circuit: c}, nil
+}
+
+// Simulate implements Backend: submit the artifact's circuit to the
+// daemon, wait for the terminal state, and decode the Result. The Result is
+// whatever the daemon-side backend produced, so a TILT job returns
+// Result.TILT exactly as an in-process NewTILT would (Result.Cache is
+// always nil: compile-cache counters are daemon-global state, stripped
+// from job payloads).
+func (b *RemoteBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error) {
+	if err := checkArtifact(a, b.name); err != nil {
+		return nil, err
+	}
+	return b.run(ctx, a.Circuit)
+}
+
+// Execute submits the circuit and waits for its Result in one call — the
+// remote equivalent of the package-level Execute.
+func (b *RemoteBackend) Execute(ctx context.Context, c *Circuit) (*Result, error) {
+	a, err := b.Compile(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return b.Simulate(ctx, a)
+}
+
+// remoteJob mirrors the daemon's job wire form (the fields the client
+// reads).
+type remoteJob struct {
+	ID     string  `json:"id"`
+	State  string  `json:"state"`
+	Error  string  `json:"error"`
+	Result *Result `json:"result"`
+}
+
+// remoteErrorBody mirrors the daemon's error wire form.
+type remoteErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Line  int    `json:"line"`
+}
+
+// run is the full submit → wait → result round trip.
+func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
+	id, err := b.submit(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	delay := b.pollMin
+	for {
+		job, ready, err := b.fetchResult(ctx, id)
+		if err != nil {
+			// Whatever broke the fetch — caller cancellation or a
+			// transport/HTTP failure — stop the daemon-side work too, or
+			// the submitted job would keep a remote worker busy computing
+			// a result nobody will collect.
+			b.cancelRemote(id)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		if !ready {
+			if b.wait <= 0 { // pure polling: back off between fetches
+				select {
+				case <-ctx.Done():
+					b.cancelRemote(id)
+					return nil, ctx.Err()
+				case <-time.After(delay):
+				}
+				if delay *= 2; delay > b.pollMax {
+					delay = b.pollMax
+				}
+			} else if err := ctx.Err(); err != nil {
+				b.cancelRemote(id)
+				return nil, err
+			}
+			continue
+		}
+		switch job.State {
+		case "done":
+			if job.Result == nil {
+				return nil, &RemoteError{Status: http.StatusOK, Message: fmt.Sprintf("job %s done without a result", id)}
+			}
+			return job.Result, nil
+		case "cancelled":
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("tilt: %s: job %s cancelled daemon-side: %s", b.name, id, job.Error)
+		default: // failed
+			return nil, fmt.Errorf("tilt: %s: job %s failed: %s", b.name, id, job.Error)
+		}
+	}
+}
+
+// submit POSTs the circuit and returns the daemon's job ID.
+func (b *RemoteBackend) submit(ctx context.Context, c *Circuit) (string, error) {
+	payload, err := json.Marshal(map[string]any{
+		"backend": b.backend,
+		"circuit": c,
+	})
+	if err != nil {
+		return "", fmt.Errorf("tilt: %s: marshal circuit: %w", b.name, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return "", b.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", decodeRemoteError(resp)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+		return "", &RemoteError{Status: resp.StatusCode, Message: fmt.Sprintf("submit: malformed response (%v)", err)}
+	}
+	return out.ID, nil
+}
+
+// fetchResult GETs the job's result, blocking daemon-side for up to b.wait.
+// ready=false means the job is still queued or running.
+func (b *RemoteBackend) fetchResult(ctx context.Context, id string) (job remoteJob, ready bool, err error) {
+	u := b.base + "/v1/jobs/" + id + "/result"
+	if b.wait > 0 {
+		u += "?wait=" + b.wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return remoteJob{}, false, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return remoteJob{}, false, b.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			return remoteJob{}, false, &RemoteError{Status: resp.StatusCode, Message: fmt.Sprintf("result: malformed response: %v", err)}
+		}
+		return job, true, nil
+	case http.StatusConflict: // not terminal yet
+		io.Copy(io.Discard, resp.Body)
+		return remoteJob{}, false, nil
+	default:
+		return remoteJob{}, false, decodeRemoteError(resp)
+	}
+}
+
+// cancelRemote best-effort DELETEs the job after the caller's context was
+// cancelled, so the daemon abandons the work too. It runs on its own short
+// deadline: the caller's context is already dead.
+func (b *RemoteBackend) cancelRemote(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := b.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// transportError wraps a request failure: the caller's cancellation passes
+// through unchanged (it is not an endpoint fault); everything else becomes
+// a Status-0 RemoteError that trips pool breakers.
+func (b *RemoteBackend) transportError(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return &RemoteError{Status: 0, Message: err.Error(), cause: err}
+}
+
+// decodeRemoteError turns a non-2xx daemon response into a RemoteError.
+func decodeRemoteError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var body remoteErrorBody
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+		if body.Error == "" {
+			body.Error = http.StatusText(resp.StatusCode)
+		}
+	}
+	return &RemoteError{Status: resp.StatusCode, Code: body.Code, Message: body.Error, Line: body.Line}
+}

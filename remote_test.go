@@ -1,0 +1,219 @@
+package tilt_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	tilt "repro"
+	"repro/internal/jobs"
+	"repro/internal/linqhttp"
+)
+
+// startTestDaemon boots an in-process linqd HTTP API (manager + handlers)
+// on an httptest server and returns its base URL plus the manager (for
+// daemon-side assertions). The TILT pool takes the given options, so
+// parity tests can mirror a local backend's configuration exactly.
+func startTestDaemon(t *testing.T, tiltOpts ...tilt.Option) (string, *jobs.Manager) {
+	t.Helper()
+	reg := tilt.NewMetricsRegistry()
+	mgr, err := jobs.New([]jobs.Pool{
+		{Name: "TILT", Backend: tilt.NewTILT(tiltOpts...), Workers: 2},
+		{Name: "QCCD", Backend: tilt.NewQCCD(), Workers: 1},
+		{Name: "IdealTI", Backend: tilt.NewIdealTI(), Workers: 1},
+	}, jobs.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(linqhttp.NewServer(mgr, reg).Routes())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	return srv.URL, mgr
+}
+
+// normalizeResult strips the fields that legitimately differ between a
+// local and a remote execution of the same circuit: compile-cache counters
+// (daemon-global operational state, stripped from job payloads) and
+// wall-clock pass timings. Everything else must match bit for bit.
+func normalizeResult(r *tilt.Result) *tilt.Result {
+	out := *r
+	out.Cache = nil
+	if r.TILT != nil {
+		ts := *r.TILT
+		ts.TSwap, ts.TMove = 0, 0
+		ts.Passes = append([]tilt.PassTiming(nil), r.TILT.Passes...)
+		for i := range ts.Passes {
+			ts.Passes[i].Wall = 0
+		}
+		out.TILT = &ts
+	}
+	return &out
+}
+
+// TestRemoteParityWithLocalTILT is the acceptance check for the remote
+// backend: the same circuit through an in-process NewTILT and through
+// linq remote execution against a daemon configured identically must
+// produce byte-identical Results (modulo cache and timing fields),
+// Monte-Carlo estimates included.
+func TestRemoteParityWithLocalTILT(t *testing.T) {
+	ctx := context.Background()
+	opts := []tilt.Option{tilt.WithDevice(0, 4), tilt.WithShots(200), tilt.WithSeed(7)}
+	base, _ := startTestDaemon(t, opts...)
+
+	local := tilt.NewTILT(opts...)
+	remote := tilt.Remote(base)
+	circ := tilt.GHZ(10).Circuit
+
+	lres, err := tilt.Execute(ctx, local, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := tilt.Execute(ctx, remote, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Backend != "TILT" {
+		t.Errorf("remote Result.Backend = %q, want TILT", rres.Backend)
+	}
+	if rres.MC == nil || !rres.MC.HasStateFidelity {
+		t.Fatalf("remote result lost the MC stats: %+v", rres.MC)
+	}
+
+	lj, err := json.Marshal(normalizeResult(lres))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(normalizeResult(rres))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lj, rj) {
+		t.Errorf("local and remote Results differ:\nlocal:  %s\nremote: %s", lj, rj)
+	}
+}
+
+// TestOpenRemoteScheme drives the registry end to end: linqd://host?backend=
+// opens a remote backend bound to the daemon-side pool.
+func TestOpenRemoteScheme(t *testing.T) {
+	ctx := context.Background()
+	base, _ := startTestDaemon(t)
+	uri := "linqd://" + strings.TrimPrefix(base, "http://") + "?backend=IdealTI&wait=5s"
+	be, err := tilt.Open(ctx, uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(be.Name(), "linqd:IdealTI@") {
+		t.Errorf("Name() = %q, want linqd:IdealTI@<host>", be.Name())
+	}
+	res, err := tilt.Execute(ctx, be, tilt.GHZ(6).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "IdealTI" || res.SuccessRate <= 0 {
+		t.Errorf("remote IdealTI result = %+v", res)
+	}
+}
+
+// TestRemoteTypedErrors pins the RemoteError surface: unknown daemon-side
+// pools are 400s with the unknown_backend code, and a draining daemon is
+// recognizably shutting down.
+func TestRemoteTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	base, mgr := startTestDaemon(t)
+
+	_, err := tilt.Remote(base, tilt.RemoteTarget("nope")).Execute(ctx, tilt.GHZ(4).Circuit)
+	var re *tilt.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown pool: err = %v (%T), want *RemoteError", err, err)
+	}
+	if re.Status != 400 || re.Code != linqhttp.CodeUnknownBackend || re.Temporary() {
+		t.Errorf("unknown pool: %+v", re)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tilt.Remote(base).Execute(ctx, tilt.GHZ(4).Circuit)
+	if !errors.As(err, &re) {
+		t.Fatalf("drained daemon: err = %v (%T), want *RemoteError", err, err)
+	}
+	if !re.ShuttingDown() || !re.Temporary() || re.Status != 503 {
+		t.Errorf("drained daemon: %+v", re)
+	}
+}
+
+// TestRemoteCancelPropagates: cancelling the caller's context both returns
+// ctx.Err() and DELETEs the job daemon-side, so the daemon stops working
+// on it.
+func TestRemoteCancelPropagates(t *testing.T) {
+	base, mgr := startTestDaemon(t)
+	// A deep circuit so the job is still queued or running when we cancel.
+	bench := tilt.BenchmarkQFT()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	remote := tilt.Remote(base, tilt.RemoteWait(0), tilt.RemotePollInterval(time.Millisecond, 5*time.Millisecond))
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.Execute(ctx, bench.Circuit)
+		done <- err
+	}()
+
+	// Wait until the daemon has accepted the job, then cancel the client.
+	deadline := time.Now().Add(30 * time.Second)
+	for mgr.Stats().Submitted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Execute after cancel: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Execute did not return after cancel")
+	}
+
+	// The best-effort DELETE must land: the daemon's job reaches a
+	// terminal state well before its own execution would finish.
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := mgr.Stats()
+		if st.Cancelled > 0 {
+			return
+		}
+		if st.Done+st.Failed > 0 {
+			t.Skip("job finished before the cancel landed; nothing to assert")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("daemon never saw the propagated cancel")
+}
+
+// TestRemoteCompileValidates: the client rejects nil and malformed
+// circuits locally, without a round trip.
+func TestRemoteCompileValidates(t *testing.T) {
+	remote := tilt.Remote("127.0.0.1:1") // nothing listens here
+	if _, err := remote.Compile(context.Background(), nil); err == nil {
+		t.Error("Compile(nil) succeeded")
+	}
+	// A foreign artifact is rejected before any network traffic.
+	other := tilt.NewIdealTI()
+	a, err := other.Compile(context.Background(), tilt.GHZ(3).Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Simulate(context.Background(), a); err == nil {
+		t.Error("Simulate of a foreign artifact succeeded")
+	}
+}

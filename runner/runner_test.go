@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	tilt "repro"
+	"repro/internal/jobs"
+	"repro/internal/linqhttp"
 	"repro/runner"
 )
 
@@ -280,6 +283,72 @@ func TestRunWithMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// startPoolDaemon boots one in-process linqd HTTP API for the fleet test.
+func startPoolDaemon(t *testing.T) string {
+	t.Helper()
+	reg := tilt.NewMetricsRegistry()
+	mgr, err := jobs.New([]jobs.Pool{
+		{Name: "TILT", Backend: tilt.NewTILT(tilt.WithDevice(0, 4)), Workers: 2},
+	}, jobs.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(linqhttp.NewServer(mgr, reg).Routes())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	return srv.URL
+}
+
+// TestRunOverRemotePool is the fleet-scale acceptance check: a runner
+// batch fanned over a Pool of two linqd daemons completes every job, keeps
+// deterministic result ordering, and produces the same Results an
+// in-process backend would.
+func TestRunOverRemotePool(t *testing.T) {
+	ctx := context.Background()
+	fleet := []tilt.Backend{
+		tilt.Remote(startPoolDaemon(t)),
+		tilt.Remote(startPoolDaemon(t)),
+	}
+	pool, err := tilt.Pool(fleet, tilt.PoolRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := tilt.NewTILT(tilt.WithDevice(0, 4))
+	widths := []int{6, 8, 10, 12, 6, 8, 10, 12}
+	var jobsBatch []runner.Job
+	for i, w := range widths {
+		jobsBatch = append(jobsBatch, runner.Job{
+			Name:    fmt.Sprintf("ghz-%d-%d", w, i),
+			Backend: pool,
+			Circuit: tilt.GHZ(w).Circuit,
+		})
+	}
+	results := runner.Run(ctx, jobsBatch, runner.WithWorkers(4))
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, jobsBatch[i].Name, res.Err)
+		}
+		if res.Index != i || res.Name != jobsBatch[i].Name {
+			t.Fatalf("result %d out of order: got index %d name %q", i, res.Index, res.Name)
+		}
+		want, err := tilt.Execute(ctx, local, jobsBatch[i].Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Result.SuccessRate != want.SuccessRate || res.Result.TILT == nil ||
+			res.Result.TILT.Moves != want.TILT.Moves {
+			t.Errorf("job %d: remote pool result diverges from local: got %+v want %+v",
+				i, res.Result, want)
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/noise"
+	"repro/internal/optimize"
 	"repro/internal/pipeline"
 	"repro/internal/qccd"
 	"repro/internal/sim"
@@ -175,6 +176,11 @@ type Options = core.Config
 // SwapOptions tunes swap insertion: MaxSwapLen, Alpha (the Eq. 1 lookahead
 // discount), and the lookahead window.
 type SwapOptions = swapins.Options
+
+// OptimizeStats reports peephole-optimizer eliminations (the
+// TILTStats.OptStats field): merged rotations, cancelled self-inverse
+// pairs, and dropped identities.
+type OptimizeStats = optimize.Stats
 
 // TuneResult is one MaxSwapLen trial from AutoTune (Fig. 7).
 type TuneResult = core.TuneResult

@@ -1,0 +1,158 @@
+package tilt_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	tilt "repro"
+)
+
+// fullResult returns a Result with every field (and every nested stats
+// struct) populated with distinct non-zero values, so a JSON round trip
+// that drops or collapses any field fails the DeepEqual below.
+func fullResult() *tilt.Result {
+	return &tilt.Result{
+		Backend:              "TILT",
+		SuccessRate:          0.75,
+		LogSuccess:           -0.2876820724517809,
+		ExecTimeUs:           1234.5,
+		OneQubitGates:        11,
+		TwoQubitGates:        7,
+		SwapGates:            3,
+		MeanTwoQubitFidelity: 0.991,
+		TILT: &tilt.TILTStats{
+			Device:        tilt.Device{NumIons: 16, HeadSize: 4},
+			SwapCount:     3,
+			OpposingSwaps: 1,
+			Moves:         5,
+			DistSpacings:  9,
+			DistUm:        45.0,
+			Passes: []tilt.PassTiming{
+				{Pass: "decompose", Index: 1, Wall: 1500 * time.Microsecond, GatesBefore: 10, GatesAfter: 20},
+				{Pass: "schedule", Index: 3, Wall: 250 * time.Microsecond, GatesBefore: 23, GatesAfter: 23},
+			},
+			TSwap: 2 * time.Millisecond,
+			TMove: 250 * time.Microsecond,
+			OptStats: tilt.OptimizeStats{
+				MergedRotations: 2, CancelledPairs: 1, DroppedIdentity: 4,
+			},
+		},
+		QCCD: &tilt.QCCDStats{Capacity: 25, EdgeSwaps: 12, Splits: 6, Merges: 6, Hops: 18},
+		MC: &tilt.MCStats{
+			Shots:               500,
+			Seed:                42,
+			CleanProbability:    0.74,
+			CleanStderr:         0.019,
+			StateFidelity:       0.76,
+			StateFidelityStderr: 0.02,
+			HasStateFidelity:    true,
+		},
+		Cache: &tilt.CacheStats{Hits: 5, Misses: 2, Entries: 2},
+	}
+}
+
+// TestResultJSONRoundTrip pins the wire stability the remote backend
+// depends on: marshalling a fully populated Result and unmarshalling it
+// back must be lossless, field for field.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := fullResult()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out tilt.Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip changed the Result:\n in: %+v\nout: %+v", in, &out)
+	}
+}
+
+// TestStatsJSONRoundTrip round-trips the nested stats types standalone —
+// they are wire types in their own right (MCStats in experiment reports,
+// TILTStats in job results).
+func TestStatsJSONRoundTrip(t *testing.T) {
+	full := fullResult()
+	t.Run("MCStats", func(t *testing.T) {
+		data, err := json.Marshal(full.MC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out tilt.MCStats
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full.MC, &out) {
+			t.Errorf("MCStats round trip: in %+v, out %+v", full.MC, &out)
+		}
+	})
+	t.Run("TILTStats", func(t *testing.T) {
+		data, err := json.Marshal(full.TILT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out tilt.TILTStats
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full.TILT, &out) {
+			t.Errorf("TILTStats round trip: in %+v, out %+v", full.TILT, &out)
+		}
+	})
+}
+
+// TestResultJSONNoFieldDropped walks the Result struct tree by reflection
+// and fails if any exported field of the fully populated fixture is still
+// at its zero value after a round trip — the generic form of "no field
+// drops data", robust to fields added later (as long as fullResult is kept
+// fully populated).
+func TestResultJSONNoFieldDropped(t *testing.T) {
+	in := fullResult()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out tilt.Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkNoZeroFields(t, reflect.ValueOf(out), "Result")
+}
+
+func checkNoZeroFields(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			t.Errorf("%s: nil after round trip", path)
+			return
+		}
+		checkNoZeroFields(t, v.Elem(), path)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			fv := v.Field(i)
+			switch fv.Kind() {
+			case reflect.Struct, reflect.Pointer:
+				checkNoZeroFields(t, fv, path+"."+f.Name)
+			case reflect.Slice:
+				if fv.Len() == 0 {
+					t.Errorf("%s.%s: empty after round trip", path, f.Name)
+				}
+				for j := 0; j < fv.Len(); j++ {
+					checkNoZeroFields(t, fv.Index(j), path+"."+f.Name)
+				}
+			default:
+				if fv.IsZero() {
+					t.Errorf("%s.%s: zero after round trip (dropped by the wire format?)", path, f.Name)
+				}
+			}
+		}
+	}
+}
