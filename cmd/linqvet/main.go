@@ -1,0 +1,290 @@
+// Command linqvet is the repo's invariant checker: a multichecker driver
+// for the internal/analyzers suite (determinism, ctxflow, metriclint,
+// lockguard, errcmp) built on the first-party internal/analysis framework.
+//
+// Standalone:
+//
+//	go run ./cmd/linqvet ./...            # analyze packages, text output
+//	go run ./cmd/linqvet -json ./...      # machine-readable findings
+//	go run ./cmd/linqvet -list            # print the suite
+//	go run ./cmd/linqvet -only=errcmp ./...
+//	go run ./cmd/linqvet -disable=lockguard ./...
+//
+// Vet tool mode: the binary also speaks the cmd/go unit-checking protocol
+// (-V=full, -flags, and a *.cfg argument), so it can run as
+//
+//	go vet -vettool=$(go env GOPATH)/bin/linqvet ./...
+//
+// after `go install ./cmd/linqvet`.
+//
+// Exit status: 0 = clean, 1 = usage or load failure, 2 = diagnostics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers"
+)
+
+// version participates in go vet's tool fingerprint (-V=full): bump it when
+// analyzer behavior changes so vet's result cache invalidates.
+const version = "v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// cmd/go protocol probes come before normal flag parsing.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			fmt.Fprintf(stdout, "linqvet version %s\n", version)
+			return 0
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return unitCheck(args[0], stdout, stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("linqvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON keyed by package then analyzer")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	suite, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "linqvet:", err)
+		return 1
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "linqvet:", err)
+		return 1
+	}
+
+	code := 0
+	findings := map[string]map[string][]jsonDiag{} // pkg → analyzer → diags
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "linqvet: %s: type error: %v\n", pkg.ImportPath, te)
+			}
+			code = 1
+			continue
+		}
+		for _, a := range suite {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, "linqvet:", err)
+				return 1
+			}
+			for _, d := range diags {
+				if code == 0 {
+					code = 2
+				}
+				posn := pkg.Fset.Position(d.Pos)
+				if *jsonOut {
+					byPkg := findings[pkg.ImportPath]
+					if byPkg == nil {
+						byPkg = map[string][]jsonDiag{}
+						findings[pkg.ImportPath] = byPkg
+					}
+					byPkg[a.Name] = append(byPkg[a.Name], jsonDiag{Posn: posn.String(), Message: d.Message})
+				} else {
+					fmt.Fprintf(stdout, "%s: [%s] %s\n", posn, a.Name, d.Message)
+				}
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return 1
+		}
+	}
+	return code
+}
+
+type jsonDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// selectAnalyzers applies -only/-disable to the suite.
+func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {
+	suite := analyzers.All()
+	if only != "" {
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			a := analyzers.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if analyzers.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			skip[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range suite {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		suite = kept
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return suite, nil
+}
+
+// vetConfig is the JSON unit-checking request cmd/go hands a -vettool (the
+// fields linqvet consumes; unknown fields are ignored).
+type vetConfig struct {
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one package as directed by a cmd/go vet config file.
+func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "linqvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "linqvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// linqvet exports no facts, but cmd/go requires the vetx output to
+	// exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test files are out of scope: tests legitimately measure
+		// wall-clock, mint context roots, and poke at error identity,
+		// and the standalone driver never loads them either — vet mode
+		// and standalone mode agree on checking the production tree only.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0 // external-test unit: nothing but _test.go files
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(error) {},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "linqvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+
+	var all []analysis.Diagnostic
+	for _, a := range analyzers.All() {
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Pos < all[j].Pos })
+	for _, d := range all {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(all) > 0 {
+		return 2
+	}
+	return 0
+}

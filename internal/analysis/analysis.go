@@ -1,0 +1,249 @@
+// Package analysis is a dependency-free re-creation of the
+// golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package (a Pass) and reports positioned Diagnostics.
+//
+// The module must build offline with nothing beyond the standard library,
+// so instead of importing x/tools this package provides the same working
+// surface — Analyzer, Pass, Diagnostic, a package loader (Load), and a
+// golden-comment test harness (analysistest) — on top of go/ast, go/types,
+// and export data produced by `go list -export`. Analyzers written against
+// it look exactly like x/tools analyzers and could be ported to the real
+// framework by swapping the import if the dependency ever becomes
+// available.
+//
+// # Exemption directives
+//
+// Every analyzer has an escape hatch: a comment of the form
+//
+//	//lint:<directive> <reason>
+//
+// on the offending line (trailing) or on the line directly above suppresses
+// that analyzer's diagnostics there. The reason is mandatory: a bare
+// directive with no reason does not suppress anything and is itself
+// reported, so exemptions stay auditable. The directive name defaults to
+// "<analyzer name>-exempt"; an Analyzer can override it (the determinism
+// analyzer uses the historical "deterministic-exempt").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// ExemptDirective overrides the //lint: directive name that suppresses
+	// this analyzer's diagnostics. Empty means "<Name>-exempt".
+	ExemptDirective string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Directive returns the //lint: directive name recognized by the analyzer.
+func (a *Analyzer) Directive() string {
+	if a.ExemptDirective != "" {
+		return a.ExemptDirective
+	}
+	return a.Name + "-exempt"
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass provides one analyzer with the type-checked syntax of one package
+// and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   []Diagnostic
+	exempts []exemption
+}
+
+// exemption is one parsed //lint: directive occurrence.
+type exemption struct {
+	directive string
+	reason    string
+	file      string
+	line      int // line the directive comment starts on
+	pos       token.Pos
+}
+
+// DirectivePrefix starts every exemption comment.
+const DirectivePrefix = "//lint:"
+
+// parseExempts scans all comments of all files for //lint: directives.
+func (p *Pass) parseExempts() {
+	if p.exempts != nil {
+		return
+	}
+	p.exempts = []exemption{} // non-nil marks "scanned"
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, DirectivePrefix)
+				// A nested "// ..." comment (e.g. an analysistest
+				// "// want" expectation) is not part of the reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				directive, reason, _ := strings.Cut(rest, " ")
+				posn := p.Fset.Position(c.Pos())
+				p.exempts = append(p.exempts, exemption{
+					directive: strings.TrimSpace(directive),
+					reason:    strings.TrimSpace(reason),
+					file:      posn.Filename,
+					line:      posn.Line,
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+}
+
+// exempted reports whether a diagnostic at pos is suppressed by a reasoned
+// directive for this analyzer on the same line or the line above.
+func (p *Pass) exempted(pos token.Pos) bool {
+	p.parseExempts()
+	posn := p.Fset.Position(pos)
+	want := p.Analyzer.Directive()
+	for _, e := range p.exempts {
+		if e.directive != want || e.reason == "" || e.file != posn.Filename {
+			continue
+		}
+		if e.line == posn.Line || e.line == posn.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless an exemption covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.exempted(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// reportBareDirectives turns each reasonless directive for this analyzer
+// into a diagnostic: an exemption that explains nothing suppresses nothing.
+func (p *Pass) reportBareDirectives() {
+	p.parseExempts()
+	want := p.Analyzer.Directive()
+	for _, e := range p.exempts {
+		if e.directive == want && e.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("bare %s%s directive: a reason is required for the exemption to apply", DirectivePrefix, want),
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+	}
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	pass.reportBareDirectives()
+	sort.SliceStable(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CalleeObj resolves the object a call expression invokes: a *types.Func
+// for static function/method calls, nil for calls through function values,
+// conversions, and builtins.
+func CalleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call statically invokes a package-level
+// function of the package with the given import path, returning its name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	fn := CalleeObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// SignatureTakesContext reports whether sig's first parameter is
+// context.Context.
+func SignatureTakesContext(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 && IsContextType(sig.Params().At(0).Type())
+}

@@ -1,0 +1,288 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata packages
+// and checks its diagnostics against golden "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the first-party
+// internal/analysis framework.
+//
+// Layout: <testdata>/src/<importpath>/*.go. A package under test may import
+// sibling stub packages (resolved from source, recursively) and the
+// standard library (resolved from export data via `go list -export`).
+//
+// Expectations are comments of the form
+//
+//	expr() // want `regexp` `another regexp`
+//
+// Each backquoted pattern must match the message of exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by a pattern.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's ./testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each named package from testdata/src, applies the analyzer, and
+// reports any mismatch between its diagnostics and the // want comments as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld, err := newLoader(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("analysistest: %s has type errors: %v", path, pkg.TypeErrors)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, ld.fset, pkg.Files, diags)
+	}
+}
+
+// expectation is one backquoted want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+) *$")
+
+// parseWants extracts expectations from a file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				if strings.Contains(c.Text, "// want") {
+					t.Errorf("%s: malformed // want comment: %s", fset.Position(c.Pos()), c.Text)
+				}
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			for _, q := range regexp.MustCompile("`[^`]*`").FindAllString(m[1], -1) {
+				raw := strings.Trim(q, "`")
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", posn, raw, err)
+					continue
+				}
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return wants
+}
+
+// check diffs diagnostics against expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != posn.Filename || w.line != posn.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loader resolves testdata packages from source and everything else from
+// standard-library export data, sharing one FileSet and package cache.
+type loader struct {
+	src  string // <testdata>/src
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*analysis.Package
+	mem  map[string]*types.Package // import path → checked package (stubs)
+	busy map[string]bool           // import cycle guard
+}
+
+func newLoader(testdata string) (*loader, error) {
+	src := filepath.Join(testdata, "src")
+	stdPaths, err := scanStdImports(src)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := analysis.StdExports(stdPaths)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &loader{
+		src:  src,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		pkgs: map[string]*analysis.Package{},
+		mem:  map[string]*types.Package{},
+		busy: map[string]bool{},
+	}, nil
+}
+
+// scanStdImports walks every .go file under src and collects the imports
+// that do not resolve to testdata directories.
+func scanStdImports(src string) ([]string, error) {
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if _, statErr := os.Stat(filepath.Join(src, filepath.FromSlash(p))); statErr != nil {
+				seen[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Import implements types.Importer over testdata-first resolution.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if tp, ok := ld.mem[path]; ok {
+		return tp, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, "", 0)
+}
+
+// load parses and type-checks one testdata package (and, recursively, the
+// testdata packages it imports).
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.busy[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ld.busy[path] = true
+	defer delete(ld.busy, path)
+
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := analysis.NewInfo()
+	var softErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: softErrs,
+	}
+	ld.pkgs[path] = pkg
+	ld.mem[path] = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,228 @@
+// Package loading: Load shells out to `go list -export -deps -json`, which
+// works fully offline (export data comes from the local build cache,
+// compiled on demand), parses the pattern-matched packages' sources, and
+// type-checks them against dependency export data via the standard gc
+// importer. This is the same division of labour as x/tools go/packages
+// LoadAllSyntax restricted to the target packages: syntax for what we
+// analyze, export data for what we merely import.
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked, pattern-matched package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// TypeErrors holds soft type-checking errors. Analyzers still run on
+	// a package with type errors, but drivers should surface them.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for the patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,ImportMap,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from a map of import path → export data
+// file, through the standard gc importer. One instance is shared across
+// every type-checked package so imported type identities agree.
+type exportImporter struct {
+	gc      types.ImporterFrom
+	imports map[string]string // import path → ImportMap-resolved path
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &exportImporter{
+		gc:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		imports: map[string]string{},
+	}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := ei.imports[path]; ok {
+		path = mapped
+	}
+	return ei.gc.ImportFrom(path, dir, mode)
+}
+
+// Load lists the packages matching patterns (relative to dir), parses their
+// sources, and type-checks them. The returned packages are sorted by import
+// path. Packages whose sources fail to parse return an error; type errors
+// are collected per package and do not abort the load.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	importMap := make(map[string]string)
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for src, real := range p.ImportMap {
+			importMap[src] = real
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	imp.imports = importMap
+
+	var out []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// typecheck parses and type-checks one listed package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	info := NewInfo()
+	var softErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: softErrs,
+	}, nil
+}
+
+// StdExports builds an import path → export data file index for the given
+// (typically standard library) packages and their dependency closure. The
+// analysistest harness uses it to resolve testdata stub packages' standard
+// imports without a surrounding module.
+func StdExports(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList("", paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, errors.New("go list: " + p.ImportPath + ": " + p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

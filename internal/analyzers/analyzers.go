@@ -1,0 +1,73 @@
+// Package analyzers holds the linqvet suite: five repro-specific invariant
+// checkers built on internal/analysis. Each encodes a guarantee the repo's
+// tests can only spot-check — Monte-Carlo bit-determinism, context
+// discipline, metrics hygiene, lock discipline, and sentinel-error
+// comparison — as a machine-checked rule that runs over every package on
+// every CI build (cmd/linqvet).
+package analyzers
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		CtxFlow,
+		MetricLint,
+		LockGuard,
+		ErrCmp,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// deterministicPkgs are the packages whose outputs must be bit-identical
+// for a fixed seed regardless of worker count, scheduling, or wall-clock:
+// the statevector kernel, the Monte-Carlo engine, swap insertion, tape
+// scheduling, the analytic simulator, and the compile driver. The
+// determinism and ctxflow hot-loop checks apply here.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/qsim":     true,
+	"repro/internal/mc":       true,
+	"repro/internal/swapins":  true,
+	"repro/internal/schedule": true,
+	"repro/internal/sim":      true,
+	"repro/internal/core":     true,
+}
+
+// deterministicDirective lets a package declare itself deterministic in
+// source (used by the real packages as self-documentation and by
+// analysistest packages, whose import paths are synthetic).
+const deterministicDirective = analysis.DirectivePrefix + "deterministic-package"
+
+// isDeterministicPackage reports whether the pass's package is in the
+// declared-deterministic set, either by import path or by carrying a
+// //lint:deterministic-package comment in any file.
+func isDeterministicPackage(pass *analysis.Pass) bool {
+	if deterministicPkgs[pass.Pkg.Path()] {
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == deterministicDirective ||
+					strings.HasPrefix(c.Text, deterministicDirective+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

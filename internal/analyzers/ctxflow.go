@@ -1,0 +1,267 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// CtxFlow enforces context discipline in functions that already receive a
+// ctx parameter:
+//
+//   - they must not mint fresh roots with context.Background()/TODO() —
+//     that silently detaches downstream work from the caller's
+//     cancellation (use ctx, or context.WithoutCancel(ctx) for work that
+//     must outlive the caller, or exempt with a reason)
+//   - when they call a context-accepting callee, the context argument must
+//     be (derived from) a context visible in the function, not a
+//     package-level or struct-stored one that dodges the caller's deadline
+//   - in declared deterministic (hot-path) packages, a nested loop inside
+//     a ctx-taking function must contain a cancellation touchpoint — some
+//     reference to a context (ctx.Err(), a ctx-threaded callee) — so
+//     compile/simulate inner loops stay cancellable
+//
+// Silence an intentional detachment with //lint:ctxflow-exempt <reason>.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "functions receiving a ctx must thread it: no fresh context roots, " +
+		"no bypassing stored contexts, cancellation checks in hot nested loops",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	hot := isDeterministicPackage(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !funcTakesNamedCtx(pass, typ) {
+				return true
+			}
+			checkCtxFunc(pass, body, hot)
+			return true
+		})
+	}
+	return nil
+}
+
+// funcTakesNamedCtx reports whether the function type has a named (usable)
+// context.Context parameter.
+func funcTakesNamedCtx(pass *analysis.Pass, typ *ast.FuncType) bool {
+	if typ.Params == nil {
+		return false
+	}
+	for _, field := range typ.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkCtxFunc walks one ctx-taking function body. Nested function
+// literals are handled by the outer Inspect (they inherit ctx lexically,
+// so a literal that itself takes ctx gets its own visit, and one that
+// captures ctx is covered by local-context resolution).
+func checkCtxFunc(pass *analysis.Pass, body *ast.BlockStmt, hot bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal that takes its own named ctx gets a separate
+			// visit from runCtxFlow; don't double-report its body.
+			if funcTakesNamedCtx(pass, n.Type) {
+				return false
+			}
+		case *ast.CallExpr:
+			checkCtxCall(pass, n)
+		}
+		return true
+	})
+	if !hot {
+		return
+	}
+	// The cancellation rule applies to the outermost loop of each nest: a
+	// ctx touchpoint there (the repo's every-64-iterations ctx.Err()
+	// convention) covers bounded inner loops, so only top-level loops are
+	// examined.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			checkHotLoop(pass, n, n.Body)
+			return false
+		case *ast.RangeStmt:
+			checkHotLoop(pass, n, n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func checkCtxCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := analysis.IsPkgFunc(pass.TypesInfo, call, "context"); ok {
+		if name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(), "context.%s inside a function that receives ctx: pass ctx (or context.WithoutCancel(ctx) for work outliving the caller)", name)
+		}
+		return
+	}
+	// A context-accepting callee must be handed a context that is visible
+	// in this function, not a stored one.
+	sig := calleeSignature(pass, call)
+	if !analysis.SignatureTakesContext(sig) || len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	if !isStoredContextField(pass, arg) &&
+		(referencesLocalContext(pass, arg) || isContextPkgCall(pass, arg)) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "%s accepts a context but is passed %s, which is not derived from this function's ctx", calleeLabel(pass, call), types.ExprString(arg))
+}
+
+// checkHotLoop flags outer loops of nested loop pairs that contain no
+// context touchpoint anywhere in their body.
+func checkHotLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	nested := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			nested = true
+		}
+		return !nested
+	})
+	if !nested {
+		return
+	}
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isLocalContextIdent(pass, id) {
+			touches = true
+		}
+		return !touches
+	})
+	if !touches {
+		pass.Reportf(loop.Pos(), "nested hot-path loop has no cancellation touchpoint: check ctx.Err() periodically (the repo convention is every 64 iterations) or thread ctx into the inner call")
+	}
+}
+
+// calleeSignature returns the static signature of the called function, for
+// both named callees and function-typed values.
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	if fn := analysis.CalleeObj(pass.TypesInfo, call); fn != nil {
+		return fn.Type().(*types.Signature)
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func calleeLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeObj(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// referencesLocalContext reports whether expr mentions an identifier bound
+// to a function-local context.Context (a parameter or derived local,
+// including lexically captured ones) — as opposed to a package-level or
+// struct-field context.
+func referencesLocalContext(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isLocalContextIdent(pass, id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isLocalContextIdent reports whether id names a function-scoped variable
+// of type context.Context. Struct fields have no parent scope and
+// package-level vars live in the package scope; both fail the test.
+func isLocalContextIdent(pass *analysis.Pass, id *ast.Ident) bool {
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		obj, ok = pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return false
+		}
+	}
+	if obj.IsField() {
+		return false
+	}
+	if !analysis.IsContextType(obj.Type()) && !carriesContext(obj.Type()) {
+		return false
+	}
+	scope := obj.Parent()
+	return scope != nil && scope != pass.Pkg.Scope() && scope != types.Universe
+}
+
+// carriesContext reports whether t is a (pointer to a) struct with a
+// context.Context field — the repo's canceller{ctx, n} helper idiom, which
+// counts as a cancellation touchpoint just like the ctx itself.
+func carriesContext(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if analysis.IsContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStoredContextField reports whether expr reads a context.Context struct
+// field directly. A stored context predates this request and dodges the
+// caller's deadline even when the hosting struct is locally reachable, so
+// it never satisfies the threading rule (the carriesContext allowance is
+// for passing the *struct* into an amortized checker, not for unpacking
+// the field as the call's context).
+func isStoredContextField(pass *analysis.Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	return ok && obj.IsField() && analysis.IsContextType(obj.Type())
+}
+
+// isContextPkgCall reports whether expr is a direct call into package
+// context (WithTimeout, WithCancel, …) — those are checked at their own
+// call site, so as an argument they are accepted.
+func isContextPkgCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, ok = analysis.IsPkgFunc(pass.TypesInfo, call, "context")
+	return ok
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Determinism,
+		"determinism/flagged",
+		"determinism/clean",
+		"determinism/unmarked",
+	)
+}

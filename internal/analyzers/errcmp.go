@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ErrCmp enforces wrap-transparent error handling everywhere in the module.
+// The serving stack deliberately wraps errors (RemoteError wraps transport
+// causes, jobs wraps ErrShuttingDown, qasm returns *ParseError through
+// fmt.Errorf %w chains), so identity and type tests that ignore wrapping
+// are latent bugs:
+//
+//   - err == sentinel / err != sentinel (and switch err { case sentinel })
+//     must be errors.Is(err, sentinel); comparisons against nil stay legal
+//   - err.(*SomeError) type assertions (including the two-result form)
+//     must be errors.As; type switches are left to judgment
+//   - substring-matching err.Error() (strings.Contains and friends, or
+//     comparing the text against a literal) must match the sentinel or
+//     type instead
+//
+// Silence a deliberate identity comparison with //lint:errcmp-exempt
+// <reason>.
+var ErrCmp = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "typed and sentinel errors must be tested with errors.Is/As, " +
+		"never == or string matching",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.TypeAssertExpr:
+				checkErrAssert(pass, n)
+			case *ast.CallExpr:
+				checkErrStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorValue reports whether expr's static type implements error (and is
+// not the untyped nil).
+func isErrorValue(pass *analysis.Pass, expr ast.Expr) bool {
+	if isNil(expr) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(tv.Type, errorIface)
+}
+
+func isNil(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func checkErrBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if isErrorValue(pass, be.X) && isErrorValue(pass, be.Y) {
+		pass.Reportf(be.Pos(), "error compared with %s: wrapped errors never match identity; use errors.Is(%s, %s)",
+			be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+		return
+	}
+	// err.Error() == "some text" (either side).
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if isErrorTextCall(pass, pair[0]) && !isNil(pair[1]) {
+			pass.Reportf(be.Pos(), "comparing err.Error() text: match the sentinel or type with errors.Is/As instead")
+			return
+		}
+	}
+}
+
+func checkErrSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorValue(pass, sw.Tag) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if !isNil(expr) {
+				pass.Reportf(expr.Pos(), "switch on error identity: wrapped errors never match; use a chain of errors.Is")
+			}
+		}
+	}
+}
+
+func checkErrAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // type switch guard; handled by human judgment
+	}
+	if !isErrorValue(pass, ta.X) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ta.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+		return // narrowing to a behavior interface is fine
+	}
+	pass.Reportf(ta.Pos(), "type assertion on an error: wrapped errors never match; use errors.As with *%s", tv.Type.String())
+}
+
+// stringMatchFuncs are the strings-package helpers that constitute text
+// matching when fed err.Error().
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+func checkErrStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	name, ok := analysis.IsPkgFunc(pass.TypesInfo, call, "strings")
+	if !ok || !stringMatchFuncs[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "strings.%s on err.Error(): error text is not an API; match the sentinel or type with errors.Is/As", name)
+			return
+		}
+	}
+}
+
+// isErrorTextCall reports whether expr is a call of the Error() method on
+// an error value.
+func isErrorTextCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorValue(pass, sel.X)
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestErrCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.ErrCmp,
+		"errcmp/flagged",
+		"errcmp/clean",
+	)
+}

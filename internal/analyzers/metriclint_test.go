@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.MetricLint,
+		"metriclint/flagged",
+		"metriclint/clean",
+	)
+}

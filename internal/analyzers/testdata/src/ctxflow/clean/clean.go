@@ -1,0 +1,89 @@
+// Package clean holds context-threading code that must produce no ctxflow
+// diagnostics.
+package clean
+
+//lint:deterministic-package
+
+import (
+	"context"
+	"time"
+)
+
+func compute(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+func threads(ctx context.Context) error {
+	return compute(ctx, 1)
+}
+
+func derived(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return compute(dctx, 1)
+}
+
+func detached(ctx context.Context) error {
+	// WithoutCancel is the sanctioned way to outlive the caller.
+	return compute(context.WithoutCancel(ctx), 1)
+}
+
+func noCtxParam() error {
+	// A function without a ctx parameter may mint a root.
+	return compute(context.Background(), 1)
+}
+
+func closureCapture(ctx context.Context) func() error {
+	return func() error {
+		return compute(ctx, 2)
+	}
+}
+
+func hotLoopChecked(ctx context.Context, grid [][]float64) (float64, error) {
+	sum := 0.0
+	for i, row := range grid {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// canceller mirrors the repo's amortized cancellation-checker idiom: the
+// struct carries the ctx, so referencing it counts as a touchpoint.
+type canceller struct {
+	ctx context.Context
+	n   int
+}
+
+func (cc *canceller) check() error {
+	cc.n++
+	if cc.n%64 != 0 {
+		return nil
+	}
+	return cc.ctx.Err()
+}
+
+func hotLoopCanceller(ctx context.Context, grid [][]float64) (float64, error) {
+	cc := canceller{ctx: ctx}
+	sum := 0.0
+	for _, row := range grid {
+		if err := cc.check(); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+func exempted(ctx context.Context) error {
+	//lint:ctxflow-exempt the execution deliberately outlives the submitting request
+	return compute(context.Background(), 1)
+}

@@ -1,0 +1,49 @@
+// Package flagged exercises every ctxflow diagnostic. The package is
+// marked deterministic so the hot-loop cancellation rule applies.
+package flagged
+
+//lint:deterministic-package
+
+import "context"
+
+func compute(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+func freshRoot(ctx context.Context) error {
+	return compute(context.Background(), 1) // want `context\.Background inside a function that receives ctx`
+}
+
+func todoRoot(ctx context.Context) error {
+	return compute(context.TODO(), 1) // want `context\.TODO inside a function that receives ctx`
+}
+
+type server struct {
+	ctx context.Context
+}
+
+func (s *server) stored(ctx context.Context) error {
+	return compute(s.ctx, 2) // want `compute accepts a context but is passed s\.ctx`
+}
+
+var pkgCtx = context.Background()
+
+func packageLevel(ctx context.Context) error {
+	return compute(pkgCtx, 3) // want `compute accepts a context but is passed pkgCtx`
+}
+
+func hotLoop(ctx context.Context, grid [][]float64) float64 {
+	sum := 0.0
+	for _, row := range grid { // want `nested hot-path loop has no cancellation touchpoint`
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func goroutineDetach(ctx context.Context) {
+	go func() {
+		_ = compute(context.Background(), 4) // want `context\.Background inside a function that receives ctx`
+	}()
+}

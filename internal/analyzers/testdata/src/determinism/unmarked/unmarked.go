@@ -1,0 +1,12 @@
+// Package unmarked is not declared deterministic: wall-clock and global
+// RNG are legal here and must produce no diagnostics.
+package unmarked
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timestamped() (time.Time, float64) {
+	return time.Now(), rand.Float64()
+}

@@ -1,0 +1,67 @@
+// Package clean holds error handling that must produce no errcmp
+// diagnostics.
+package clean
+
+import "errors"
+
+var ErrClosed = errors.New("closed")
+
+type ParseError struct {
+	Line int
+}
+
+func (e *ParseError) Error() string { return "parse error" }
+
+func sentinel(err error) bool {
+	return errors.Is(err, ErrClosed)
+}
+
+func typed(err error) int {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe.Line
+	}
+	return 0
+}
+
+func nilChecks(err error) bool {
+	// Comparisons against nil are the normal control flow, not matching.
+	return err == nil || err != nil
+}
+
+func switchNil(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	default:
+		return "failed"
+	}
+}
+
+func typeSwitch(err error) int {
+	// Type switches are left to judgment: they often drive errors.As
+	// fallbacks or exhaustive protocol decoding.
+	switch e := err.(type) {
+	case *ParseError:
+		return e.Line
+	default:
+		return 0
+	}
+}
+
+type timeouter interface {
+	Timeout() bool
+}
+
+func behavior(err error) bool {
+	// Narrowing to a behavior interface is fine.
+	if t, ok := err.(timeouter); ok {
+		return t.Timeout()
+	}
+	return false
+}
+
+func exempted(err error) bool {
+	//lint:errcmp-exempt comparing an unexported process-local marker that is never wrapped
+	return err == ErrClosed
+}

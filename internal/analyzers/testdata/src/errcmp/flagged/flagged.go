@@ -1,0 +1,47 @@
+// Package flagged exercises every errcmp diagnostic.
+package flagged
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrClosed = errors.New("closed")
+
+type ParseError struct {
+	Line int
+}
+
+func (e *ParseError) Error() string { return "parse error" }
+
+func identity(err error) bool {
+	return err == ErrClosed // want `error compared with ==: wrapped errors never match identity`
+}
+
+func negIdentity(err error) bool {
+	return err != ErrClosed // want `error compared with !=: wrapped errors never match identity`
+}
+
+func switchIdentity(err error) string {
+	switch err {
+	case ErrClosed: // want `switch on error identity: wrapped errors never match`
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+func assertConcrete(err error) int {
+	if pe, ok := err.(*ParseError); ok { // want `type assertion on an error: wrapped errors never match; use errors\.As`
+		return pe.Line
+	}
+	return 0
+}
+
+func textContains(err error) bool {
+	return strings.Contains(err.Error(), "closed") // want `strings\.Contains on err\.Error\(\): error text is not an API`
+}
+
+func textEquals(err error) bool {
+	return err.Error() == "closed" // want `comparing err\.Error\(\) text: match the sentinel or type`
+}

@@ -1,0 +1,36 @@
+// Package clean registers metrics the sanctioned way and must produce no
+// metriclint diagnostics.
+package clean
+
+import "metrics"
+
+// familyJobs shows that constant-expression names are fine.
+const familyJobs = "linq_jobs_total"
+
+func register(r *metrics.Registry, backend string) {
+	r.Counter("linq_compiles_total", "compiles")
+	r.Gauge("linq_queue_depth", "queue depth")
+	r.Histogram("linq_compile_seconds", "latency", nil)
+
+	// Get-or-create: re-registering the same name with the same kind and
+	// schema is the documented lookup idiom.
+	v := r.CounterVec(familyJobs, "jobs", "backend", "status")
+	v = r.CounterVec(familyJobs, "jobs", "backend", "status")
+
+	// Label values from a bounded vocabulary (variables, constants).
+	v.With(backend, "done").Inc()
+	v.With(backend, statusLabel(2)).Inc()
+}
+
+// statusLabel maps to a fixed vocabulary — formatting happens nowhere near
+// the With call.
+func statusLabel(class int) string {
+	switch class {
+	case 2:
+		return "2xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

@@ -7,6 +7,8 @@
 // custom pass lists through CompileWith.
 package core
 
+//lint:deterministic-package
+
 import (
 	"context"
 	"fmt"

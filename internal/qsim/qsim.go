@@ -6,6 +6,8 @@
 // Qubit 0 is the least-significant bit of the basis-state index.
 package qsim
 
+//lint:deterministic-package
+
 import (
 	"fmt"
 	"math"

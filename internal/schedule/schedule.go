@@ -5,6 +5,8 @@
 // minimizes shuttle-induced heating, the dominant error source of Eq. 4.
 package schedule
 
+//lint:deterministic-package
+
 import (
 	"context"
 	"fmt"

@@ -12,6 +12,8 @@
 // within one head placement run concurrently subject to qubit availability.
 package sim
 
+//lint:deterministic-package
+
 import (
 	"context"
 	"fmt"

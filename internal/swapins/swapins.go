@@ -20,6 +20,8 @@
 // device constraint.
 package swapins
 
+//lint:deterministic-package
+
 import (
 	"context"
 	"fmt"
