@@ -14,7 +14,6 @@ import (
 	"net/http"
 	"runtime/debug"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -73,15 +72,47 @@ type httpCounter func(route string, code int)
 // NewServer returns the HTTP layer over the manager, instrumenting every
 // request into the registry.
 func NewServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *Server {
-	vec := reg.CounterVec("linqd_http_requests_total",
+	vec := reg.CounterVec("linq_http_requests_total",
 		"HTTP requests served, by route and status code.", "route", "code")
 	return &Server{
 		mgr:   mgr,
 		reg:   reg,
 		start: time.Now(),
 		httpReqs: func(route string, code int) {
-			vec.With(route, strconv.Itoa(code)).Inc()
+			vec.With(route, statusLabel(code)).Inc()
 		},
+	}
+}
+
+// statusLabel maps an HTTP status onto a fixed label vocabulary: the exact
+// code for the statuses the daemon emits, the class bucket for anything
+// else, keeping the code label's cardinality bounded.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusAccepted:
+		return "202"
+	case http.StatusNoContent:
+		return "204"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
 	}
 }
 

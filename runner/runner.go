@@ -73,8 +73,8 @@ func WithWorkers(n int) Option {
 }
 
 // WithMetrics records per-job telemetry into the registry: completion
-// counters by backend and outcome (runner_jobs_total) and a per-backend job
-// latency histogram (runner_job_seconds). Share the registry with the
+// counters by backend and outcome (linq_runner_jobs_total) and a per-backend job
+// latency histogram (linq_runner_job_seconds). Share the registry with the
 // backends' tilt.WithMetrics to expose the whole stack through one scrape.
 func WithMetrics(r *tilt.MetricsRegistry) Option {
 	return func(o *options) { o.mx = newInstruments(r) }
@@ -82,16 +82,16 @@ func WithMetrics(r *tilt.MetricsRegistry) Option {
 
 // instruments holds the pre-resolved runner metric handles.
 type instruments struct {
-	jobs   *metrics.CounterVec   // runner_jobs_total{backend,status}
-	jobSec *metrics.HistogramVec // runner_job_seconds{backend}
+	jobs   *metrics.CounterVec   // linq_runner_jobs_total{backend,status}
+	jobSec *metrics.HistogramVec // linq_runner_job_seconds{backend}
 }
 
 func newInstruments(r *metrics.Registry) *instruments {
 	return &instruments{
-		jobs: r.CounterVec("runner_jobs_total",
+		jobs: r.CounterVec("linq_runner_jobs_total",
 			"Batch jobs finished, by backend and outcome (ok, error, cancelled).",
 			"backend", "status"),
-		jobSec: r.HistogramVec("runner_job_seconds",
+		jobSec: r.HistogramVec("linq_runner_job_seconds",
 			"Wall-clock compile+simulate latency of one batch job.", nil, "backend"),
 	}
 }

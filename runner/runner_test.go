@@ -275,11 +275,11 @@ func TestRunWithMetrics(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		`runner_jobs_total{backend="fake",status="ok"} 7`,
-		`runner_jobs_total{backend="fake",status="error"} 1`,
-		`runner_jobs_total{backend="panic",status="error"} 1`,
-		`runner_jobs_total{backend="unknown",status="error"} 1`,
-		`runner_job_seconds_count{backend="fake"} 8`,
+		`linq_runner_jobs_total{backend="fake",status="ok"} 7`,
+		`linq_runner_jobs_total{backend="fake",status="error"} 1`,
+		`linq_runner_jobs_total{backend="panic",status="error"} 1`,
+		`linq_runner_jobs_total{backend="unknown",status="error"} 1`,
+		`linq_runner_job_seconds_count{backend="fake"} 8`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
