@@ -132,7 +132,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// HTTP exchanges), then drain the job queue so every accepted job
 	// reaches a terminal state before the process exits.
 	fmt.Fprintf(out, "linqd: shutting down, draining jobs (max %v)\n", *drain)
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	// The signal ctx is already done here; WithoutCancel detaches the
+	// drain deadline from it without minting a fresh context root.
+	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		httpSrv.Close()
