@@ -1,0 +1,67 @@
+package qasm
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzQASMParse drives the OpenQASM parser with arbitrary source text and
+// checks the package's stated contracts rather than specific outputs:
+//
+//   - Parse never panics, whatever the input
+//   - every failure is a *ParseError (callers unwrap it with errors.As to
+//     surface line numbers; a bare fmt.Errorf here is an API regression)
+//   - an accepted circuit is internally consistent: every gate's qubits lie
+//     inside the declared register
+//   - accepted circuits survive Write → Parse with an identical fingerprint
+//     (the serving stack depends on this to relay programs byte-for-byte)
+func FuzzQASMParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"qreg q[3];\nrz(pi/4) q[2];\nmeasure q[0] -> c[0];\n",
+		"qreg q[1];\nrx(0.12345) q[0];\n",
+		"qreg q[4];\nccx q[0],q[1],q[2];\nswap q[2],q[3];\n",
+		"qreg q[2];\nrxx(pi/2) q[0],q[1];\n",
+		"// comment only\n",
+		"qreg q[0];\n",
+		"h q[0];\n",               // gate before qreg
+		"qreg q[2];\nh q[5];\n",   // out of range
+		"qreg q[2];\nbogus q[0];", // unknown gate
+		"OPENQASM 2.0;;;\nqreg q[-1];\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse error is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line < 0 {
+				t.Fatalf("ParseError.Line = %d, want >= 0", pe.Line)
+			}
+			return
+		}
+		n := c.NumQubits()
+		for i := 0; i < c.Len(); i++ {
+			for _, q := range c.Gate(i).Qubits {
+				if q < 0 || q >= n {
+					t.Fatalf("gate %d uses qubit %d outside register [0,%d)", i, q, n)
+				}
+			}
+		}
+		out, err := Write(c)
+		if err != nil {
+			t.Fatalf("Write failed on a parsed circuit: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-Parse of Write output failed: %v\nsource:\n%s", err, out)
+		}
+		if got, want := back.Fingerprint(), c.Fingerprint(); got != want {
+			t.Fatalf("round-trip changed the circuit: fingerprint %s != %s\nqasm:\n%s", got, want, out)
+		}
+	})
+}
