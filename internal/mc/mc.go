@@ -153,13 +153,14 @@ func (e *Engine) forEachShard(ctx context.Context, nShards int, newWorker func()
 		workers = nShards
 	}
 
-	idx := make(chan int)
-	go func() {
-		defer close(idx)
-		for i := 0; i < nShards; i++ {
-			idx <- i
-		}
-	}()
+	// Buffered and filled up front: every send completes immediately, so
+	// no feeder goroutine is needed — and none can be left blocked if the
+	// pool stops early on failure.
+	idx := make(chan int, nShards)
+	for i := 0; i < nShards; i++ {
+		idx <- i
+	}
+	close(idx)
 
 	var (
 		wg      sync.WaitGroup

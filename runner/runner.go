@@ -135,13 +135,14 @@ func Run(ctx context.Context, jobs []Job, opts ...Option) []JobResult {
 	}
 
 	results := make([]JobResult, len(jobs))
-	idx := make(chan int)
-	go func() {
-		defer close(idx)
-		for i := range jobs {
-			idx <- i
-		}
-	}()
+	// Buffered and filled up front: every send completes immediately, so
+	// no feeder goroutine is needed — and none can be left blocked if the
+	// workers are cancelled mid-batch.
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
 
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers; w++ {
