@@ -163,10 +163,9 @@ func (e *Engine) forEachShard(ctx context.Context, nShards int, newWorker func()
 	close(idx)
 
 	var (
-		wg      sync.WaitGroup
-		failed  atomic.Bool
-		errOnce sync.Once
-		first   error
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		first  error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -178,8 +177,11 @@ func (e *Engine) forEachShard(ctx context.Context, nShards int, newWorker func()
 					continue // drain the queue without working
 				}
 				if err := run(i); err != nil {
-					errOnce.Do(func() { first = err })
-					failed.Store(true)
+					// The CAS admits exactly one goroutine, so `first` has
+					// a single writer; wg.Wait orders it before the read.
+					if failed.CompareAndSwap(false, true) {
+						first = err
+					}
 				}
 			}
 		}()
