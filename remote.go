@@ -235,6 +235,13 @@ func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
 		return nil, err
 	}
 	delay := b.pollMin
+	// One timer reused across poll iterations (created stopped and armed
+	// per wait) instead of a fresh time.After timer every round trip.
+	pollTimer := time.NewTimer(delay)
+	if !pollTimer.Stop() {
+		<-pollTimer.C
+	}
+	defer pollTimer.Stop()
 	for {
 		job, ready, err := b.fetchResult(ctx, id)
 		if err != nil {
@@ -250,11 +257,12 @@ func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
 		}
 		if !ready {
 			if b.wait <= 0 { // pure polling: back off between fetches
+				pollTimer.Reset(delay)
 				select {
 				case <-ctx.Done():
 					b.cancelRemote(id)
 					return nil, ctx.Err()
-				case <-time.After(delay):
+				case <-pollTimer.C:
 				}
 				if delay *= 2; delay > b.pollMax {
 					delay = b.pollMax
