@@ -326,8 +326,12 @@ func (s *State) Run(c *circuit.Circuit) {
 // RunPermuted applies every gate after relabeling each gate qubit q to
 // perm[q]. Used to check mapped circuits against their logical originals.
 func (s *State) RunPermuted(c *circuit.Circuit, perm []int) {
+	// Scratch for the relabeled operands, reused across gates: ApplyGate
+	// reads Qubits during dispatch and never retains the slice. Gate arity
+	// is at most 3 (CCX).
+	var buf [3]int
 	for _, g := range c.Gates() {
-		qs := make([]int, len(g.Qubits))
+		qs := buf[:len(g.Qubits)]
 		for i, q := range g.Qubits {
 			qs[i] = perm[q]
 		}
