@@ -78,6 +78,14 @@ func (m *Mapping) Clone() *Mapping {
 	return out
 }
 
+// CopyFrom overwrites m with src's permutation. Both mappings must have the
+// same width; it lets hot loops re-sync one scratch mapping instead of
+// cloning per iteration.
+func (m *Mapping) CopyFrom(src *Mapping) {
+	copy(m.l2p, src.l2p)
+	copy(m.p2l, src.p2l)
+}
+
 // LogicalToPhysical returns a copy of the l2p permutation.
 func (m *Mapping) LogicalToPhysical() []int {
 	out := make([]int, len(m.l2p))

@@ -170,6 +170,7 @@ func (LinQ) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping,
 	}
 	res := &Result{InitialMapping: m0.Clone()}
 	nextTwoQ := 0
+	var candBuf []swapOp // reused across resolutions; nothing retains it
 
 	for gi, g := range c.Gates() {
 		if err := cc.check(); err != nil {
@@ -186,7 +187,8 @@ func (LinQ) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping,
 			if err := cc.check(); err != nil {
 				return nil, err
 			}
-			cand := candidates(m, g, opt.MaxSwapLen)
+			candBuf = appendCandidates(candBuf[:0], m, g, opt.MaxSwapLen)
+			cand := candBuf
 			if len(cand) == 0 {
 				return nil, fmt.Errorf("swapins: no candidate swap for gate %d (%s)", gi, g)
 			}
@@ -289,8 +291,9 @@ func (s Stochastic) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.
 func (s Stochastic) bestTrial(rng *rand.Rand, m *mapping.Mapping, g circuit.Gate, dev device.TILT, trials int) []swapOp {
 	maxLen := dev.MaxGateDistance()
 	var best []swapOp
+	trial := m.Clone() // scratch mapping, re-synced per trial
 	for t := 0; t < trials; t++ {
-		trial := m.Clone()
+		trial.CopyFrom(m)
 		var seq []swapOp
 		for trial.GateDistance(g.Qubits[0], g.Qubits[1]) > maxLen {
 			p1 := trial.Phys(g.Qubits[0])
@@ -385,26 +388,26 @@ func applySwap(out *circuit.Circuit, m *mapping.Mapping, sw swapOp) {
 	m.SwapPhysical(sw.a, sw.b)
 }
 
-// candidates enumerates Algorithm 1's candidate swaps for gate g under
-// mapping m: each slot strictly between the endpoints paired with whichever
-// endpoint lies within maxLen. Every candidate strictly shortens g.
-func candidates(m *mapping.Mapping, g circuit.Gate, maxLen int) []swapOp {
+// appendCandidates appends Algorithm 1's candidate swaps for gate g under
+// mapping m to buf: each slot strictly between the endpoints paired with
+// whichever endpoint lies within maxLen. Every candidate strictly shortens
+// g. Callers pass buf[:0] to reuse one backing array across resolutions.
+func appendCandidates(buf []swapOp, m *mapping.Mapping, g circuit.Gate, maxLen int) []swapOp {
 	p1 := m.Phys(g.Qubits[0])
 	p2 := m.Phys(g.Qubits[1])
 	lo, hi := p1, p2
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	var out []swapOp
 	for s := lo + 1; s < hi; s++ {
 		if s-lo <= maxLen {
-			out = append(out, swapOp{a: lo, b: s})
+			buf = append(buf, swapOp{a: lo, b: s})
 		}
 		if hi-s <= maxLen {
-			out = append(out, swapOp{a: s, b: hi})
+			buf = append(buf, swapOp{a: s, b: hi})
 		}
 	}
-	return out
+	return buf
 }
 
 // pickBest scores every candidate with Eq. 1 over the remaining two-qubit
@@ -470,21 +473,24 @@ func betterTie(sw swapOp, cur int, oldSw swapOp, oldCur int) bool {
 // distAfterSwap returns D(g, M_{qi,qj}): gate g's physical distance after
 // hypothetically swapping logical qubits la (at sw.a) and lb (at sw.b).
 func distAfterSwap(m *mapping.Mapping, g circuit.Gate, la, lb int, sw swapOp) int {
-	pos := func(q int) int {
-		switch q {
-		case la:
-			return sw.b
-		case lb:
-			return sw.a
-		default:
-			return m.Phys(q)
-		}
-	}
-	d := pos(g.Qubits[0]) - pos(g.Qubits[1])
+	d := physAfterSwap(m, g.Qubits[0], la, lb, sw) - physAfterSwap(m, g.Qubits[1], la, lb, sw)
 	if d < 0 {
 		d = -d
 	}
 	return d
+}
+
+// physAfterSwap returns logical qubit q's slot after hypothetically
+// swapping la (at sw.a) with lb (at sw.b).
+func physAfterSwap(m *mapping.Mapping, q, la, lb int, sw swapOp) int {
+	switch q {
+	case la:
+		return sw.b
+	case lb:
+		return sw.a
+	default:
+		return m.Phys(q)
+	}
 }
 
 // isOpposing classifies a swap (Fig. 2c): it must strictly shorten at least
