@@ -521,7 +521,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
-		m.wg.Wait()
+		// Released when the workers exit: the ctx arm below cancels every
+		// inflight job precisely so this Wait terminates.
+		m.wg.Wait() //lint:goroutineleak-exempt workers are counted on m.wg and the ctx path cancels inflight jobs so Wait returns
 		close(done)
 	}()
 	select {
