@@ -379,7 +379,10 @@ func (m *Manager) Submit(req Request) (string, error) {
 		m.stats.Submitted++
 		m.stats.Deduped++
 		if m.mx != nil {
-			m.mx.submitted.With(j.backend).Inc()
+			// Lock hierarchy: Manager.mu is the outermost lock; the metrics
+			// family mutex is a leaf held only inside With/Inc and never
+			// while any jobs call is made, so the edge cannot reverse.
+			m.mx.submitted.With(j.backend).Inc() //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
 			m.mx.deduped.With(j.backend).Inc()
 			if j.state == StateQueued {
 				m.mx.queued.With(j.backend).Inc()
