@@ -169,6 +169,7 @@ func (e *Engine) forEachShard(ctx context.Context, nShards int, newWorker func()
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allochot-exempt one closure per pool worker at startup, amortized over every shard it runs
 		go func() {
 			defer wg.Done()
 			run := newWorker()

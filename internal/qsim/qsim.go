@@ -359,10 +359,12 @@ func EquivalentUpToPhase(a, b *circuit.Circuit, trials int, seed int64) bool {
 		return false
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// Each trial needs an independent random input and two private copies
+	// to evolve; this is a verification helper, not on the shot path.
 	for t := 0; t < trials; t++ {
-		in := NewRandomState(a.NumQubits(), rng)
-		sa := in.Clone()
-		sb := in.Clone()
+		in := NewRandomState(a.NumQubits(), rng) //lint:allochot-exempt every trial requires a fresh independent random state
+		sa := in.Clone()                         //lint:allochot-exempt each circuit evolves its own copy of the trial state
+		sb := in.Clone()                         //lint:allochot-exempt each circuit evolves its own copy of the trial state
 		sa.Run(a)
 		sb.Run(b)
 		if f := sa.FidelityWith(sb); f < 1-1e-9 {
@@ -383,10 +385,11 @@ func EquivalentUnderPermutation(a, b *circuit.Circuit, perm []int, trials int, s
 		return false
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// Same shape as EquivalentUpToPhase: per-trial allocation is the point.
 	for t := 0; t < trials; t++ {
-		in := NewRandomState(b.NumQubits(), rng)
-		sa := in.Clone()
-		sb := in.Clone()
+		in := NewRandomState(b.NumQubits(), rng) //lint:allochot-exempt every trial requires a fresh independent random state
+		sa := in.Clone()                         //lint:allochot-exempt each circuit evolves its own copy of the trial state
+		sb := in.Clone()                         //lint:allochot-exempt each circuit evolves its own copy of the trial state
 		sa.RunPermuted(a, perm)
 		sb.Run(b)
 		if f := sa.FidelityWith(sb); f < 1-1e-9 {

@@ -116,7 +116,7 @@ func newScheduler(c *circuit.Circuit, dev device.TILT) *scheduler {
 		scratch:   make([]int, dev.NumIons),
 	}
 	for i, g := range c.Gates() {
-		s.listPos[i] = make([]int, len(g.Qubits))
+		s.listPos[i] = make([]int, len(g.Qubits)) //lint:allochot-exempt per-gate operand tables are built once at construction and retained by the scheduler
 		for j, q := range g.Qubits {
 			s.listPos[i][j] = len(s.lists[q])
 			s.lists[q] = append(s.lists[q], i)
@@ -133,7 +133,7 @@ func (s *scheduler) bestPosition(cur int) (int, []int) {
 	var bestGates []int
 	bestDist := 1 << 30
 	for p := 0; p <= s.dev.NumIons-s.dev.HeadSize; p++ {
-		gates := s.executableAt(p)
+		gates := s.executableAt(p) //lint:allochot-exempt the winning gate set escapes into Schedule.Steps, so each probe needs its own slice
 		d := 0
 		if cur >= 0 {
 			d = p - cur

@@ -63,7 +63,7 @@ func Sweep(ctx context.Context, c *circuit.Circuit, dev device.TILT) (*Schedule,
 			}
 		}
 		p := stops[idx]
-		gates := s.executableAt(p)
+		gates := s.executableAt(p) //lint:allochot-exempt the gate set escapes into Schedule.Steps, so each stop needs its own slice
 		if len(gates) > 0 {
 			s.commit(gates)
 			if p != cur {

@@ -177,7 +177,7 @@ func (LinQ) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping,
 			return nil, err
 		}
 		if !g.IsTwoQubit() {
-			emitMapped(out, g, m)
+			emitMapped(out, g, m) //lint:allochot-exempt the relocated qubit slice escapes into the emitted gate
 			continue
 		}
 		// Resolve until executable (Algorithm 1 main loop). Every
@@ -200,7 +200,7 @@ func (LinQ) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.Mapping,
 				res.OpposingSwaps++
 			}
 		}
-		emitMapped(out, g, m)
+		emitMapped(out, g, m) //lint:allochot-exempt the relocated qubit slice escapes into the emitted gate
 		nextTwoQ++
 	}
 	res.Physical = out
@@ -261,11 +261,11 @@ func (s Stochastic) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.
 			return nil, err
 		}
 		if !g.IsTwoQubit() {
-			emitMapped(out, g, m)
+			emitMapped(out, g, m) //lint:allochot-exempt the relocated qubit slice escapes into the emitted gate
 			continue
 		}
 		if m.GateDistance(g.Qubits[0], g.Qubits[1]) > dev.MaxGateDistance() {
-			seq := s.bestTrial(rng, m, g, dev, trials)
+			seq := s.bestTrial(rng, m, g, dev, trials) //lint:allochot-exempt the winning swap sequence must outlive its trial to be applied
 			if seq == nil {
 				return nil, fmt.Errorf("swapins: stochastic routing failed for gate %d (%s)", gi, g)
 			}
@@ -278,7 +278,7 @@ func (s Stochastic) Insert(ctx context.Context, c *circuit.Circuit, m0 *mapping.
 				}
 			}
 		}
-		emitMapped(out, g, m)
+		emitMapped(out, g, m) //lint:allochot-exempt the relocated qubit slice escapes into the emitted gate
 		nextTwoQ++
 	}
 	res.Physical = out
