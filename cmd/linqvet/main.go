@@ -1,6 +1,15 @@
 // Command linqvet is the repo's invariant checker: a multichecker driver
 // for the internal/analyzers suite (determinism, ctxflow, metriclint,
-// lockguard, errcmp) built on the first-party internal/analysis framework.
+// lockguard, errcmp, goroutineleak, lockorder, allochot) built on the
+// first-party internal/analysis framework.
+//
+// The last three analyzers are interprocedural: every analyzed package
+// exports per-function summaries (internal/analysis facts), and analyzing
+// a package consumes its dependencies' summaries — in memory in standalone
+// mode, via the vetx fact files cmd/go transports in vet tool mode. The
+// driver also validates every //lint: directive against the suite
+// (internal/analysis.CheckDirectives), so an exemption naming an analyzer
+// that does not exist is a finding, not a silent no-op.
 //
 // Standalone:
 //
@@ -41,7 +50,9 @@ import (
 
 // version participates in go vet's tool fingerprint (-V=full): bump it when
 // analyzer behavior changes so vet's result cache invalidates.
-const version = "v1"
+// v2: interprocedural facts, goroutineleak/lockorder/allochot, directive
+// validation.
+const version = "v2"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -94,6 +105,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Compute every target's function summaries in dependency order so the
+	// interprocedural analyzers see facts for in-set dependencies; a
+	// dependency outside the analyzed set simply contributes none.
+	facts := analysis.NewFactStore()
+	for _, pkg := range analysis.SortForFacts(pkgs) {
+		if len(pkg.TypeErrors) == 0 {
+			facts.Add(analysis.ComputeFacts(pkg))
+		}
+	}
+
 	code := 0
 	findings := map[string]map[string][]jsonDiag{} // pkg → analyzer → diags
 	for _, pkg := range pkgs {
@@ -104,12 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			code = 1
 			continue
 		}
-		for _, a := range suite {
-			diags, err := analysis.RunAnalyzer(a, pkg)
-			if err != nil {
-				fmt.Fprintln(stderr, "linqvet:", err)
-				return 1
-			}
+		report := func(analyzer string, diags []analysis.Diagnostic) {
 			for _, d := range diags {
 				if code == 0 {
 					code = 2
@@ -121,12 +137,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 						byPkg = map[string][]jsonDiag{}
 						findings[pkg.ImportPath] = byPkg
 					}
-					byPkg[a.Name] = append(byPkg[a.Name], jsonDiag{Posn: posn.String(), Message: d.Message})
+					byPkg[analyzer] = append(byPkg[analyzer], jsonDiag{Posn: posn.String(), Message: d.Message})
 				} else {
-					fmt.Fprintf(stdout, "%s: [%s] %s\n", posn, a.Name, d.Message)
+					fmt.Fprintf(stdout, "%s: [%s] %s\n", posn, analyzer, d.Message)
 				}
 			}
 		}
+		for _, a := range suite {
+			diags, err := analysis.RunAnalyzerFacts(a, pkg, facts)
+			if err != nil {
+				fmt.Fprintln(stderr, "linqvet:", err)
+				return 1
+			}
+			report(a.Name, diags)
+		}
+		report(analysis.DirectiveAnalyzerName, analysis.CheckDirectives(pkg, analyzers.KnownDirectives()))
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -189,12 +214,21 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // unitCheck analyzes one package as directed by a cmd/go vet config file.
+// sameModule reports whether path belongs to the module rooted at
+// moduleRoot (the first segment of the unit's own import path). Facts for
+// anything else — stdlib or third-party — are dropped to keep the vet-tool
+// view identical to the standalone driver's.
+func sameModule(path, moduleRoot string) bool {
+	return path == moduleRoot || strings.HasPrefix(path, moduleRoot+"/")
+}
+
 func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -206,16 +240,17 @@ func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "linqvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// linqvet exports no facts, but cmd/go requires the vetx output to
-	// exist for caching.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(stderr, "linqvet:", err)
-			return 1
+	// writeVetx persists this unit's serialized facts (or an empty file for
+	// units with nothing to export: cmd/go requires the output to exist).
+	writeVetx := func(data []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return false
+		}
+		return true
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -235,7 +270,11 @@ func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0 // external-test unit: nothing but _test.go files
+		// External-test unit: nothing but _test.go files, no facts either.
+		if !writeVetx(nil) {
+			return 1
+		}
+		return 0
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -256,6 +295,9 @@ func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil && tpkg == nil {
 		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx(nil) {
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(stderr, "linqvet: %s: %v\n", cfg.ImportPath, err)
@@ -270,15 +312,51 @@ func unitCheck(cfgFile string, stdout, stderr io.Writer) int {
 		Info:       info,
 	}
 
+	// Export this unit's facts for dependents, and load the facts of every
+	// same-module dependency cmd/go has already checked (PackageVetx).
+	// Together these give the interprocedural analyzers the same view the
+	// standalone driver builds in memory. Facts cmd/go computed for
+	// out-of-module dependencies (notably the stdlib) are skipped: the
+	// standalone driver never loads them, and ingesting them here would
+	// make `go vet -vettool` report edges into stdlib-internal leaf locks
+	// (sync.Pool, context) that the standalone run does not.
+	own := analysis.ComputeFacts(pkg)
+	factData, err := own.Encode()
+	if err != nil {
+		fmt.Fprintln(stderr, "linqvet:", err)
+		return 1
+	}
+	if !writeVetx(factData) {
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	facts := analysis.NewFactStore()
+	moduleRoot := cfg.ImportPath
+	if i := strings.IndexByte(moduleRoot, '/'); i >= 0 {
+		moduleRoot = moduleRoot[:i]
+	}
+	for path, vetx := range cfg.PackageVetx {
+		if !sameModule(path, moduleRoot) {
+			continue
+		}
+		if err := facts.AddFile(vetx); err != nil {
+			fmt.Fprintln(stderr, "linqvet:", err)
+			return 1
+		}
+	}
+
 	var all []analysis.Diagnostic
 	for _, a := range analyzers.All() {
-		diags, err := analysis.RunAnalyzer(a, pkg)
+		diags, err := analysis.RunAnalyzerFacts(a, pkg, facts)
 		if err != nil {
 			fmt.Fprintln(stderr, "linqvet:", err)
 			return 1
 		}
 		all = append(all, diags...)
 	}
+	all = append(all, analysis.CheckDirectives(pkg, analyzers.KnownDirectives())...)
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Pos < all[j].Pos })
 	for _, d := range all {
 		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

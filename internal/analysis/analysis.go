@@ -77,6 +77,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts exposes dependency function summaries to interprocedural
+	// analyzers. Drivers that do not propagate facts leave an empty,
+	// never-nil store: analyzers degrade to intraprocedural precision.
+	Facts *FactStore
+
 	diags   []Diagnostic
 	exempts []exemption
 }
@@ -172,14 +177,27 @@ func (p *Pass) reportBareDirectives() {
 }
 
 // RunAnalyzer applies one analyzer to one loaded package and returns its
-// diagnostics sorted by position.
+// diagnostics sorted by position. No dependency facts are supplied;
+// interprocedural analyzers fall back to what the package's own syntax
+// shows. Drivers with facts use RunAnalyzerFacts.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunAnalyzerFacts(a, pkg, nil)
+}
+
+// RunAnalyzerFacts applies one analyzer to one loaded package with the
+// given dependency facts (nil means none) and returns its diagnostics
+// sorted by position.
+func RunAnalyzerFacts(a *Analyzer, pkg *Package, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     facts,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)

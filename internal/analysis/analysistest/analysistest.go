@@ -6,6 +6,13 @@
 // Layout: <testdata>/src/<importpath>/*.go. A package under test may import
 // sibling stub packages (resolved from source, recursively) and the
 // standard library (resolved from export data via `go list -export`).
+// Files named *_test.go are ignored, matching both real drivers.
+//
+// Facts flow across testdata packages the way they do in production: every
+// loaded package's summaries are computed, serialized to JSON, decoded
+// back, and only then offered to the analyzer — a golden test whose target
+// imports a sibling package therefore exercises the full serialized
+// cross-package fact path.
 //
 // Expectations are comments of the form
 //
@@ -63,7 +70,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 			t.Errorf("analysistest: %s has type errors: %v", path, pkg.TypeErrors)
 			continue
 		}
-		diags, err := analysis.RunAnalyzer(a, pkg)
+		diags, err := analysis.RunAnalyzerFacts(a, pkg, ld.facts)
 		if err != nil {
 			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
 			continue
@@ -145,12 +152,13 @@ func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysi
 // loader resolves testdata packages from source and everything else from
 // standard-library export data, sharing one FileSet and package cache.
 type loader struct {
-	src  string // <testdata>/src
-	fset *token.FileSet
-	std  types.ImporterFrom
-	pkgs map[string]*analysis.Package
-	mem  map[string]*types.Package // import path → checked package (stubs)
-	busy map[string]bool           // import cycle guard
+	src   string // <testdata>/src
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	pkgs  map[string]*analysis.Package
+	mem   map[string]*types.Package // import path → checked package (stubs)
+	busy  map[string]bool           // import cycle guard
+	facts *analysis.FactStore       // JSON-round-tripped summaries per package
 }
 
 func newLoader(testdata string) (*loader, error) {
@@ -172,12 +180,13 @@ func newLoader(testdata string) (*loader, error) {
 		return os.Open(f)
 	}
 	return &loader{
-		src:  src,
-		fset: fset,
-		std:  importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
-		pkgs: map[string]*analysis.Package{},
-		mem:  map[string]*types.Package{},
-		busy: map[string]bool{},
+		src:   src,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		pkgs:  map[string]*analysis.Package{},
+		mem:   map[string]*types.Package{},
+		busy:  map[string]bool{},
+		facts: analysis.NewFactStore(),
 	}, nil
 }
 
@@ -248,7 +257,8 @@ func (ld *loader) load(path string) (*analysis.Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
@@ -284,5 +294,18 @@ func (ld *loader) load(path string) (*analysis.Package, error) {
 	}
 	ld.pkgs[path] = pkg
 	ld.mem[path] = tpkg
+
+	// Round-trip the package's facts through their wire form before making
+	// them visible: golden tests then cover serialization, not just the
+	// in-memory maps.
+	data, err := analysis.ComputeFacts(pkg).Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encoding facts for %s: %v", path, err)
+	}
+	decoded, err := analysis.DecodeFacts(data)
+	if err != nil {
+		return nil, fmt.Errorf("decoding facts for %s: %v", path, err)
+	}
+	ld.facts.Add(decoded)
 	return pkg, nil
 }

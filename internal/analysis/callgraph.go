@@ -1,0 +1,108 @@
+// A conservative call graph assembled from function summaries: static
+// call and go/defer edges come straight from the facts; dynamic interface
+// calls are resolved by method set — an interface method links to every
+// known concrete method with the same name whose receiver could satisfy
+// an interface (name-level conservatism: without whole-program type
+// information, any same-named method is a candidate).
+
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// A CallGraph answers reachability questions over every function the
+// backing FactStore knows about.
+type CallGraph struct {
+	store *FactStore
+	// methods indexes concrete (non-interface-declared) methods by bare
+	// method name for dynamic-call resolution.
+	methods map[string][]string
+}
+
+// CallGraph builds the graph over the store's current contents. Facts
+// added to the store later are not reflected.
+func (s *FactStore) CallGraph() *CallGraph {
+	g := &CallGraph{store: s, methods: map[string][]string{}}
+	for name := range s.funcs {
+		if base, ok := methodName(name); ok {
+			g.methods[base] = append(g.methods[base], name)
+		}
+	}
+	for _, names := range g.methods {
+		sort.Strings(names)
+	}
+	return g
+}
+
+// methodName extracts the bare method name from a FullName like
+// "(repro/internal/jobs.*Manager).Submit", reporting whether the function
+// is a method at all.
+func methodName(fullName string) (string, bool) {
+	if !strings.HasPrefix(fullName, "(") {
+		return "", false
+	}
+	i := strings.LastIndex(fullName, ").")
+	if i < 0 {
+		return "", false
+	}
+	return fullName[i+2:], true
+}
+
+// Callees returns the functions name may invoke: its static callees,
+// goroutine launches, and — for each dynamically dispatched interface
+// method — every known concrete method of the same name. Sorted, deduped.
+func (g *CallGraph) Callees(name string) []string {
+	sum := g.store.Func(name)
+	if sum == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, c := range sum.Calls {
+		seen[c] = true
+	}
+	for _, c := range sum.Starts {
+		seen[c] = true
+	}
+	for _, d := range sum.Dynamic {
+		if base, ok := methodName(d); ok {
+			for _, impl := range g.methods[base] {
+				seen[impl] = true
+			}
+		}
+	}
+	delete(seen, name)
+	return sortedKeys(seen)
+}
+
+// Reaches reports whether from can transitively invoke to, following at
+// most limit edges deep (limit <= 0 means unbounded).
+func (g *CallGraph) Reaches(from, to string, limit int) bool {
+	if from == to {
+		return true
+	}
+	type item struct {
+		name  string
+		depth int
+	}
+	seen := map[string]bool{from: true}
+	queue := []item{{from, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if limit > 0 && it.depth >= limit {
+			continue
+		}
+		for _, c := range g.Callees(it.name) {
+			if c == to {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, item{c, it.depth + 1})
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Driver-level directive hygiene: an exemption naming an analyzer nobody
+// ships silently suppresses nothing, which is worse than a typo — it
+// looks audited. CheckDirectives validates every //lint: comment in a
+// package against the set of directives the running suite actually
+// recognizes and diagnoses the strays.
+
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DirectiveAnalyzerName attributes unknown-directive diagnostics in driver
+// output; it is not a selectable analyzer.
+const DirectiveAnalyzerName = "directives"
+
+// CheckDirectives scans all //lint: comments in the package and returns a
+// diagnostic for each whose directive name is not in known (a set built
+// from the active analyzers' Directive() names plus any package-marker
+// directives the suite defines). Unknown directives cannot be exempted —
+// the fix is to spell the directive correctly or delete it.
+func CheckDirectives(pkg *Package, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, DirectivePrefix)
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				directive, _, _ := strings.Cut(rest, " ")
+				directive = strings.TrimSpace(directive)
+				if known[directive] {
+					continue
+				}
+				msg := fmt.Sprintf("unknown %s%s directive", DirectivePrefix, directive)
+				if directive == "" {
+					msg = fmt.Sprintf("empty %s directive", DirectivePrefix)
+				} else if sugg := closestDirective(directive, known); sugg != "" {
+					msg += fmt.Sprintf(" (did you mean %q?)", sugg)
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      c.Pos(),
+					Message:  msg,
+					Analyzer: DirectiveAnalyzerName,
+				})
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// closestDirective suggests a known directive sharing a prefix or suffix
+// with the unknown one — cheap, deterministic, catches the common
+// "determinism-exempt" vs "deterministic-exempt" class of typo.
+func closestDirective(directive string, known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for k := range known {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	base := strings.TrimSuffix(directive, "-exempt")
+	for _, k := range names {
+		kb := strings.TrimSuffix(k, "-exempt")
+		if strings.HasPrefix(kb, base) || strings.HasPrefix(base, kb) {
+			return k
+		}
+	}
+	// Dropped or doubled letters ("goroutinleak") escape the prefix rule;
+	// an edit distance of up to 2 catches them without false matches
+	// between genuinely different analyzer names.
+	for _, k := range names {
+		if editDistance(strings.TrimSuffix(k, "-exempt"), base) <= 2 {
+			return k
+		}
+	}
+	return ""
+}
+
+// editDistance is the Levenshtein distance between two short strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

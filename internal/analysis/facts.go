@@ -1,0 +1,300 @@
+// Interprocedural facts: per-function summaries computed once per package
+// and propagated to dependents in serialized form, mirroring the
+// golang.org/x/tools go/analysis facts mechanism on the first-party
+// framework. A summary records only what a function does locally (its
+// static callees, lock acquisitions, channel behavior, allocation sites);
+// consumers combine summaries transitively through a FactStore, so
+// analyzing package P needs P's syntax plus its dependencies' facts —
+// never the dependencies' source.
+//
+// Facts serialize as JSON. The standalone linqvet driver computes them
+// in dependency order and keeps them in memory; in `go vet -vettool`
+// mode each unit check writes its facts to the cmd/go-provided vetx
+// output file and reads its dependencies' facts back from theirs, which
+// is exactly the separate-compilation transport the unit-checking
+// protocol was designed for.
+
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// An AllocSite is one heap allocation a function performs on its ordinary
+// (non-panicking) paths. allochot uses callee alloc sites to flag hot-loop
+// calls that allocate one level down.
+type AllocSite struct {
+	// Posn is the site's file:line within the defining package.
+	Posn string `json:"posn"`
+	// What describes the allocation, e.g. "make([]int, …)" or
+	// "closure literal".
+	What string `json:"what"`
+}
+
+// A LockEdge records that a function acquires lock Takes while already
+// holding lock While. Lock keys are instance-insensitive: "pkg.Type.field"
+// for a mutex field, "pkg.Type" for an embedded mutex, "pkg.var" for a
+// package-level mutex. lockorder assembles the cross-package lock graph
+// from these edges.
+type LockEdge struct {
+	While string `json:"while"`
+	Takes string `json:"takes"`
+	// Posn is where Takes is acquired, file:line within the defining
+	// package.
+	Posn string `json:"posn"`
+}
+
+// A HeldCall records a static call made while holding one or more locks.
+// Consumers expand it against the callee's transitive acquisitions to
+// discover indirect lock edges.
+type HeldCall struct {
+	Callee string   `json:"callee"`
+	While  []string `json:"while"`
+	Posn   string   `json:"posn"`
+}
+
+// A FuncSummary is the exported behavior of one function, keyed by its
+// types.Func FullName. All facts are local: nothing in a summary depends
+// on other packages' source, only on their type information.
+type FuncSummary struct {
+	// Calls lists the FullNames of statically resolved callees, including
+	// those invoked by go and defer statements.
+	Calls []string `json:"calls,omitempty"`
+	// Starts lists the statically resolved functions launched by go
+	// statements.
+	Starts []string `json:"starts,omitempty"`
+	// Dynamic lists interface methods invoked dynamically, by FullName of
+	// the interface method. The call graph resolves them conservatively
+	// against every known concrete method of the same name.
+	Dynamic []string `json:"dynamic,omitempty"`
+	// Blocks, when non-empty, explains why the function may block forever:
+	// it performs a send or receive on a definitely-unbuffered local
+	// channel outside any select. The string includes the site, e.g.
+	// "unbuffered send on done (mc.go:42)".
+	Blocks string `json:"blocks,omitempty"`
+	// Acquires lists the lock keys the function may lock directly.
+	Acquires []string `json:"acquires,omitempty"`
+	// Edges lists direct acquired-while-holding pairs.
+	Edges []LockEdge `json:"edges,omitempty"`
+	// HeldCalls lists static calls made while holding locks.
+	HeldCalls []HeldCall `json:"heldCalls,omitempty"`
+	// Allocs lists heap allocations on non-panicking paths.
+	Allocs []AllocSite `json:"allocs,omitempty"`
+}
+
+// PackageFacts bundles every function summary of one package for
+// serialization.
+type PackageFacts struct {
+	Path  string                  `json:"path"`
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+// Encode serializes the facts as deterministic JSON (map keys sorted by
+// encoding/json).
+func (pf *PackageFacts) Encode() ([]byte, error) {
+	return json.Marshal(pf)
+}
+
+// DecodeFacts parses facts previously produced by Encode.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
+	var pf PackageFacts
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("decoding package facts: %w", err)
+	}
+	if pf.Funcs == nil {
+		pf.Funcs = map[string]*FuncSummary{}
+	}
+	return &pf, nil
+}
+
+// A FactStore indexes package facts for lookup by import path and by
+// function FullName, and answers the transitive queries analyzers need.
+// The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	pkgs  map[string]*PackageFacts
+	funcs map[string]*FuncSummary
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		pkgs:  map[string]*PackageFacts{},
+		funcs: map[string]*FuncSummary{},
+	}
+}
+
+// Add merges one package's facts into the store, replacing any previous
+// facts for the same path.
+func (s *FactStore) Add(pf *PackageFacts) {
+	if pf == nil {
+		return
+	}
+	s.pkgs[pf.Path] = pf
+	for name, sum := range pf.Funcs {
+		s.funcs[name] = sum
+	}
+}
+
+// Merge copies every package's facts from o into s.
+func (s *FactStore) Merge(o *FactStore) {
+	if o == nil {
+		return
+	}
+	for _, pf := range o.pkgs {
+		s.Add(pf)
+	}
+}
+
+// AddFile decodes a serialized facts file and merges it. Empty files are
+// tolerated (a dependency that exported no facts).
+func (s *FactStore) AddFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	pf, err := DecodeFacts(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	s.Add(pf)
+	return nil
+}
+
+// Package returns the facts recorded for an import path, or nil.
+func (s *FactStore) Package(path string) *PackageFacts { return s.pkgs[path] }
+
+// Func returns the summary for a function FullName, or nil if no facts
+// cover it (dependency outside the analyzed set, dynamic call, stdlib).
+func (s *FactStore) Func(fullName string) *FuncSummary { return s.funcs[fullName] }
+
+// Paths returns the import paths with facts, sorted.
+func (s *FactStore) Paths() []string {
+	paths := make([]string, 0, len(s.pkgs))
+	for p := range s.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// BlocksReason walks the static call graph from fullName and returns a
+// human-readable reason if the function, or anything it transitively
+// calls, may block forever on an unbuffered channel — or "" if no known
+// summary blocks. Unknown callees are assumed not to block: the facts
+// layer trades recall for zero false positives on code it cannot see.
+func (s *FactStore) BlocksReason(fullName string) string {
+	type item struct {
+		name string
+		via  []string
+	}
+	seen := map[string]bool{fullName: true}
+	queue := []item{{name: fullName}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		sum := s.funcs[it.name]
+		if sum == nil {
+			continue
+		}
+		if sum.Blocks != "" {
+			if len(it.via) == 0 {
+				return sum.Blocks
+			}
+			chain := it.via[0]
+			for _, v := range it.via[1:] {
+				chain += " → " + v
+			}
+			return fmt.Sprintf("via %s: %s", chain, sum.Blocks)
+		}
+		for _, callee := range sum.Calls {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			via := append(append([]string(nil), it.via...), callee)
+			queue = append(queue, item{name: callee, via: via})
+		}
+	}
+	return ""
+}
+
+// TransitiveAcquires returns every lock key fullName may acquire, directly
+// or through its static callees, sorted. Unknown callees contribute
+// nothing.
+func (s *FactStore) TransitiveAcquires(fullName string) []string {
+	acquired := map[string]bool{}
+	seen := map[string]bool{fullName: true}
+	queue := []string{fullName}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		sum := s.funcs[name]
+		if sum == nil {
+			continue
+		}
+		for _, k := range sum.Acquires {
+			acquired[k] = true
+		}
+		for _, callee := range sum.Calls {
+			if !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	keys := make([]string, 0, len(acquired))
+	for k := range acquired {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AllEdges assembles the global lock graph: every direct edge from every
+// summary, plus indirect edges expanded from held calls against callees'
+// transitive acquisitions. Each edge carries the FullName of the function
+// it was observed in.
+func (s *FactStore) AllEdges() []ObservedEdge {
+	var out []ObservedEdge
+	names := make([]string, 0, len(s.funcs))
+	for name := range s.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum := s.funcs[name]
+		for _, e := range sum.Edges {
+			out = append(out, ObservedEdge{LockEdge: e, Func: name})
+		}
+		for _, hc := range sum.HeldCalls {
+			for _, takes := range s.TransitiveAcquires(hc.Callee) {
+				for _, while := range hc.While {
+					if takes == while {
+						continue // re-entrant acquisition is lockguard's problem
+					}
+					out = append(out, ObservedEdge{
+						LockEdge: LockEdge{While: while, Takes: takes, Posn: hc.Posn},
+						Func:     name,
+						Via:      hc.Callee,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// An ObservedEdge is a lock edge attributed to the function it occurs in;
+// Via names the callee that performs the acquisition when the edge is
+// indirect.
+type ObservedEdge struct {
+	LockEdge
+	Func string
+	Via  string
+}

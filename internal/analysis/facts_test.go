@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFactsRoundTrip(t *testing.T) {
+	pf := &PackageFacts{
+		Path: "repro/internal/jobs",
+		Funcs: map[string]*FuncSummary{
+			"(*repro/internal/jobs.Manager).Submit": {
+				Calls:   []string{"repro/internal/jobs.validate"},
+				Starts:  []string{"(*repro/internal/jobs.Manager).worker"},
+				Dynamic: []string{"(repro/internal/jobs.Store).Put"},
+				Blocks:  "unbuffered send on done (jobs.go:42)",
+				Acquires: []string{
+					"repro/internal/jobs.Manager.mu",
+				},
+				Edges: []LockEdge{
+					{While: "repro/internal/jobs.Manager.mu", Takes: "repro/internal/lru.Cache.mu", Posn: "jobs.go:77"},
+				},
+				HeldCalls: []HeldCall{
+					{Callee: "(*repro/internal/lru.Cache).Get", While: []string{"repro/internal/jobs.Manager.mu"}, Posn: "jobs.go:80"},
+				},
+				Allocs: []AllocSite{
+					{Posn: "jobs.go:12", What: "make of a slice"},
+				},
+			},
+			"repro/internal/jobs.validate": {},
+		},
+	}
+	data, err := pf.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	if !reflect.DeepEqual(pf, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", pf, got)
+	}
+	// Encoding is deterministic: same input, same bytes.
+	again, err := pf.Encode()
+	if err != nil {
+		t.Fatalf("Encode again: %v", err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("Encode is not deterministic:\n%s\n%s", data, again)
+	}
+}
+
+func TestFactStoreAddFile(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "facts.json")
+	pf := &PackageFacts{Path: "p", Funcs: map[string]*FuncSummary{"p.f": {Blocks: "stuck"}}}
+	data, err := pf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewFactStore()
+	if err := s.AddFile(full); err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if err := s.AddFile(empty); err != nil {
+		t.Fatalf("AddFile(empty): %v", err)
+	}
+	if s.Func("p.f") == nil || s.Func("p.f").Blocks != "stuck" {
+		t.Errorf("Func(p.f) = %+v, want Blocks=stuck", s.Func("p.f"))
+	}
+	if got := s.Paths(); !reflect.DeepEqual(got, []string{"p"}) {
+		t.Errorf("Paths = %v, want [p]", got)
+	}
+}
+
+func TestBlocksReason(t *testing.T) {
+	s := NewFactStore()
+	s.Add(&PackageFacts{Path: "p", Funcs: map[string]*FuncSummary{
+		"p.direct": {Blocks: "unbuffered send on ch (p.go:3)"},
+		"p.relay":  {Calls: []string{"p.middle"}},
+		"p.middle": {Calls: []string{"p.direct"}},
+		"p.clean":  {Calls: []string{"p.unknown", "p.leaf"}},
+		"p.leaf":   {},
+	}})
+
+	if got := s.BlocksReason("p.direct"); got != "unbuffered send on ch (p.go:3)" {
+		t.Errorf("direct: %q", got)
+	}
+	want := "via p.middle → p.direct: unbuffered send on ch (p.go:3)"
+	if got := s.BlocksReason("p.relay"); got != want {
+		t.Errorf("relay: %q, want %q", got, want)
+	}
+	// Unknown callees are assumed not to block.
+	if got := s.BlocksReason("p.clean"); got != "" {
+		t.Errorf("clean: %q, want empty", got)
+	}
+	if got := s.BlocksReason("p.missing"); got != "" {
+		t.Errorf("missing: %q, want empty", got)
+	}
+}
+
+func TestTransitiveAcquires(t *testing.T) {
+	s := NewFactStore()
+	s.Add(&PackageFacts{Path: "p", Funcs: map[string]*FuncSummary{
+		"p.outer": {Acquires: []string{"p.B.mu"}, Calls: []string{"p.inner", "p.outer"}},
+		"p.inner": {Acquires: []string{"p.A.mu"}},
+	}})
+	got := s.TransitiveAcquires("p.outer")
+	want := []string{"p.A.mu", "p.B.mu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TransitiveAcquires = %v, want %v", got, want)
+	}
+}
+
+func TestAllEdges(t *testing.T) {
+	s := NewFactStore()
+	s.Add(&PackageFacts{Path: "p", Funcs: map[string]*FuncSummary{
+		"p.direct": {Edges: []LockEdge{{While: "p.A.mu", Takes: "p.B.mu", Posn: "p.go:5"}}},
+		"p.held": {HeldCalls: []HeldCall{
+			{Callee: "q.Get", While: []string{"p.A.mu"}, Posn: "p.go:9"},
+		}},
+	}})
+	s.Add(&PackageFacts{Path: "q", Funcs: map[string]*FuncSummary{
+		// q.Get re-acquires p.A.mu (skipped: takes == while) and q.C.mu
+		// (expanded into an indirect edge).
+		"q.Get": {Acquires: []string{"p.A.mu", "q.C.mu"}},
+	}})
+
+	edges := s.AllEdges()
+	var rendered []string
+	for _, e := range edges {
+		r := e.Func + ": " + e.While + "->" + e.Takes
+		if e.Via != "" {
+			r += " via " + e.Via
+		}
+		rendered = append(rendered, r)
+	}
+	want := []string{
+		"p.direct: p.A.mu->p.B.mu",
+		"p.held: p.A.mu->q.C.mu via q.Get",
+	}
+	if !reflect.DeepEqual(rendered, want) {
+		t.Errorf("AllEdges = %v, want %v", rendered, want)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	s := NewFactStore()
+	s.Add(&PackageFacts{Path: "p", Funcs: map[string]*FuncSummary{
+		"p.main":        {Calls: []string{"p.helper"}, Starts: []string{"p.worker"}, Dynamic: []string{"(p.Store).Put"}},
+		"p.helper":      {},
+		"p.worker":      {Calls: []string{"p.deep"}},
+		"p.deep":        {},
+		"(*p.Mem).Put":  {Calls: []string{"p.deep"}},
+		"(*p.Disk).Put": {},
+		"(*p.Mem).Get":  {},
+	}})
+	g := s.CallGraph()
+
+	got := g.Callees("p.main")
+	want := []string{"(*p.Disk).Put", "(*p.Mem).Put", "p.helper", "p.worker"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Callees = %v, want %v", got, want)
+	}
+	if g.Callees("p.unknown") != nil {
+		t.Errorf("Callees(unknown) should be nil")
+	}
+
+	// p.main -> p.worker -> p.deep, and also p.main -> (*p.Mem).Put -> p.deep.
+	if !g.Reaches("p.main", "p.deep", 0) {
+		t.Errorf("main should reach deep unbounded")
+	}
+	if g.Reaches("p.main", "p.deep", 1) {
+		t.Errorf("main should not reach deep within 1 edge")
+	}
+	if !g.Reaches("p.main", "p.deep", 2) {
+		t.Errorf("main should reach deep within 2 edges")
+	}
+	if g.Reaches("p.helper", "p.main", 0) {
+		t.Errorf("helper must not reach main")
+	}
+	if !g.Reaches("p.main", "p.main", 0) {
+		t.Errorf("a function trivially reaches itself")
+	}
+}
+
+func TestSortForFacts(t *testing.T) {
+	a := &Package{ImportPath: "m/a"}
+	b := &Package{ImportPath: "m/b", Imports: []string{"m/a", "fmt"}}
+	c := &Package{ImportPath: "m/c", Imports: []string{"m/b"}}
+	got := SortForFacts([]*Package{c, b, a})
+	var order []string
+	for _, p := range got {
+		order = append(order, p.ImportPath)
+	}
+	want := []string{"m/a", "m/b", "m/c"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("SortForFacts = %v, want %v", order, want)
+	}
+}
+
+// parseOnly builds a Package with syntax but no type information — enough
+// for the comment-level machinery (directives, exemptions).
+func parseOnly(t *testing.T, name, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCheckDirectives(t *testing.T) {
+	src := `package p
+
+//lint:deterministic-package
+
+//lint:goroutinleak-exempt the analyzer name is misspelled
+func a() {}
+
+//lint:made-up-analyzer no such analyzer
+func b() {}
+
+//lint:
+func c() {}
+
+func d() {} //lint:allochot-exempt fine, known
+`
+	pkg := parseOnly(t, "p.go", src)
+	known := map[string]bool{
+		"deterministic-package": true,
+		"goroutineleak-exempt":  true,
+		"allochot-exempt":       true,
+	}
+	diags := CheckDirectives(pkg, known)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	if want := `unknown //lint:goroutinleak-exempt directive (did you mean "goroutineleak-exempt"?)`; diags[0].Message != want {
+		t.Errorf("diag 0 = %q, want %q", diags[0].Message, want)
+	}
+	if !strings.HasPrefix(diags[1].Message, "unknown //lint:made-up-analyzer directive") {
+		t.Errorf("diag 1 = %q", diags[1].Message)
+	}
+	if want := "empty //lint: directive"; diags[2].Message != want {
+		t.Errorf("diag 2 = %q, want %q", diags[2].Message, want)
+	}
+	for _, d := range diags {
+		if d.Analyzer != DirectiveAnalyzerName {
+			t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, DirectiveAnalyzerName)
+		}
+	}
+}
+
+// fakeAnalyzer reports on every function whose name starts with "bad" —
+// a minimal subject for exercising the exemption machinery.
+var fakeAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "flags functions named bad*",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					p.Reportf(fd.Pos(), "bad function")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestExemptionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // expected diagnostic messages, in order
+	}{
+		{
+			name: "line-above exemption",
+			src:  "package p\n\n//lint:fake-exempt known issue\nfunc badA() {}\n",
+			want: nil,
+		},
+		{
+			name: "same-line exemption",
+			src:  "package p\n\nfunc badB() {} //lint:fake-exempt acknowledged\n",
+			want: nil,
+		},
+		{
+			name: "crlf line endings",
+			src:  "package p\r\n\r\n//lint:fake-exempt reason survives the carriage return\r\nfunc badC() {}\r\n",
+			want: nil,
+		},
+		{
+			name: "bare directive is itself diagnosed",
+			src:  "package p\n\n//lint:fake-exempt\nfunc badD() {}\n",
+			want: []string{
+				"bare //lint:fake-exempt directive: a reason is required for the exemption to apply",
+				"bad function",
+			},
+		},
+		{
+			name: "bare directive under crlf",
+			src:  "package p\r\n\r\n//lint:fake-exempt\r\nfunc badE() {}\r\n",
+			want: []string{
+				"bare //lint:fake-exempt directive: a reason is required for the exemption to apply",
+				"bad function",
+			},
+		},
+		{
+			name: "wrong analyzer's directive does not exempt",
+			src:  "package p\n\n//lint:other-exempt not for fake\nfunc badF() {}\n",
+			want: []string{"bad function"},
+		},
+		{
+			name: "two lines above is out of range",
+			src:  "package p\n\n//lint:fake-exempt too far away\n\nfunc badG() {}\n",
+			want: []string{"bad function"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := parseOnly(t, "p.go", tc.src)
+			diags, err := RunAnalyzer(fakeAnalyzer, pkg)
+			if err != nil {
+				t.Fatalf("RunAnalyzer: %v", err)
+			}
+			var msgs []string
+			for _, d := range diags {
+				msgs = append(msgs, d.Message)
+			}
+			if !reflect.DeepEqual(msgs, tc.want) {
+				t.Errorf("diagnostics = %v, want %v", msgs, tc.want)
+			}
+		})
+	}
+}

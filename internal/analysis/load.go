@@ -37,6 +37,11 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
+	// Imports lists the package's direct imports (post-vendor-resolution
+	// import paths). Drivers use it to order fact computation so a
+	// package's dependencies are summarized first.
+	Imports []string
+
 	// TypeErrors holds soft type-checking errors. Analyzers still run on
 	// a package with type errors, but drivers should surface them.
 	TypeErrors []error
@@ -51,6 +56,7 @@ type listPackage struct {
 	Export     string
 	Standard   bool
 	DepOnly    bool
+	Imports    []string
 	ImportMap  map[string]string
 	Error      *struct{ Err string }
 }
@@ -59,7 +65,7 @@ type listPackage struct {
 // decodes the package stream.
 func goList(dir string, patterns []string) ([]*listPackage, error) {
 	args := []string{"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,ImportMap,Error"}
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Imports,ImportMap,Error"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -199,8 +205,43 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Packa
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Imports:    lp.Imports,
 		TypeErrors: softErrs,
 	}, nil
+}
+
+// SortForFacts orders packages so every package follows its in-set
+// dependencies (topological by Imports), letting a driver compute facts in
+// one forward scan. Load's -deps listing is already close to this order;
+// the sort makes it a guarantee and is deterministic for equal ranks.
+func SortForFacts(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return // cycle guard / done
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
 }
 
 // StdExports builds an import path → export data file index for the given

@@ -1,0 +1,677 @@
+// Fact computation: ComputeFacts walks one type-checked package and
+// produces the local FuncSummary for every function. Everything here is
+// strictly intra-procedural — transitive questions are answered later by
+// FactStore queries over many packages' summaries.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// ComputeFacts summarizes every function of the package. Functions whose
+// summary would be empty are omitted, keeping serialized facts small.
+func ComputeFacts(pkg *Package) *PackageFacts {
+	pf := &PackageFacts{Path: pkg.ImportPath, Funcs: map[string]*FuncSummary{}}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := summarize(pkg, fd)
+			if !sum.empty() {
+				pf.Funcs[obj.FullName()] = sum
+			}
+		}
+	}
+	return pf
+}
+
+func (s *FuncSummary) empty() bool {
+	return len(s.Calls) == 0 && len(s.Starts) == 0 && len(s.Dynamic) == 0 &&
+		s.Blocks == "" && len(s.Acquires) == 0 && len(s.Edges) == 0 &&
+		len(s.HeldCalls) == 0 && len(s.Allocs) == 0
+}
+
+// summarize builds one function's summary.
+func summarize(pkg *Package, fd *ast.FuncDecl) *FuncSummary {
+	sum := &FuncSummary{}
+	collectCalls(pkg, fd.Body, sum)
+	chans := ChanMakes(pkg.Info, fd.Body)
+	if pos, desc := FirstBlockingChanOp(pkg.Info, fd.Body, chans); pos.IsValid() {
+		sum.Blocks = fmt.Sprintf("%s (%s)", desc, shortPosn(pkg.Fset, pos))
+	}
+	lf := FuncLockFacts(pkg.Info, fd)
+	sum.Acquires = lf.Acquires
+	for _, e := range lf.Edges {
+		sum.Edges = append(sum.Edges, LockEdge{
+			While: e.While, Takes: e.Takes, Posn: shortPosn(pkg.Fset, e.Pos),
+		})
+	}
+	for _, hc := range lf.HeldCalls {
+		sum.HeldCalls = append(sum.HeldCalls, HeldCall{
+			Callee: hc.Callee, While: hc.While, Posn: shortPosn(pkg.Fset, hc.Pos),
+		})
+	}
+	sum.Allocs = allocSites(pkg, fd.Body)
+	return sum
+}
+
+// shortPosn renders a position as "base.go:line" — stable across checkouts,
+// unlike the absolute filename, so facts serialize reproducibly.
+func shortPosn(fset *token.FileSet, pos token.Pos) string {
+	posn := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+}
+
+// collectCalls fills Calls, Starts, and Dynamic from every call expression
+// in the body, including those inside closures (a closure's calls are
+// conservatively attributed to the enclosing function).
+func collectCalls(pkg *Package, body *ast.BlockStmt, sum *FuncSummary) {
+	calls := map[string]bool{}
+	starts := map[string]bool{}
+	dynamic := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if fn := CalleeObj(pkg.Info, n.Call); fn != nil {
+				starts[fn.FullName()] = true
+			}
+		case *ast.CallExpr:
+			fn := CalleeObj(pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sn := pkg.Info.Selections[sel]; sn != nil && types.IsInterface(sn.Recv()) {
+					dynamic[fn.FullName()] = true
+					return true
+				}
+			}
+			calls[fn.FullName()] = true
+		}
+		return true
+	})
+	sum.Calls = sortedKeys(calls)
+	sum.Starts = sortedKeys(starts)
+	sum.Dynamic = sortedKeys(dynamic)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChanMakes maps every channel object created by a make call under root to
+// whether it is buffered (constant capacity ≥ 1). Channels made with a
+// non-constant capacity are treated as buffered: the programmer sized them
+// deliberately.
+func ChanMakes(info *types.Info, root ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "make") {
+				continue
+			}
+			if _, isChan := info.Types[call.Args[0]].Type.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			buffered := false
+			if len(call.Args) >= 2 {
+				buffered = true
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+					if v, exact := constantInt(tv); exact && v < 1 {
+						buffered = false
+					}
+				}
+			}
+			out[obj] = buffered
+		}
+		return true
+	})
+	return out
+}
+
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// FirstBlockingChanOp returns the first send or receive under root that can
+// block forever: a channel operation outside any select statement on a
+// channel that chans proves definitely unbuffered. Receives via range are
+// exempt (they terminate when the channel is closed), as is anything inside
+// a select (the select's other arms are the cancellation path). Operations
+// on channels of unknown provenance (parameters, struct fields) are not
+// reported — blocking there is the channel owner's property, not this
+// function's.
+func FirstBlockingChanOp(info *types.Info, root ast.Node, chans map[types.Object]bool) (token.Pos, string) {
+	var pos token.Pos
+	var desc string
+	var walk func(n ast.Node, inSelect bool)
+	walk = func(n ast.Node, inSelect bool) {
+		if n == nil || pos.IsValid() {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				cc := clause.(*ast.CommClause)
+				for _, s := range cc.Body {
+					walk(s, false)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			if name, bad := unbufferedLocal(info, n.Chan, chans); bad && !inSelect {
+				pos, desc = n.Arrow, fmt.Sprintf("unbuffered send on %s", name)
+				return
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if name, bad := unbufferedLocal(info, n.X, chans); bad && !inSelect {
+					pos, desc = n.OpPos, fmt.Sprintf("unbuffered receive from %s", name)
+					return
+				}
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || c == nil || pos.IsValid() {
+				return c == n
+			}
+			switch c.(type) {
+			case *ast.SelectStmt, *ast.SendStmt, *ast.UnaryExpr, *ast.FuncLit:
+				if _, isLit := c.(*ast.FuncLit); isLit {
+					// A closure's channel behavior belongs to whoever runs
+					// it; the go-statement analysis handles launches.
+					return false
+				}
+				walk(c, inSelect)
+				return false
+			}
+			return true
+		})
+	}
+	walk(root, false)
+	return pos, desc
+}
+
+// unbufferedLocal reports whether expr denotes a channel proven unbuffered
+// by the makes map, returning its name.
+func unbufferedLocal(info *types.Info, expr ast.Expr, chans map[types.Object]bool) (string, bool) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return "", false
+	}
+	buffered, known := chans[obj]
+	return id.Name, known && !buffered
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// A PosLockEdge is an acquired-while-holding pair with its in-package
+// source position (the serialized LockEdge form keeps only a rendered
+// Posn string).
+type PosLockEdge struct {
+	While string
+	Takes string
+	Pos   token.Pos
+}
+
+// A PosHeldCall is a static call under held locks, with position.
+type PosHeldCall struct {
+	Callee string
+	While  []string
+	Pos    token.Pos
+}
+
+// LockFacts is one function's positioned lock behavior; analyzers that
+// report in the analyzed package use it directly, ComputeFacts stringifies
+// it for serialization.
+type LockFacts struct {
+	Acquires  []string
+	Edges     []PosLockEdge
+	HeldCalls []PosHeldCall
+}
+
+// FuncLockFacts computes the positioned lock facts of one function.
+func FuncLockFacts(info *types.Info, fd *ast.FuncDecl) *LockFacts {
+	lf := &LockFacts{}
+	if fd.Body == nil {
+		return lf
+	}
+	lw := &lockWalker{info: info, lf: lf, seenEdge: map[string]bool{}, seenHeld: map[string]bool{}}
+	lw.block(fd.Body.List, nil)
+	sort.Strings(lf.Acquires)
+	return lf
+}
+
+// lockWalker performs a statement-ordered walk tracking held locks (by
+// canonical key) and recording acquisitions, direct edges, and calls made
+// while holding. Branch bodies run on a copy of the held set, so
+// conditionally acquired locks do not leak into the fall-through path —
+// the same conservative shape as the lockguard analyzer.
+type lockWalker struct {
+	info     *types.Info
+	lf       *LockFacts
+	seenEdge map[string]bool
+	seenHeld map[string]bool
+}
+
+// block walks stmts with the given held set and returns the held set after
+// the last statement.
+func (w *lockWalker) block(stmts []ast.Stmt, held []string) []string {
+	for _, s := range stmts {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held []string) []string {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op := LockRef(w.info, call); op != "" {
+				switch op {
+				case "lock":
+					if key != "" {
+						w.acquire(key, held, call.Pos())
+						return append(append([]string(nil), held...), key)
+					}
+				case "unlock":
+					return removeKey(held, key)
+				}
+				return held
+			}
+		}
+		w.leafCalls(s, held)
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which the
+		// remaining statement walk models by simply not releasing it. Other
+		// deferred work runs at return, outside this walk's order.
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs without the launcher's locks.
+		return held
+	case *ast.BlockStmt:
+		w.block(s.List, append([]string(nil), held...))
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.leafCalls(s.Cond, held)
+		w.block(s.Body.List, append([]string(nil), held...))
+		if s.Else != nil {
+			w.stmt(s.Else, append([]string(nil), held...))
+		}
+		return held
+	case *ast.ForStmt:
+		w.block(s.Body.List, append([]string(nil), held...))
+		return held
+	case *ast.RangeStmt:
+		w.block(s.Body.List, append([]string(nil), held...))
+		return held
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CaseClause).Body, append([]string(nil), held...))
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CaseClause).Body, append([]string(nil), held...))
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CommClause).Body, append([]string(nil), held...))
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	default:
+		w.leafCalls(s, held)
+		return held
+	}
+}
+
+// acquire records an acquisition of key while held locks are active.
+func (w *lockWalker) acquire(key string, held []string, pos token.Pos) {
+	found := false
+	for _, a := range w.lf.Acquires {
+		if a == key {
+			found = true
+			break
+		}
+	}
+	if !found {
+		w.lf.Acquires = append(w.lf.Acquires, key)
+	}
+	for _, h := range held {
+		if h == key {
+			continue
+		}
+		ek := h + "→" + key
+		if w.seenEdge[ek] {
+			continue
+		}
+		w.seenEdge[ek] = true
+		w.lf.Edges = append(w.lf.Edges, PosLockEdge{While: h, Takes: key, Pos: pos})
+	}
+}
+
+// leafCalls records static calls inside a leaf statement or expression made
+// while locks are held. Closure bodies are skipped: they run later, with
+// whatever locks their caller holds then.
+func (w *lockWalker) leafCalls(n ast.Node, held []string) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, op := LockRef(w.info, call); op != "" {
+			return true
+		}
+		fn := CalleeObj(w.info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		name := fn.FullName()
+		hk := fmt.Sprintf("%s@%d", name, call.Pos())
+		if w.seenHeld[hk] {
+			return true
+		}
+		w.seenHeld[hk] = true
+		w.lf.HeldCalls = append(w.lf.HeldCalls, PosHeldCall{
+			Callee: name,
+			While:  append([]string(nil), held...),
+			Pos:    call.Pos(),
+		})
+		return true
+	})
+}
+
+func removeKey(held []string, key string) []string {
+	if key == "" {
+		if len(held) == 0 {
+			return held
+		}
+		return held[:len(held)-1] // unkeyable unlock: drop the innermost
+	}
+	out := held[:0:0]
+	for _, h := range held {
+		if h != key {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// LockRef classifies a call as a mutex acquisition ("lock") or release
+// ("unlock") on a canonical, instance-insensitive lock key:
+//
+//	pkg.Type.field  — mutex field of a named type
+//	pkg.Type        — mutex embedded in a named type
+//	pkg.var         — package-level mutex variable
+//
+// Locks on local variables or otherwise unkeyable receivers return the
+// matching op with an empty key. Non-mutex calls return op "". RLock and
+// RUnlock map to the same key as Lock/Unlock: lock-order cycles do not
+// care about read/write mode.
+func LockRef(info *types.Info, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return lockKeyOf(info, sel.X), op
+}
+
+// lockKeyOf derives the canonical key for the expression a mutex method is
+// selected from.
+func lockKeyOf(info *types.Info, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// pkgname.Var → package-level var; base.field → typed field.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + x.Sel.Name
+			}
+		}
+		if named := namedOf(info.Types[x.X].Type); named != nil {
+			return typeKey(named) + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// Local variable of a named type with an embedded or direct mutex:
+		// key by the type when it is a named struct (the lock is shared by
+		// every instance-path that reaches it); bare local sync.Mutex
+		// values have no cross-function identity.
+		if named := namedOf(obj.Type()); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() != "sync" {
+			return typeKey(named)
+		}
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// allocSites records heap allocations on ordinary paths: make of
+// reference types, slice/map composite literals, &T{} literals, closures,
+// new, fmt formatting calls, and appends to function-local slices. Blocks
+// that terminate in panic are skipped — allocation on the way to a crash
+// is free — as are closure bodies, whose allocations belong to the
+// closure's own executions.
+func allocSites(pkg *Package, body *ast.BlockStmt) []AllocSite {
+	var sites []AllocSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, AllocSite{Posn: shortPosn(pkg.Fset, pos), What: what})
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.BlockStmt:
+				if c != n && TerminatesInPanic(c) {
+					return false
+				}
+			case *ast.CaseClause:
+				if StmtsTerminateInPanic(c.Body) {
+					return false
+				}
+			case *ast.CommClause:
+				if StmtsTerminateInPanic(c.Body) {
+					return false
+				}
+			case *ast.FuncLit:
+				add(c.Pos(), "closure literal")
+				return false
+			case *ast.CompositeLit:
+				switch pkg.Info.Types[c].Type.Underlying().(type) {
+				case *types.Slice:
+					add(c.Pos(), "slice literal")
+				case *types.Map:
+					add(c.Pos(), "map literal")
+				}
+			case *ast.UnaryExpr:
+				if c.Op == token.AND {
+					if _, ok := ast.Unparen(c.X).(*ast.CompositeLit); ok {
+						add(c.Pos(), "&composite literal")
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if IsPanicCall(c) {
+					return false // arguments only materialize on the crash path
+				}
+				if w := AllocCall(pkg.Info, c, body); w != "" {
+					add(c.Pos(), w)
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return sites
+}
+
+// AllocCall describes the allocation a call performs, or "" for none:
+// make of a reference type, new, fmt formatting (argument boxing), or
+// append to a slice declared inside scope.
+func AllocCall(info *types.Info, call *ast.CallExpr, scope ast.Node) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				switch info.Types[call.Args[0]].Type.Underlying().(type) {
+				case *types.Slice:
+					return "make of a slice"
+				case *types.Map:
+					return "make of a map"
+				case *types.Chan:
+					return "make of a channel"
+				}
+			case "new":
+				return "new"
+			case "append":
+				if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					obj := info.Uses[arg]
+					if obj == nil {
+						obj = info.Defs[arg]
+					}
+					if obj != nil && scope != nil &&
+						obj.Pos() >= scope.Pos() && obj.Pos() < scope.End() {
+						return "append to slice " + arg.Name + " declared in this scope"
+					}
+				}
+			}
+			return ""
+		}
+	}
+	if fn := CalleeObj(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf", "Printf", "Print", "Println",
+			"Fprintf", "Fprint", "Fprintln":
+			return "fmt." + fn.Name() + " call (allocates and boxes its arguments)"
+		}
+	}
+	return ""
+}
+
+// TerminatesInPanic reports whether a block's final statement is a call to
+// the panic builtin: such blocks are failure paths, not hot paths.
+func TerminatesInPanic(b *ast.BlockStmt) bool {
+	return StmtsTerminateInPanic(b.List)
+}
+
+// StmtsTerminateInPanic is TerminatesInPanic over a bare statement list —
+// switch and select clause bodies are not *ast.BlockStmt.
+func StmtsTerminateInPanic(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	expr, ok := stmts[len(stmts)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	return ok && IsPanicCall(call)
+}
+
+// IsPanicCall reports whether a call invokes the panic builtin.
+func IsPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

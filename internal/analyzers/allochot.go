@@ -1,0 +1,167 @@
+// The allochot analyzer: the static front end of the BenchmarkMC
+// optimization work (ROADMAP item 2). In the declared hot packages a
+// per-iteration allocation inside a shot or gate loop multiplies by
+// shots × gates; this analyzer finds them before anyone reaches for a
+// profiler, including allocations hiding one call down.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AllocHot flags per-iteration heap allocations in hot-package loops.
+var AllocHot = &analysis.Analyzer{
+	Name: "allochot",
+	Doc: `no per-iteration heap allocation in hot-package loops
+
+Applies to the declared hot packages (internal/qsim, internal/mc,
+internal/swapins, internal/schedule, or any package carrying a
+//lint:hot-package comment). Inside every loop it flags:
+
+  - make of a slice, map, or channel
+  - slice, map, and &composite literals
+  - closure literals
+  - new
+  - append to a slice declared inside the loop (an accumulator declared
+    outside the loop grows amortized and is fine)
+  - fmt formatting calls (they allocate and box their arguments)
+  - calls to functions whose summaries record allocations on ordinary
+    paths — one call deep, through dependency facts
+
+Paths that exit the loop — a block ending in return, break, or panic —
+are skipped: their allocations happen at most once per loop execution,
+not per iteration. Hoist the allocation, reuse a scratch buffer, or
+exempt the line with a reason (e.g. the value escapes into a result).`,
+	Run: runAllocHot,
+}
+
+func runAllocHot(pass *analysis.Pass) error {
+	if !isHotPackage(pass) {
+		return nil
+	}
+	// Own-package summaries let the one-call-deep rule see sibling
+	// helpers even when the driver supplied no facts.
+	own := analysis.ComputeFacts(&analysis.Package{
+		ImportPath: pass.Pkg.Path(),
+		Fset:       pass.Fset,
+		Files:      pass.Files,
+		Types:      pass.Pkg,
+		Info:       pass.TypesInfo,
+	})
+	combined := analysis.NewFactStore()
+	combined.Merge(pass.Facts)
+	combined.Add(own)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					checkAllocLoop(pass, combined, n.Body)
+				case *ast.RangeStmt:
+					checkAllocLoop(pass, combined, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkAllocLoop reports allocations in one loop body. Nested loops are not
+// descended into here — the outer Inspect visits them separately, so each
+// allocation is reported exactly once, against its innermost loop.
+func checkAllocLoop(pass *analysis.Pass, facts *analysis.FactStore, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.BlockStmt:
+			if n != body && exitsLoop(n.List) {
+				return false
+			}
+		case *ast.CaseClause:
+			if exitsLoop(n.Body) {
+				return false
+			}
+		case *ast.CommClause:
+			if exitsLoop(n.Body) {
+				return false
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocated per loop iteration; hoist it or restructure without a capture")
+			return false
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocated per loop iteration; hoist it outside the loop")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocated per loop iteration; hoist it outside the loop")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocated per loop iteration; hoist or reuse a value")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if analysis.IsPanicCall(n) {
+				return false // arguments only materialize on the crash path
+			}
+			checkHotCall(pass, facts, n, body)
+		}
+		return true
+	})
+}
+
+// exitsLoop reports whether a statement list ends by leaving the loop —
+// return, break, goto, or panic — so anything it allocates happens at most
+// once per loop execution, not per iteration.
+func exitsLoop(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.GOTO
+	default:
+		return analysis.StmtsTerminateInPanic(stmts)
+	}
+}
+
+// checkHotCall classifies one call inside a hot loop.
+func checkHotCall(pass *analysis.Pass, facts *analysis.FactStore, call *ast.CallExpr, loop *ast.BlockStmt) {
+	// Direct allocation by the call itself (make/new/append/fmt). The
+	// append rule scopes "fresh slice" to the loop body: appending to an
+	// accumulator declared outside amortizes and is clean.
+	if what := analysis.AllocCall(pass.TypesInfo, call, loop); what != "" {
+		pass.Reportf(call.Pos(), "%s per loop iteration; hoist the allocation out of the loop", what)
+		return
+	}
+	// One call deep via summaries.
+	fn := analysis.CalleeObj(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sum := facts.Func(fn.FullName())
+	if sum == nil || len(sum.Allocs) == 0 {
+		return
+	}
+	first := sum.Allocs[0]
+	extra := ""
+	if n := len(sum.Allocs); n > 1 {
+		extra = " and more"
+	}
+	pass.Reportf(call.Pos(), "call to %s allocates per loop iteration: %s at %s%s; hoist a scratch buffer or exempt with the reason the allocation must stay", fn.Name(), first.What, first.Posn, extra)
+}

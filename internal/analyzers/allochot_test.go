@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestAllocHot(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.AllocHot,
+		"allochot/flagged",
+		"allochot/clean",
+		"allochot/cold",
+	)
+}

@@ -1,9 +1,14 @@
-// Package analyzers holds the linqvet suite: five repro-specific invariant
-// checkers built on internal/analysis. Each encodes a guarantee the repo's
-// tests can only spot-check — Monte-Carlo bit-determinism, context
-// discipline, metrics hygiene, lock discipline, and sentinel-error
-// comparison — as a machine-checked rule that runs over every package on
-// every CI build (cmd/linqvet).
+// Package analyzers holds the linqvet suite: eight repro-specific
+// invariant checkers built on internal/analysis. Each encodes a guarantee
+// the repo's tests can only spot-check — Monte-Carlo bit-determinism,
+// context discipline, metrics hygiene, lock discipline, sentinel-error
+// comparison, goroutine exit paths, global lock ordering, and hot-loop
+// allocation discipline — as a machine-checked rule that runs over every
+// package on every CI build (cmd/linqvet).
+//
+// The last three (goroutineleak, lockorder, allochot) are interprocedural:
+// they consult dependency function summaries from pass.Facts when a driver
+// supplies them, and degrade to single-package precision when it does not.
 package analyzers
 
 import (
@@ -20,7 +25,25 @@ func All() []*analysis.Analyzer {
 		MetricLint,
 		LockGuard,
 		ErrCmp,
+		GoroutineLeak,
+		LockOrder,
+		AllocHot,
 	}
+}
+
+// KnownDirectives returns every //lint: directive name the suite
+// recognizes: each analyzer's exemption directive plus the package-marker
+// directives. Drivers use it to diagnose exemptions naming analyzers that
+// do not exist (analysis.CheckDirectives).
+func KnownDirectives() map[string]bool {
+	known := map[string]bool{
+		"deterministic-package": true,
+		"hot-package":           true,
+	}
+	for _, a := range All() {
+		known[a.Directive()] = true
+	}
+	return known
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -56,14 +79,36 @@ const deterministicDirective = analysis.DirectivePrefix + "deterministic-package
 // declared-deterministic set, either by import path or by carrying a
 // //lint:deterministic-package comment in any file.
 func isDeterministicPackage(pass *analysis.Pass) bool {
-	if deterministicPkgs[pass.Pkg.Path()] {
-		return true
-	}
+	return deterministicPkgs[pass.Pkg.Path()] ||
+		hasPackageDirective(pass, deterministicDirective)
+}
+
+// hotPkgs are the packages on the per-shot / per-gate critical path, where
+// a single stray allocation multiplies by shots × gates (ROADMAP item 2's
+// BenchmarkMC target). The allochot analyzer applies here.
+var hotPkgs = map[string]bool{
+	"repro/internal/qsim":     true,
+	"repro/internal/mc":       true,
+	"repro/internal/swapins":  true,
+	"repro/internal/schedule": true,
+}
+
+// hotDirective lets a package declare itself hot in source, mirroring
+// deterministicDirective.
+const hotDirective = analysis.DirectivePrefix + "hot-package"
+
+// isHotPackage reports whether the pass's package is in the declared hot
+// set, by import path or //lint:hot-package comment.
+func isHotPackage(pass *analysis.Pass) bool {
+	return hotPkgs[pass.Pkg.Path()] || hasPackageDirective(pass, hotDirective)
+}
+
+func hasPackageDirective(pass *analysis.Pass, directive string) bool {
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if c.Text == deterministicDirective ||
-					strings.HasPrefix(c.Text, deterministicDirective+" ") {
+				if c.Text == directive ||
+					strings.HasPrefix(c.Text, directive+" ") {
 					return true
 				}
 			}

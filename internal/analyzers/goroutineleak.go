@@ -1,0 +1,164 @@
+// The goroutineleak analyzer: every goroutine must have a provable exit
+// path. A goroutine that blocks forever pins its stack, its captures, and
+// — under a drain-based shutdown like linqd's — the whole process.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// GoroutineLeak checks that every go statement launches work that can
+// terminate.
+var GoroutineLeak = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc: `goroutines must have a provable exit path
+
+Flags go statements whose body can block forever with no cancellation arm:
+
+  - a send or receive on a definitely-unbuffered channel outside any
+    select (a receive via range is fine: it ends when the channel closes)
+  - the same, one or more calls deep, through dependency function
+    summaries (pass facts)
+  - sync.WaitGroup.Wait inside a goroutine: the waiter leaks if any
+    counted goroutine never reaches Done
+  - an infinite for-loop with no exit touchpoint (no return, break,
+    select, channel receive, or context use)
+
+Also flags time.After inside any loop: each iteration allocates and
+starts a fresh runtime timer, so a poll loop churns timers for its whole
+life — hoist one time.NewTimer and Reset it instead.`,
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *analysis.Pass) error {
+	seen := map[token.Pos]bool{} // dedupes timer reports across nested loops
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Channel provenance is resolved against the whole enclosing
+			// function, so a goroutine sending on a channel the launcher
+			// made buffered is recognized as safe.
+			chans := analysis.ChanMakes(pass.TypesInfo, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					checkGoStmt(pass, n, chans)
+				case *ast.ForStmt:
+					checkTimerChurn(pass, n.Body, seen)
+				case *ast.RangeStmt:
+					checkTimerChurn(pass, n.Body, seen)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGoStmt applies the exit-path rules to one go statement.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt, chans map[types.Object]bool) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go f(...): judge f by its (transitive) summary.
+		if fn := analysis.CalleeObj(pass.TypesInfo, g.Call); fn != nil {
+			if reason := pass.Facts.BlocksReason(fn.FullName()); reason != "" {
+				pass.Reportf(g.Pos(), "goroutine running %s may block forever: %s; add a cancellation arm or buffer the channel", fn.Name(), reason)
+			}
+		}
+		return
+	}
+
+	// Direct channel ops in the goroutine body.
+	if pos, desc := analysis.FirstBlockingChanOp(pass.TypesInfo, lit.Body, chans); pos.IsValid() {
+		pass.Reportf(pos, "goroutine may block forever: %s and no cancellation arm; select on ctx.Done() or buffer the channel", desc)
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit // nested closures run on their own terms
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(pass.TypesInfo, n) {
+				pass.Reportf(n.Pos(), "goroutine runs an infinite loop with no exit path: no return, break, select, channel receive, or context use")
+				return false
+			}
+		case *ast.CallExpr:
+			fn := analysis.CalleeObj(pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			if fn.FullName() == "(*sync.WaitGroup).Wait" {
+				pass.Reportf(n.Pos(), "goroutine blocks on WaitGroup.Wait: it leaks if any counted goroutine never reaches Done")
+				return true
+			}
+			if reason := pass.Facts.BlocksReason(fn.FullName()); reason != "" {
+				pass.Reportf(n.Pos(), "goroutine calls %s, which may block forever: %s", fn.Name(), reason)
+			}
+		}
+		return true
+	})
+}
+
+// loopHasExit reports whether an infinite for-loop contains anything that
+// can end it or park it in a cancellable way: return, break, select, a
+// channel receive (send is not an exit: a pump with no consumer left still
+// hangs), a range over a channel, or any use of a context.Context value.
+func loopHasExit(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.Types[n.X].Type.Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && analysis.IsContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkTimerChurn flags time.After calls inside loop bodies. Reports are
+// deduplicated by position: nested loops would otherwise report the same
+// call once per enclosing level.
+func checkTimerChurn(pass *analysis.Pass, body *ast.BlockStmt, seen map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := analysis.IsPkgFunc(pass.TypesInfo, call, "time"); ok && name == "After" && !seen[call.Pos()] {
+			seen[call.Pos()] = true
+			pass.Reportf(call.Pos(), "time.After in a loop allocates and starts a new timer every iteration; hoist a time.NewTimer outside the loop and Reset it")
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.GoroutineLeak,
+		"goroutineleak/flagged",
+		"goroutineleak/clean",
+	)
+}

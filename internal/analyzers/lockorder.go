@@ -1,0 +1,139 @@
+// The lockorder analyzer: a global view of mutex acquisition order.
+// lockguard polices what happens while one lock is held inside one
+// function; lockorder lifts the same held-lock tracking into
+// acquired-while-holding edges over canonical, instance-insensitive lock
+// keys, merges the edges of every package with facts, and checks the
+// resulting graph.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// LockOrder checks the cross-package lock graph.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `lock acquisition order must be acyclic and cross-package edges acknowledged
+
+Builds acquires-while-holding edges over canonical lock keys
+(pkg.Type.field, pkg.Type for an embedded mutex, pkg.var), including
+edges discovered through static calls via dependency function summaries,
+and reports:
+
+  - any cycle in the global lock graph, with both witness paths
+  - any edge that crosses a package boundary: holding one package's lock
+    while acquiring another's is a deadlock waiting for a second such
+    edge in the opposite order, so each must be acknowledged with a
+    //lint:lockorder-exempt comment stating the intended hierarchy`,
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	// Combine dependency facts with this package's own summaries so
+	// transitive acquisitions resolve whether or not the driver already
+	// added the analyzed package to the store.
+	own := analysis.ComputeFacts(&analysis.Package{
+		ImportPath: pass.Pkg.Path(),
+		Fset:       pass.Fset,
+		Files:      pass.Files,
+		Types:      pass.Pkg,
+		Info:       pass.TypesInfo,
+	})
+	combined := analysis.NewFactStore()
+	combined.Merge(pass.Facts)
+	combined.Add(own)
+
+	// Global adjacency for cycle search: every edge every summary exports.
+	adj := map[string][]analysis.ObservedEdge{}
+	for _, e := range combined.AllEdges() {
+		adj[e.While] = append(adj[e.While], e)
+	}
+
+	// Re-walk this package's functions for positioned edges to report on.
+	seen := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lf := analysis.FuncLockFacts(pass.TypesInfo, fd)
+			var edges []analysis.PosLockEdge
+			edges = append(edges, lf.Edges...)
+			for _, hc := range lf.HeldCalls {
+				for _, takes := range combined.TransitiveAcquires(hc.Callee) {
+					for _, while := range hc.While {
+						if takes != while {
+							edges = append(edges, analysis.PosLockEdge{While: while, Takes: takes, Pos: hc.Pos})
+						}
+					}
+				}
+			}
+			for _, e := range edges {
+				key := e.While + "→" + e.Takes
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if path := witnessPath(adj, e.Takes, e.While); path != "" {
+					pass.Reportf(e.Pos, "lock order cycle: %s acquired while %s is held here, but elsewhere %s", e.Takes, e.While, path)
+					continue
+				}
+				if wp, tp := lockKeyPkg(e.While), lockKeyPkg(e.Takes); wp != tp {
+					pass.Reportf(e.Pos, "cross-package lock edge: %s acquired while %s is held; state the intended lock hierarchy with a //lint:lockorder-exempt comment", e.Takes, e.While)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// witnessPath searches the global edge graph for a path from lock `from`
+// back to lock `to` and renders it as the counter-witness of a cycle, or
+// returns "" if none exists.
+func witnessPath(adj map[string][]analysis.ObservedEdge, from, to string) string {
+	type node struct {
+		lock string
+		via  []analysis.ObservedEdge
+	}
+	seen := map[string]bool{from: true}
+	queue := []node{{lock: from}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[n.lock] {
+			via := append(append([]analysis.ObservedEdge(nil), n.via...), e)
+			if e.Takes == to {
+				var parts []string
+				for _, step := range via {
+					where := step.Func
+					if step.Posn != "" {
+						where += " at " + step.Posn
+					}
+					parts = append(parts, fmt.Sprintf("%s is acquired while %s is held (%s)", step.Takes, step.While, where))
+				}
+				return strings.Join(parts, ", and ")
+			}
+			if !seen[e.Takes] {
+				seen[e.Takes] = true
+				queue = append(queue, node{lock: e.Takes, via: via})
+			}
+		}
+	}
+	return ""
+}
+
+// lockKeyPkg extracts the package path from a canonical lock key: the
+// prefix up to the first dot after the last slash ("repro/internal/jobs"
+// from "repro/internal/jobs.Manager.mu").
+func lockKeyPkg(key string) string {
+	start := strings.LastIndex(key, "/") + 1
+	if i := strings.Index(key[start:], "."); i >= 0 {
+		return key[:start+i]
+	}
+	return key
+}

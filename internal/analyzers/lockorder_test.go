@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.LockOrder,
+		"lockorder/flagged",
+		"lockorder/clean",
+	)
+}

@@ -1,0 +1,59 @@
+// Package clean holds the allocation shapes allochot must accept in a hot
+// package: hoisted scratch, amortized accumulators, and reasoned
+// exemptions for results that must escape.
+package clean
+
+//lint:hot-package
+
+import "allochot/dep"
+
+// The scratch buffer is hoisted and reused.
+func hoisted(n int) float64 {
+	buf := make([]float64, 8)
+	var total float64
+	for i := 0; i < n; i++ {
+		buf[0] = float64(i)
+		total += buf[0]
+	}
+	return total
+}
+
+// Appending to an accumulator declared outside the loop grows amortized.
+func accumulate(rows [][]int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Calls that allocate nothing are fine at any depth.
+func reduce(rows [][]float64) float64 {
+	var total float64
+	for _, r := range rows {
+		total += dep.Sum(r)
+	}
+	return total
+}
+
+// Each result must escape: the allocation is the point, and the exemption
+// says so.
+func escapes(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		qs := make([]int, 2) //lint:allochot-exempt each entry keeps its own slice; the allocation is the result
+		qs[0], qs[1] = i, i+1
+		out = append(out, qs)
+	}
+	return out
+}
+
+// An array literal lives on the stack.
+func stackOnly(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		v := [3]int{i, i + 1, i + 2}
+		t += v[0]
+	}
+	return t
+}

@@ -1,0 +1,12 @@
+// Package cold is not a hot package — no hot import path, no
+// //lint:hot-package marker — so allochot does not apply at all.
+package cold
+
+// setup allocates per iteration, and that is fine here.
+func setup(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, n))
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package dep provides allocating and non-allocating helpers; dependents
+// see only their serialized summaries.
+package dep
+
+// NewBuf allocates its result on every call.
+func NewBuf(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Sum allocates nothing.
+func Sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

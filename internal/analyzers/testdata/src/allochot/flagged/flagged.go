@@ -1,0 +1,109 @@
+// Package flagged exercises every allochot diagnostic. The package is not
+// one of the repo's hot import paths, so it declares itself hot.
+package flagged
+
+//lint:hot-package
+
+import (
+	"fmt"
+
+	"allochot/dep"
+)
+
+// A make per iteration is the canonical hot-loop mistake.
+func perGate(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 8) // want `make of a slice per loop iteration`
+		total += buf[0]
+	}
+	return total
+}
+
+// A slice literal allocates like a make, and appending to a slice born
+// inside the loop re-allocates its backing array every iteration.
+func growInner(rows [][]int) int {
+	n := 0
+	for _, r := range rows {
+		tmp := []int{}          // want `slice literal allocated per loop iteration`
+		tmp = append(tmp, r...) // want `append to slice tmp declared in this scope`
+		n += len(tmp)
+	}
+	return n
+}
+
+// Map literals, &composite literals, and closures all heap-allocate.
+func labels(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		m := map[string]int{k: 1} // want `map literal allocated per loop iteration`
+		n += m[k]
+	}
+	return n
+}
+
+type point struct{ x int }
+
+func boxes(n int) []*point {
+	var out []*point
+	for i := 0; i < n; i++ {
+		out = append(out, &point{x: i}) // want `&composite literal allocated per loop iteration`
+	}
+	return out
+}
+
+func callbacks(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		f := func() int { return x } // want `closure literal allocated per loop iteration`
+		n += f()
+	}
+	return n
+}
+
+// fmt formatting boxes its arguments into interfaces.
+func format(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		s := fmt.Sprintf("%d", x) // want `fmt.Sprintf call`
+		n += len(s)
+	}
+	return n
+}
+
+// One call deep, same package: newRow's summary records the make.
+func scratchLocal(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += dep.Sum(newRow(8)) // want `call to newRow allocates per loop iteration: make of a slice`
+	}
+	return total
+}
+
+func newRow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// One call deep, cross package: dep.NewBuf's allocation arrives purely
+// through serialized facts.
+func scratchDep(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		buf := dep.NewBuf(8) // want `call to NewBuf allocates per loop iteration: make of a slice`
+		total += buf[0]
+	}
+	return total
+}
+
+// Allocation on a panic path costs nothing: the block is skipped.
+func checked(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if x < 0 {
+			msg := fmt.Sprintf("negative input %d", x)
+			panic(msg)
+		}
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+// Package clean holds goroutine shapes with provable exit paths; none may
+// be flagged.
+package clean
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"goroutineleak/dep"
+)
+
+// Buffered by the launcher: the send completes regardless of the reader.
+func buffered() <-chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return ch
+}
+
+// A select with a cancellation arm can always be released.
+func cancellable(ctx context.Context, out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// Range over a channel ends when the channel closes.
+func drain(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// An infinite loop with a select is parked, not leaked.
+func looper(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// Wait outside any goroutine is ordinary synchronization.
+func join(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// The hoisted-timer shape goroutineleak asks poll loops to adopt.
+func poll(stop chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// A static launch of a function whose summary shows it terminates.
+func launch() {
+	go dep.Drain()
+}
+
+// A deliberate forever-parked goroutine, acknowledged with a reason.
+func monitor() {
+	go func() {
+		ch := make(chan int)
+		<-ch //lint:goroutineleak-exempt process-lifetime monitor parked forever by design
+	}()
+}

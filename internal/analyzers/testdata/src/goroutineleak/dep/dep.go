@@ -1,0 +1,23 @@
+// Package dep provides blocking and clean functions for cross-package
+// fact-flow tests: the analyzed packages never see this source, only the
+// serialized summaries computed from it.
+package dep
+
+// Pump blocks forever: it sends on a definitely-unbuffered local channel
+// that nothing ever receives from.
+func Pump() {
+	ch := make(chan int)
+	ch <- 1
+}
+
+// Relay blocks one call down: its own body is innocuous.
+func Relay() {
+	Pump()
+}
+
+// Drain terminates: the channel is buffered.
+func Drain() {
+	ch := make(chan int, 4)
+	ch <- 1
+	close(ch)
+}

@@ -1,0 +1,90 @@
+// Package flagged exercises every goroutineleak diagnostic.
+package flagged
+
+import (
+	"sync"
+	"time"
+
+	"goroutineleak/dep"
+)
+
+// An unbuffered send with no cancellation arm: if the caller abandons the
+// result channel, the goroutine is pinned forever.
+func pump() <-chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42 // want `goroutine may block forever: unbuffered send on ch`
+	}()
+	return ch
+}
+
+// An unbuffered receive is just as stuck as an unbuffered send.
+func sink(done func()) {
+	ready := make(chan struct{})
+	go func() {
+		<-ready // want `goroutine may block forever: unbuffered receive from ready`
+		done()
+	}()
+}
+
+// WaitGroup.Wait inside a goroutine leaks if any counted goroutine never
+// reaches Done.
+func waiter(wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait() // want `goroutine blocks on WaitGroup.Wait`
+	}()
+}
+
+// An infinite loop with no exit touchpoint.
+func spin() {
+	go func() {
+		n := 0
+		for { // want `infinite loop with no exit path`
+			n++
+		}
+	}()
+}
+
+// time.After in a poll loop allocates and starts a fresh timer per
+// iteration.
+func poll(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want `time.After in a loop`
+		}
+	}
+}
+
+// A static go f() is judged by f's own summary.
+func launchLocal() {
+	go blockingSend() // want `goroutine running blockingSend may block forever: unbuffered send`
+}
+
+func blockingSend() {
+	ch := make(chan int)
+	ch <- 1
+}
+
+// The block may be any number of calls down; the report names the chain.
+func launchRelay() {
+	go relay() // want `goroutine running relay may block forever: via`
+}
+
+func relay() {
+	blockingSend()
+}
+
+// Cross-package: dep.Pump's behavior arrives purely through serialized
+// facts — this package never sees dep's syntax.
+func launchDep() {
+	go dep.Pump() // want `goroutine running Pump may block forever: unbuffered send`
+}
+
+// A blocking call from inside a goroutine body is flagged at the call.
+func launchIndirect() {
+	go func() {
+		dep.Relay() // want `goroutine calls Relay, which may block forever: via`
+	}()
+}

@@ -1,0 +1,14 @@
+// This file must be ignored by the analysistest loader (and by the real
+// drivers, which analyze GoFiles only): it leaks flagrantly, carries an
+// unknown directive, and declares no want expectations. If any diagnostic
+// ever surfaces from here, test-file exclusion has regressed.
+package flagged
+
+//lint:not-a-real-analyzer-exempt never diagnosed because test files are skipped
+
+func leakyTestHelper() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+}

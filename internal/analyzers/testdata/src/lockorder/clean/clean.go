@@ -1,0 +1,49 @@
+// Package clean holds lock usage lockorder must accept: a consistent
+// order, sequential acquisition, and an acknowledged cross-package edge.
+package clean
+
+import (
+	"sync"
+
+	"lockorder/dep"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// A consistent order everywhere — always a before b — is acyclic.
+func first(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func second(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Sequential acquisition creates no edge at all.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+type Manager struct {
+	mu    sync.Mutex
+	cache *dep.Cache
+}
+
+// The cross-package edge exists but the hierarchy is stated, which is
+// exactly what the analyzer asks for.
+func (m *Manager) get(k string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Get(k) //lint:lockorder-exempt Manager.mu is the outer lock; Cache.mu is a leaf never held across calls
+}

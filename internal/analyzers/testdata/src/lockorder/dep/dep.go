@@ -1,0 +1,19 @@
+// Package dep provides a cache guarded by its own lock; dependents see it
+// only through serialized function summaries.
+package dep
+
+import "sync"
+
+// Cache is a stand-in for internal/lru: a leaf data structure with an
+// internal mutex.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Get acquires the cache lock.
+func (c *Cache) Get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}

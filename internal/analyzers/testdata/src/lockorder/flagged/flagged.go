@@ -1,0 +1,43 @@
+// Package flagged exercises the lockorder diagnostics: an in-package lock
+// cycle reported with both witness paths, and an unacknowledged
+// cross-package edge discovered through dependency facts.
+package flagged
+
+import (
+	"sync"
+
+	"lockorder/dep"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab and ba together form a cycle: each report carries the opposite
+// function's acquisition as the counter-witness.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle: lockorder/flagged.B.mu acquired while lockorder/flagged.A.mu is held here, but elsewhere`
+	defer b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle: lockorder/flagged.A.mu acquired while lockorder/flagged.B.mu is held here, but elsewhere`
+	defer a.mu.Unlock()
+}
+
+// Manager holds its own lock while calling into dep: the acquisition of
+// dep's lock is visible only through dep.(*Cache).Get's summary.
+type Manager struct {
+	mu    sync.Mutex
+	cache *dep.Cache
+}
+
+func (m *Manager) get(k string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Get(k) // want `cross-package lock edge: lockorder/dep.Cache.mu acquired while lockorder/flagged.Manager.mu is held`
+}
