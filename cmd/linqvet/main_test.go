@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -12,9 +15,51 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "ctxflow", "metriclint", "lockguard", "errcmp"} {
+	for _, name := range []string{
+		"determinism", "ctxflow", "metriclint", "lockguard", "errcmp",
+		"goroutineleak", "lockorder", "allochot",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestListMatchesREADME keeps the README analyzer table in sync with the
+// suite: every analyzer -list prints must have a row in the table, and every
+// table row must name a real analyzer. Adding an analyzer without documenting
+// it (or documenting one that was removed) fails here.
+func TestListMatchesREADME(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errOut.String())
+	}
+	listed := make(map[string]bool)
+	for _, line := range strings.Split(out.String(), "\n") {
+		if f := strings.Fields(line); len(f) > 0 {
+			listed[f[0]] = true
+		}
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	// Analyzer rows look like: | `name` | scope | intra/inter | example |
+	rowRE := regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+	documented := make(map[string]bool)
+	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
+		documented[m[1]] = true
+	}
+
+	for name := range listed {
+		if !documented[name] {
+			t.Errorf("analyzer %s is in -list but has no row in the README table", name)
+		}
+	}
+	for name := range documented {
+		if !listed[name] {
+			t.Errorf("README table documents %s but -list does not know it", name)
 		}
 	}
 }
