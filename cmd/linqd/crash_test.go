@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer guards the subprocess output: exec's pipe-copier goroutine
+// writes it while the test reads it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// proc is a real linqd subprocess — the only way to test kill -9: the
+// in-process harness can't die abruptly without taking the test down too.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+	out  lockedBuffer
+}
+
+// buildLinqd compiles the daemon binary once per test run.
+func buildLinqd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "linqd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startProc launches the binary and waits until it serves.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	p := &proc{cmd: exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)...)}
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			p.base = "http://" + string(b)
+			return p
+		}
+		if p.cmd.ProcessState != nil {
+			t.Fatalf("linqd exited before serving:\n%s", p.out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("linqd never wrote its address file:\n%s", p.out.String())
+	return nil
+}
+
+// kill9 sends SIGKILL — no drain, no deferred Close, nothing.
+func (p *proc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+// api performs one authenticated JSON request against the subprocess.
+func (p *proc) api(t *testing.T, method, path, key string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, p.base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q", method, path, raw)
+		}
+	}
+	return resp.StatusCode, decoded
+}
+
+// pollResult polls until the job is terminal and returns (state, raw result
+// field bytes) — the byte-identity currency of the crash test.
+func (p *proc) pollResult(t *testing.T, id, key string) (string, []byte) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := p.api(t, http.MethodGet, "/v1/jobs/"+id, key, nil)
+		if code != http.StatusOK {
+			t.Fatalf("status poll %s: HTTP %d: %v", id, code, body)
+		}
+		var state string
+		if err := json.Unmarshal(body["state"], &state); err != nil {
+			t.Fatal(err)
+		}
+		if state == "done" || state == "failed" || state == "cancelled" {
+			code, body := p.api(t, http.MethodGet, "/v1/jobs/"+id+"/result", key, nil)
+			if code != http.StatusOK {
+				t.Fatalf("result fetch %s: HTTP %d: %v", id, code, body)
+			}
+			return state, body["result"]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return "", nil
+}
+
+func (p *proc) submit(t *testing.T, key, backend string, width int) string {
+	t.Helper()
+	code, body := p.api(t, http.MethodPost, "/v1/jobs", key, map[string]any{
+		"backend": backend, "qasm": ghzQASM(width),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit GHZ(%d) on %s: HTTP %d: %v", width, backend, code, body)
+	}
+	var id string
+	if err := json.Unmarshal(body["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestKill9CrashRecovery is the acceptance scenario for the journal: a real
+// linqd process with two tenants takes a load of jobs, dies on SIGKILL
+// mid-load, and a restart over the same -journal-dir finishes every
+// accepted job — with results byte-identical to what an uninterrupted
+// daemon produces.
+func TestKill9CrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real subprocess")
+	}
+	bin := buildLinqd(t)
+
+	dir := t.TempDir()
+	journalDir := filepath.Join(dir, "journal")
+	tenantsFile := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(tenantsFile, []byte(`{"tenants": [
+		{"id": "alice", "key": "key-alice", "weight": 2},
+		{"id": "bob", "key": "key-bob"}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	daemonArgs := []string{"-journal-dir", journalDir, "-tenants", tenantsFile, "-workers", "1"}
+
+	p1 := startProc(t, bin, daemonArgs...)
+
+	// Phase 1 — jobs that finish before the crash. IdealTI results carry no
+	// wall-clock fields, so byte-identity across runs is exact.
+	preKill := map[string][]byte{} // id -> result bytes served before the crash
+	owner := map[string]string{}   // id -> API key that owns it
+	for _, width := range []int{6, 7} {
+		id := p1.submit(t, "key-alice", "IdealTI", width)
+		state, res := p1.pollResult(t, id, "key-alice")
+		if state != "done" {
+			t.Fatalf("pre-crash job %s finished %s", id, state)
+		}
+		preKill[id] = res
+		owner[id] = "key-alice"
+	}
+
+	// Phase 2 — load up the single worker so the kill lands mid-load: a
+	// burst of TILT compiles with IdealTI jobs queued behind them.
+	var pending []string
+	for _, width := range []int{20, 21, 22, 23, 24, 25} {
+		id := p1.submit(t, "key-bob", "TILT", width)
+		pending = append(pending, id)
+		owner[id] = "key-bob"
+	}
+	widthOf := map[string]int{}
+	for _, width := range []int{10, 11} {
+		id := p1.submit(t, "key-bob", "IdealTI", width)
+		pending = append(pending, id)
+		owner[id] = "key-bob"
+		widthOf[id] = width
+	}
+
+	p1.kill9(t)
+
+	// Restart over the same journal. Every accepted job must come back:
+	// finished ones with their stored bytes, pending ones re-queued/re-run.
+	p2 := startProc(t, bin, daemonArgs...)
+	if out := p2.out.String(); !strings.Contains(out, "recovered") {
+		t.Errorf("restart did not report a journal recovery:\n%s", out)
+	}
+
+	// Auth survives the restart: no key, no service.
+	if code, _ := p2.api(t, http.MethodPost, "/v1/jobs", "", map[string]any{"backend": "TILT", "qasm": ghzQASM(4)}); code != http.StatusUnauthorized {
+		t.Errorf("post-restart unauthenticated submit: HTTP %d, want 401", code)
+	}
+
+	for id, want := range preKill {
+		state, got := p2.pollResult(t, id, owner[id])
+		if state != "done" {
+			t.Errorf("recovered job %s state %s, want done", id, state)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("job %s result changed across the crash:\n before %s\n after  %s", id, want, got)
+		}
+	}
+	results := map[string][]byte{}
+	for _, id := range pending {
+		state, res := p2.pollResult(t, id, owner[id])
+		if state != "done" {
+			t.Errorf("pending job %s after restart: state %s, want done", id, state)
+		}
+		results[id] = res
+	}
+
+	// Byte-identity against an uninterrupted run: a fresh journal-less
+	// daemon executes the same IdealTI circuits; the recovered daemon must
+	// serve identical result bytes for them.
+	ref := startProc(t, bin, "-workers", "1")
+	for id, width := range widthOf {
+		refID := ref.submit(t, "", "IdealTI", width)
+		state, want := ref.pollResult(t, refID, "")
+		if state != "done" {
+			t.Fatalf("reference job for GHZ(%d) finished %s", width, state)
+		}
+		if !bytes.Equal(results[id], want) {
+			t.Errorf("GHZ(%d) re-run after crash diverged from uninterrupted run:\n crash  %s\n fresh  %s",
+				width, results[id], want)
+		}
+	}
+
+	// The journal metric families are live on the restarted daemon.
+	resp, err := http.Get(p2.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"linq_journal_appends_total", "linq_journal_replayed_total", "linq_journal_segments"} {
+		if !strings.Contains(string(expo), family) {
+			t.Errorf("metrics exposition missing %s", family)
+		}
+	}
+
+	// Graceful shutdown of the recovered daemon drains cleanly.
+	p2.cmd.Process.Signal(os.Interrupt)
+	done := make(chan error, 1)
+	go func() { done <- p2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("recovered daemon exit: %v\n%s", err, p2.out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Error("recovered daemon did not drain after SIGINT")
+	}
+	if out := p2.out.String(); !strings.Contains(out, "drained:") {
+		t.Errorf("no drain report from recovered daemon:\n%s", out)
+	}
+}

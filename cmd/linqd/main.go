@@ -6,11 +6,20 @@
 // content fingerprint, so a thundering herd of identical submissions costs
 // one compile.
 //
+// With -journal-dir the daemon keeps a write-ahead journal of every job:
+// submissions are fsynced to disk before the 202 is sent, and a restart
+// (even after kill -9) replays the journal — queued jobs re-queue,
+// in-flight jobs re-run, finished results survive byte for byte. With
+// -tenants the daemon is multi-tenant: API-key auth on the job routes,
+// per-tenant quotas and rate limits (429 + Retry-After), weighted-fair
+// scheduling, and per-tenant metric labels.
+//
 // Usage:
 //
 //	linqd                              # serve on 127.0.0.1:8080
 //	linqd -addr 127.0.0.1:0 -addr-file /tmp/linqd.addr
 //	linqd -head 32 -workers 4 -cache 256 -shots 2000
+//	linqd -journal-dir /var/lib/linqd -tenants tenants.json
 //
 // Endpoints:
 //
@@ -43,7 +52,9 @@ import (
 
 	tilt "repro"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/linqhttp"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -77,6 +88,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		shots    = fs.Int("shots", 0, "Monte-Carlo cross-check shots on TILT (0 = analytic only)")
 		drain    = fs.Duration("drain", 30*time.Second, "max time to drain jobs on shutdown")
 		version  = fs.Bool("version", false, "print the build version and exit")
+
+		journalDir = fs.String("journal-dir", "", "write-ahead job journal directory (empty = in-memory only)")
+		journalSeg = fs.Int64("journal-segment-bytes", 0, "journal segment rotation size (0 = default 4MiB)")
+		journalNoF = fs.Bool("journal-nosync", false, "skip the per-append fsync (faster, loses the power-failure guarantee)")
+		tenantsCfg = fs.String("tenants", "", "tenants JSON config; turns on API-key auth, quotas, and rate limits")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,16 +111,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *shots > 0 {
 		tiltOpts = append(tiltOpts, tilt.WithShots(*shots))
 	}
+	mgrOpts := []jobs.Option{jobs.WithStoreSize(*store), jobs.WithMetrics(reg)}
+	srvOpts := []linqhttp.ServerOption{}
+	if *tenantsCfg != "" {
+		treg, err := tenant.LoadFile(*tenantsCfg)
+		if err != nil {
+			return err
+		}
+		mgrOpts = append(mgrOpts, jobs.WithTenants(treg))
+		srvOpts = append(srvOpts, linqhttp.WithTenantAuth(treg))
+		fmt.Fprintf(out, "linqd: serving %d tenants from %s\n", len(treg.IDs()), *tenantsCfg)
+	}
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		jopts := []journal.Option{journal.WithMetrics(reg)}
+		if *journalSeg > 0 {
+			jopts = append(jopts, journal.WithSegmentBytes(*journalSeg))
+		}
+		if *journalNoF {
+			jopts = append(jopts, journal.WithoutSync())
+		}
+		var err error
+		if jnl, err = journal.Open(*journalDir, jopts...); err != nil {
+			return err
+		}
+		defer jnl.Close()
+		mgrOpts = append(mgrOpts, jobs.WithJournal(jnl))
+	}
 	mgr, err := jobs.New([]jobs.Pool{
 		{Name: "TILT", Backend: tilt.NewTILT(tiltOpts...), Workers: *workers},
 		{Name: "QCCD", Backend: tilt.NewQCCD(common...), Workers: *workers},
 		{Name: "IdealTI", Backend: tilt.NewIdealTI(common...), Workers: *workers},
-	}, jobs.WithStoreSize(*store), jobs.WithMetrics(reg))
+	}, mgrOpts...)
 	if err != nil {
-		return err
+		return err // the deferred jnl.Close releases the journal
+	}
+	if jnl != nil {
+		rc := mgr.Recovery()
+		fmt.Fprintf(out, "linqd: journal %s: recovered %d terminal, %d requeued, %d rerun, %d expired, %d unrecoverable\n",
+			*journalDir, rc.Terminal, rc.Requeued, rc.Rerun, rc.Expired, rc.Unrecoverable)
 	}
 
-	srv := linqhttp.NewServer(mgr, reg)
+	srv := linqhttp.NewServer(mgr, reg, srvOpts...)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -264,10 +264,10 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 		t.Errorf("linq_compiles_total = %v, want %d (duplicates must share one compile)", got, distinct)
 	}
 	for series, want := range map[string]float64{
-		`linq_jobs_submitted_total{backend="TILT"}`:             float64(total),
-		`linq_jobs_finished_total{backend="TILT",state="done"}`: float64(total),
-		`linq_jobs_queued{backend="TILT"}`:                      0,
-		`linq_jobs_running{backend="TILT"}`:                     0,
+		`linq_jobs_submitted_total{backend="TILT",tenant="anonymous"}`:             float64(total),
+		`linq_jobs_finished_total{backend="TILT",state="done",tenant="anonymous"}`: float64(total),
+		`linq_jobs_queued{backend="TILT",tenant="anonymous"}`:                      0,
+		`linq_jobs_running{backend="TILT",tenant="anonymous"}`:                     0,
 	} {
 		if got := metricValue(t, string(expo), series); got != want {
 			t.Errorf("%s = %v, want %v", series, got, want)

@@ -17,21 +17,34 @@
 // Shutdown stops intake and drains: every accepted job still reaches a
 // terminal state before Shutdown returns (or is cancelled when the drain
 // context expires first).
+//
+// With a write-ahead journal attached (WithJournal), every state
+// transition is journaled before it is acknowledged and New replays the
+// journal: jobs that were queued at crash time re-queue, jobs that were in
+// flight re-run (deduplicated by fingerprint as usual), and terminal
+// results survive byte for byte. With a tenant registry attached
+// (WithTenants), submissions are owned by tenants: per-tenant queue
+// quotas gate admission, per-tenant in-flight caps gate dispatch, and the
+// priority heap schedules weighted-fair across tenants within a priority.
 package jobs
 
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	tilt "repro"
+	"repro/internal/journal"
 	"repro/internal/lru"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/runner"
 )
 
@@ -67,6 +80,9 @@ var (
 	ErrTTLExpired = errors.New("jobs: TTL expired before the job started")
 	// ErrTerminal: Cancel was called on a job that already finished.
 	ErrTerminal = errors.New("jobs: job already in a terminal state")
+	// ErrQuotaExceeded: the tenant's queued-job quota is full; retry after
+	// some of its jobs drain (HTTP 429).
+	ErrQuotaExceeded = errors.New("jobs: tenant queue quota exceeded")
 )
 
 // ErrClosed is the manager's shut-down error.
@@ -94,12 +110,16 @@ type Request struct {
 	// Circuit is the logical circuit to compile and simulate. The manager
 	// holds a reference until the job finishes; callers must not mutate it.
 	Circuit *tilt.Circuit
-	// Priority orders the queue: higher runs earlier (FIFO within a
-	// priority). Zero is the default priority.
+	// Priority orders the queue: higher runs earlier (weighted-fair, then
+	// FIFO, within a priority). Zero is the default priority.
 	Priority int
 	// TTL bounds the queue wait: a job still queued TTL after submission
 	// fails with ErrTTLExpired instead of running. Zero means no bound.
 	TTL time.Duration
+	// Tenant is the owning tenant's ID (empty for unauthenticated
+	// deployments). It scopes quotas, weighted-fair scheduling, listing,
+	// and the per-tenant metric labels.
+	Tenant string
 }
 
 // Job is an immutable snapshot of one submission's lifecycle, returned by
@@ -108,6 +128,7 @@ type Job struct {
 	ID       string
 	Name     string
 	Backend  string
+	Tenant   string
 	State    State
 	Priority int
 	// Deduped reports that this submission attached to an in-flight
@@ -130,6 +151,7 @@ type jobState struct {
 	id        string
 	name      string
 	backend   string
+	tenant    string
 	priority  int
 	deduped   bool
 	submitted time.Time
@@ -153,9 +175,26 @@ type execution struct {
 	priority int                  // max over subscribers, fixed FIFO seq below
 	seq      uint64
 	index    int // heap index, -1 once popped or removed
+	// tenant is the first subscriber's tenant: the execution's owner for
+	// weighted-fair scheduling and the in-flight cap. vtime is its
+	// weighted-fair finish tag — within a priority the heap pops the
+	// smallest vtime, so a weight-w tenant's executions advance the
+	// virtual clock by 1/w each and it receives ~w times the slots of a
+	// weight-1 tenant under contention.
+	tenant string
+	vtime  float64
 
 	state   State // StateQueued or StateRunning
 	started time.Time
+}
+
+// tenantState is the manager's per-tenant runtime: live job counts for
+// quotas and gauges, and the weighted-fair virtual-time cursor.
+type tenantState struct {
+	queued       int     // jobs in StateQueued
+	running      int     // jobs in StateRunning
+	runningExecs int     // executions running owned by this tenant
+	vtime        float64 // finish tag of the tenant's last queued execution
 }
 
 // pool is the runtime of one Pool declaration.
@@ -165,6 +204,7 @@ type pool struct {
 	backend tilt.Backend
 	workers int
 	q       execQueue
+	vnow    float64    // weighted-fair virtual clock: vtime of the last pop
 	cond    *sync.Cond // waits on Manager.mu for queue or shutdown activity
 }
 
@@ -177,14 +217,40 @@ type Manager struct {
 	inflight map[string]*execution
 	store    *lru.Cache[string, Job] // terminal snapshots, bounded
 	waiters  map[string][]chan Job   // Wait callers, by job ID
+	tenants  map[string]*tenantState // lazily created per tenant ID
 	seq      uint64
 	closed   bool
 	wg       sync.WaitGroup
 
+	jnl        *journal.Journal // nil = in-memory only
+	treg       *tenant.Registry // nil = no quotas, all weights 1
 	runnerOpts []runner.Option
 	mx         *instruments
-	stats      Stats // cumulative lifecycle counts, guarded by mu
+	stats      Stats    // cumulative lifecycle counts, guarded by mu
+	recovery   Recovery // journal-replay outcome, fixed after New
 }
+
+// Recovery summarizes what New rebuilt from the journal.
+type Recovery struct {
+	// Requeued jobs were queued at crash time and queue again.
+	Requeued int `json:"requeued"`
+	// Rerun jobs were in flight at crash time; their results were lost,
+	// so they queue again and re-execute.
+	Rerun int `json:"rerun"`
+	// Terminal jobs finished before the crash; their snapshots (results
+	// included, byte for byte) went straight to the result store.
+	Terminal int `json:"terminal"`
+	// Expired jobs outlived their queue TTL during the outage and were
+	// finalized as failed instead of re-queued.
+	Expired int `json:"expired"`
+	// Unrecoverable jobs could not be rebuilt (unparseable circuit, or a
+	// backend pool this process no longer serves) and were finalized as
+	// failed.
+	Unrecoverable int `json:"unrecoverable"`
+}
+
+// Recovery returns the journal-replay summary (zero without a journal).
+func (m *Manager) Recovery() Recovery { return m.recovery }
 
 // Stats is a consistent snapshot of the manager's lifecycle counters: the
 // cumulative totals plus the current queue and running depths.
@@ -220,6 +286,28 @@ type Option func(*managerConfig)
 type managerConfig struct {
 	storeSize int
 	metrics   *metrics.Registry
+	journal   *journal.Journal
+	tenants   *tenant.Registry
+}
+
+// WithJournal attaches a write-ahead journal: every state transition is
+// journaled (submissions durably, before Submit returns), and New replays
+// the journal's surviving records — re-queueing queued jobs, re-running
+// in-flight ones, restoring terminal snapshots — then checkpoints the
+// survivors so the journal restarts compact. The manager owns the
+// journal's write path from here on; the caller still closes it after
+// Shutdown.
+func WithJournal(j *journal.Journal) Option {
+	return func(c *managerConfig) { c.journal = j }
+}
+
+// WithTenants attaches the tenant registry: per-tenant queued-job quotas
+// gate Submit (ErrQuotaExceeded), per-tenant in-flight caps gate worker
+// dispatch, and the registry's weights drive weighted-fair scheduling
+// within each priority. Without it every job schedules at weight 1 with
+// no quotas.
+func WithTenants(r *tenant.Registry) Option {
+	return func(c *managerConfig) { c.tenants = r }
 }
 
 // WithStoreSize bounds the completed-job result store to n entries
@@ -237,37 +325,57 @@ func WithMetrics(r *tilt.MetricsRegistry) Option {
 	return func(c *managerConfig) { c.metrics = r }
 }
 
-// instruments holds the manager's pre-resolved metric handles.
+// instruments holds the manager's pre-resolved metric handles. Every
+// family carries the owning tenant ("anonymous" for unauthenticated
+// submissions), so a scrape separates the fleet's tenants without a
+// second registry.
 type instruments struct {
-	submitted *metrics.CounterVec   // linq_jobs_submitted_total{backend}
-	deduped   *metrics.CounterVec   // linq_jobs_deduped_total{backend}
-	finished  *metrics.CounterVec   // linq_jobs_finished_total{backend,state}
-	expired   *metrics.CounterVec   // linq_jobs_ttl_expired_total{backend}
-	queued    *metrics.GaugeVec     // linq_jobs_queued{backend}
-	running   *metrics.GaugeVec     // linq_jobs_running{backend}
-	queueSec  *metrics.HistogramVec // linq_job_queue_seconds{backend}
-	runSec    *metrics.HistogramVec // linq_job_run_seconds{backend}
+	submitted *metrics.CounterVec   // linq_jobs_submitted_total{backend,tenant}
+	deduped   *metrics.CounterVec   // linq_jobs_deduped_total{backend,tenant}
+	finished  *metrics.CounterVec   // linq_jobs_finished_total{backend,state,tenant}
+	expired   *metrics.CounterVec   // linq_jobs_ttl_expired_total{backend,tenant}
+	queued    *metrics.GaugeVec     // linq_jobs_queued{backend,tenant}
+	running   *metrics.GaugeVec     // linq_jobs_running{backend,tenant}
+	queueSec  *metrics.HistogramVec // linq_job_queue_seconds{backend,tenant}
+	runSec    *metrics.HistogramVec // linq_job_run_seconds{backend,tenant}
+	rejected  *metrics.CounterVec   // linq_tenant_rejected_total{tenant,reason}
+	replayed  *metrics.CounterVec   // linq_jobs_replayed_total{backend,outcome}
 }
 
 func newInstruments(r *metrics.Registry) *instruments {
 	return &instruments{
 		submitted: r.CounterVec("linq_jobs_submitted_total",
-			"Jobs accepted by Submit.", "backend"),
+			"Jobs accepted by Submit.", "backend", "tenant"),
 		deduped: r.CounterVec("linq_jobs_deduped_total",
-			"Submissions that attached to an in-flight identical circuit.", "backend"),
+			"Submissions that attached to an in-flight identical circuit.", "backend", "tenant"),
 		finished: r.CounterVec("linq_jobs_finished_total",
-			"Jobs reaching a terminal state, by outcome.", "backend", "state"),
+			"Jobs reaching a terminal state, by outcome.", "backend", "state", "tenant"),
 		expired: r.CounterVec("linq_jobs_ttl_expired_total",
-			"Jobs that timed out in the queue.", "backend"),
+			"Jobs that timed out in the queue.", "backend", "tenant"),
 		queued: r.GaugeVec("linq_jobs_queued",
-			"Jobs currently waiting in the queue.", "backend"),
+			"Jobs currently waiting in the queue.", "backend", "tenant"),
 		running: r.GaugeVec("linq_jobs_running",
-			"Jobs currently executing.", "backend"),
+			"Jobs currently executing.", "backend", "tenant"),
 		queueSec: r.HistogramVec("linq_job_queue_seconds",
-			"Queue wait from submission to execution start.", nil, "backend"),
+			"Queue wait from submission to execution start.", nil, "backend", "tenant"),
 		runSec: r.HistogramVec("linq_job_run_seconds",
-			"Execution time from start to terminal state.", nil, "backend"),
+			"Execution time from start to terminal state.", nil, "backend", "tenant"),
+		rejected: r.CounterVec("linq_tenant_rejected_total",
+			"Submissions rejected by tenant policy, by reason.", "tenant", "reason"),
+		replayed: r.CounterVec("linq_jobs_replayed_total",
+			"Jobs rebuilt from the journal at startup, by outcome.", "backend", "outcome"),
 	}
+}
+
+// tenantLabel maps a tenant ID onto its metric label value: the ID itself,
+// or "anonymous" for unauthenticated submissions, so the label is never
+// empty. Tenant IDs come from the bounded -tenants config file, keeping
+// the label's cardinality bounded too.
+func tenantLabel(t string) string {
+	if t == "" {
+		return "anonymous"
+	}
+	return t
 }
 
 // New starts a manager serving the given pools and their workers.
@@ -288,6 +396,9 @@ func New(pools []Pool, opts ...Option) (*Manager, error) {
 		inflight: make(map[string]*execution),
 		store:    lru.New[string, Job](cfg.storeSize),
 		waiters:  make(map[string][]chan Job),
+		tenants:  make(map[string]*tenantState),
+		jnl:      cfg.journal,
+		treg:     cfg.tenants,
 	}
 	if cfg.metrics != nil {
 		m.mx = newInstruments(cfg.metrics)
@@ -308,6 +419,14 @@ func New(pools []Pool, opts ...Option) (*Manager, error) {
 		p.cond = sync.NewCond(&m.mu)
 		m.pools[pc.Name] = p
 	}
+	if m.jnl != nil {
+		// Replay before any worker starts: recovery rebuilds the queue and
+		// result store single-threaded, then checkpoints the survivors so
+		// the journal restarts compact.
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
 	for _, p := range m.pools {
 		for w := 0; w < p.workers; w++ {
 			m.wg.Add(1)
@@ -315,6 +434,199 @@ func New(pools []Pool, opts ...Option) (*Manager, error) {
 		}
 	}
 	return m, nil
+}
+
+// replayedJob is one job's state folded out of the journal: the submission
+// identity plus the last lifecycle op seen for it.
+type replayedJob struct {
+	rec     journal.Record  // identity fields from the submitted record
+	running bool            // an OpStarted followed the submission
+	term    *journal.Record // terminal record, nil while live
+}
+
+// recover rebuilds the manager from the journal: terminal jobs go straight
+// to the result store (results byte for byte), jobs queued or in flight at
+// crash time re-queue (in-flight results were lost, so they re-run), and
+// the surviving state is checkpointed so the journal restarts compact.
+// Runs inside New, before any worker goroutine exists.
+func (m *Manager) recover() error {
+	byID := make(map[string]*replayedJob)
+	var order []string // first-seen order, preserved for re-queueing
+	err := m.jnl.Replay(func(rec journal.Record) error {
+		switch rec.Op {
+		case journal.OpSubmitted:
+			if prev, ok := byID[rec.ID]; ok {
+				// Same ID submitted again (possible only via a crash during
+				// checkpoint rewriting): the later record restates the job.
+				prev.rec = rec
+				prev.running = false
+				prev.term = nil
+				break
+			}
+			byID[rec.ID] = &replayedJob{rec: rec}
+			order = append(order, rec.ID)
+		case journal.OpStarted:
+			if j, ok := byID[rec.ID]; ok && j.term == nil {
+				j.running = true
+			}
+		case journal.OpFinalized, journal.OpCancelled:
+			r := rec
+			if j, ok := byID[rec.ID]; ok {
+				j.term = &r
+				break
+			}
+			// Terminal record without its submission: the submitted record's
+			// segment was compacted away (or this is a checkpointed
+			// snapshot). Terminal records carry full identity, so the job is
+			// still whole.
+			byID[rec.ID] = &replayedJob{rec: r, term: &r}
+			order = append(order, rec.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("jobs: journal replay: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	var checkpoint []journal.Record
+	var maxSeq uint64
+	for _, id := range order {
+		j := byID[id]
+		var seq uint64
+		if _, err := fmt.Sscanf(id, "j-%08d", &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+		if j.term != nil {
+			m.restoreTerminalLocked(*j.term) //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
+			checkpoint = append(checkpoint, *j.term)
+			continue
+		}
+		rec := m.requeueLocked(j, seq, now)
+		checkpoint = append(checkpoint, rec)
+	}
+	if maxSeq > m.seq {
+		m.seq = maxSeq
+	}
+	if err := m.jnl.Checkpoint(checkpoint); err != nil { //lint:lockorder-exempt hierarchy is Manager.mu > Journal.mu; the journal never calls back into jobs
+		return fmt.Errorf("jobs: journal checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restoreTerminalLocked rebuilds a finished job's snapshot from its
+// terminal journal record and places it in the result store.
+func (m *Manager) restoreTerminalLocked(rec journal.Record) {
+	snap := Job{
+		ID:        rec.ID,
+		Name:      rec.Name,
+		Backend:   rec.Backend,
+		Tenant:    rec.Tenant,
+		State:     State(rec.State),
+		Priority:  rec.Priority,
+		Deduped:   rec.Deduped,
+		Submitted: rec.Submitted,
+		Finished:  rec.Finished,
+		Error:     rec.Error,
+	}
+	if !snap.State.Terminal() {
+		snap.State = StateFailed // a terminal op always carries a terminal state; guard anyway
+	}
+	if len(rec.Result) > 0 {
+		var res tilt.Result
+		if err := json.Unmarshal(rec.Result, &res); err == nil {
+			snap.Result = &res
+		} else {
+			snap.State = StateFailed
+			snap.Error = fmt.Sprintf("jobs: journaled result unreadable: %v", err)
+		}
+	}
+	m.store.Add(rec.ID, snap)
+	m.recovery.Terminal++
+	if m.mx != nil {
+		m.mx.replayed.With(rec.Backend, "terminal").Inc()
+	}
+}
+
+// requeueLocked re-admits a job that was live at crash time and returns the
+// checkpoint record restating it. Jobs whose TTL lapsed during the outage
+// expire; jobs this process can no longer rebuild (unparseable circuit,
+// backend without a pool) finalize as failed.
+func (m *Manager) requeueLocked(j *replayedJob, seq uint64, now time.Time) journal.Record {
+	rec := j.rec
+	fail := func(outcome, errMsg string) journal.Record {
+		snap := Job{
+			ID: rec.ID, Name: rec.Name, Backend: rec.Backend,
+			Tenant: rec.Tenant, State: StateFailed, Priority: rec.Priority,
+			Deduped: rec.Deduped, Submitted: rec.Submitted,
+			Finished: now, Error: errMsg,
+		}
+		m.store.Add(rec.ID, snap)
+		if m.mx != nil {
+			m.mx.replayed.With(rec.Backend, outcome).Inc()
+		}
+		return journal.Record{
+			Op: journal.OpFinalized, ID: rec.ID, Tenant: rec.Tenant,
+			Name: rec.Name, Backend: rec.Backend, Priority: rec.Priority,
+			Deduped: rec.Deduped, Submitted: rec.Submitted, Finished: now,
+			State: string(StateFailed), Error: errMsg,
+		}
+	}
+	if !rec.Deadline.IsZero() && now.After(rec.Deadline) && !j.running {
+		m.recovery.Expired++
+		return fail("expired", ErrTTLExpired.Error())
+	}
+	p, ok := m.pools[rec.Backend]
+	if !ok {
+		m.recovery.Unrecoverable++
+		return fail("unrecoverable", fmt.Sprintf("jobs: recovery: no pool serves backend %q", rec.Backend))
+	}
+	var circ tilt.Circuit
+	if len(rec.Circuit) == 0 {
+		m.recovery.Unrecoverable++
+		return fail("unrecoverable", "jobs: recovery: submission record has no circuit")
+	}
+	if err := json.Unmarshal(rec.Circuit, &circ); err != nil {
+		m.recovery.Unrecoverable++
+		return fail("unrecoverable", fmt.Sprintf("jobs: recovery: circuit unreadable: %v", err))
+	}
+
+	js := &jobState{
+		id:        rec.ID,
+		name:      rec.Name,
+		backend:   rec.Backend,
+		tenant:    rec.Tenant,
+		priority:  rec.Priority,
+		deduped:   rec.Deduped,
+		submitted: rec.Submitted,
+		state:     StateQueued,
+	}
+	if j.running {
+		// The in-flight run's progress is gone; it re-queues. Its TTL was
+		// already satisfied when it first started, so none applies now.
+		m.recovery.Rerun++
+	} else {
+		js.deadline = rec.Deadline
+		m.recovery.Requeued++
+	}
+	if seq > m.seq {
+		m.seq = seq // attachLocked stamps the execution with m.seq
+	}
+	m.attachLocked(js, p, rec.Backend+"\x00"+circ.Fingerprint(), &circ)
+	if m.mx != nil {
+		outcome := "requeued"
+		if j.running {
+			outcome = "rerun"
+		}
+		m.mx.replayed.With(rec.Backend, outcome).Inc()
+	}
+	// The checkpoint restates the job as freshly submitted; rec already
+	// holds the identity and circuit, so reuse it (Op is already
+	// OpSubmitted).
+	rec.Op = journal.OpSubmitted
+	return rec
 }
 
 // Backends returns the configured pool names (sorted by the caller if
@@ -330,13 +642,24 @@ func (m *Manager) Backends() []string {
 }
 
 // Submit accepts one job and returns its ID. The job runs asynchronously;
-// poll Get for progress and the result.
+// poll Get for progress and the result. With a journal attached, the
+// submission record is on disk (fsynced) before Submit returns — a
+// returned ID is a promise that survives kill -9.
 func (m *Manager) Submit(req Request) (string, error) {
 	if req.Circuit == nil {
 		return "", fmt.Errorf("jobs: nil circuit")
 	}
-	// Hash outside the lock: fingerprints of wide circuits aren't free.
+	// Hash (and, for journaled managers, marshal) outside the lock:
+	// fingerprints and wire forms of wide circuits aren't free.
 	fp := req.Circuit.Fingerprint()
+	var circJSON json.RawMessage
+	if m.jnl != nil {
+		b, err := json.Marshal(req.Circuit)
+		if err != nil {
+			return "", fmt.Errorf("jobs: marshal circuit: %w", err)
+		}
+		circJSON = b
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -347,12 +670,28 @@ func (m *Manager) Submit(req Request) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownBackend, req.Backend)
 	}
+	if m.treg != nil && req.Tenant != "" {
+		if t, known := m.treg.Lookup(req.Tenant); known && t.MaxQueued > 0 {
+			if ts := m.tenants[req.Tenant]; ts != nil && ts.queued >= t.MaxQueued {
+				if m.mx != nil {
+					// Lock hierarchy: Manager.mu is the outermost lock; the
+					// metrics family mutex is a leaf held only inside
+					// With/Inc and never while any jobs call is made, so the
+					// edge cannot reverse.
+					m.mx.rejected.With(tenantLabel(req.Tenant), "queued_quota").Inc() //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
+				}
+				return "", fmt.Errorf("%w: tenant %q has %d jobs queued (max %d)",
+					ErrQuotaExceeded, req.Tenant, ts.queued, t.MaxQueued)
+			}
+		}
+	}
 
 	m.seq++
 	j := &jobState{
 		id:        fmt.Sprintf("j-%08d", m.seq),
 		name:      req.Name,
 		backend:   req.Backend,
+		tenant:    req.Tenant,
 		priority:  req.Priority,
 		submitted: time.Now(),
 		state:     StateQueued,
@@ -360,8 +699,38 @@ func (m *Manager) Submit(req Request) (string, error) {
 	if req.TTL > 0 {
 		j.deadline = j.submitted.Add(req.TTL)
 	}
-
 	key := req.Backend + "\x00" + fp
+	_, dedup := m.inflight[key]
+	if m.jnl != nil {
+		// Write-ahead: the submission must be durable before the state
+		// mutates and before the caller learns the ID.
+		if err := m.jnl.Append(journal.Record{
+			Op: journal.OpSubmitted, ID: j.id, Tenant: j.tenant,
+			Name: j.name, Backend: j.backend, Priority: j.priority,
+			Deduped: dedup, Submitted: j.submitted, Deadline: j.deadline,
+			Circuit: circJSON,
+		}); err != nil {
+			return "", fmt.Errorf("jobs: journal submit: %w", err)
+		}
+	}
+	m.attachLocked(j, p, key, req.Circuit)
+	m.stats.Submitted++
+	if m.mx != nil {
+		m.mx.submitted.With(j.backend, tenantLabel(j.tenant)).Inc()
+	}
+	if dedup {
+		m.stats.Deduped++
+		if m.mx != nil {
+			m.mx.deduped.With(j.backend, tenantLabel(j.tenant)).Inc()
+		}
+	}
+	return j.id, nil
+}
+
+// attachLocked inserts an ID'd, validated job into the live structures:
+// subscribe to an identical in-flight circuit (dedup), or queue a fresh
+// execution with its weighted-fair tag. Shared by Submit and recovery.
+func (m *Manager) attachLocked(j *jobState, p *pool, key string, circ *tilt.Circuit) {
 	if e, live := m.inflight[key]; live {
 		// Identical circuit already queued or running here: subscribe to
 		// its single compile+simulate instead of queueing another.
@@ -369,53 +738,74 @@ func (m *Manager) Submit(req Request) (string, error) {
 		j.exec = e
 		e.subs[j.id] = j
 		j.state = e.state
-		if e.state == StateQueued && req.Priority > e.priority {
-			e.priority = req.Priority
+		if e.state == StateQueued && j.priority > e.priority {
+			e.priority = j.priority
 			heap.Fix(&p.q, e.index)
 		}
 		if e.state == StateRunning {
 			j.deadline = time.Time{} // already started: TTL is satisfied
-		}
-		m.stats.Submitted++
-		m.stats.Deduped++
-		if m.mx != nil {
-			// Lock hierarchy: Manager.mu is the outermost lock; the metrics
-			// family mutex is a leaf held only inside With/Inc and never
-			// while any jobs call is made, so the edge cannot reverse.
-			m.mx.submitted.With(j.backend).Inc() //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
-			m.mx.deduped.With(j.backend).Inc()
-			if j.state == StateQueued {
-				m.mx.queued.With(j.backend).Inc()
-			} else {
-				m.mx.running.With(j.backend).Inc()
-			}
 		}
 	} else {
 		ctx, cancel := context.WithCancel(context.Background())
 		e := &execution{
 			key:      key,
 			pool:     p,
-			circuit:  req.Circuit,
-			name:     req.Name,
+			circuit:  circ,
+			name:     j.name,
 			ctx:      ctx,
 			cancel:   cancel,
 			subs:     map[string]*jobState{j.id: j},
-			priority: req.Priority,
+			priority: j.priority,
 			seq:      m.seq,
 			state:    StateQueued,
+			tenant:   j.tenant,
+			vtime:    m.vtagLocked(p, j.tenant),
 		}
 		j.exec = e
 		m.inflight[key] = e
 		heap.Push(&p.q, e)
 		p.cond.Signal()
-		m.stats.Submitted++
-		if m.mx != nil {
-			m.mx.submitted.With(j.backend).Inc()
-			m.mx.queued.With(j.backend).Inc()
-		}
 	}
 	m.jobs[j.id] = j
-	return j.id, nil
+	ts := m.tstateLocked(j.tenant)
+	if j.state == StateQueued {
+		ts.queued++
+		if m.mx != nil {
+			m.mx.queued.With(j.backend, tenantLabel(j.tenant)).Inc()
+		}
+	} else {
+		ts.running++
+		if m.mx != nil {
+			m.mx.running.With(j.backend, tenantLabel(j.tenant)).Inc()
+		}
+	}
+}
+
+// tstateLocked returns the tenant's runtime state, creating it lazily.
+func (m *Manager) tstateLocked(id string) *tenantState {
+	ts := m.tenants[id]
+	if ts == nil {
+		ts = &tenantState{}
+		m.tenants[id] = ts
+	}
+	return ts
+}
+
+// vtagLocked computes the weighted-fair finish tag for a new execution of
+// the tenant on pool p: virtual start (the later of the pool's clock and
+// the tenant's last tag) plus 1/weight.
+func (m *Manager) vtagLocked(p *pool, tenantID string) float64 {
+	ts := m.tstateLocked(tenantID)
+	w := m.treg.Weight(tenantID)
+	if w < 1 {
+		w = 1
+	}
+	start := p.vnow
+	if ts.vtime > start {
+		start = ts.vtime
+	}
+	ts.vtime = start + 1/float64(w)
+	return ts.vtime
 }
 
 // Get returns a snapshot of the job. Unknown IDs — including jobs evicted
@@ -436,6 +826,28 @@ func (m *Manager) Get(id string) (Job, error) {
 		return snap, nil
 	}
 	return Job{}, ErrNotFound
+}
+
+// List returns snapshots of the tenant's jobs — live ones plus terminal
+// snapshots still in the bounded result store — newest first by ID. The
+// empty tenant ID lists unauthenticated submissions.
+func (m *Manager) List(tenantID string) []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, 16)
+	for _, j := range m.jobs {
+		if j.tenant == tenantID {
+			out = append(out, m.snapshotLocked(j))
+		}
+	}
+	m.store.Each(func(_ string, snap Job) bool {
+		if snap.Tenant == tenantID {
+			out = append(out, snap)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
 }
 
 // Wait blocks until the job reaches a terminal state and returns its final
@@ -549,6 +961,7 @@ func (m *Manager) snapshotLocked(j *jobState) Job {
 		ID:        j.id,
 		Name:      j.name,
 		Backend:   j.backend,
+		Tenant:    j.tenant,
 		State:     j.state,
 		Priority:  j.priority,
 		Deduped:   j.deduped,
@@ -574,12 +987,40 @@ func (m *Manager) finalizeLocked(j *jobState, st State, res *tilt.Result, errMsg
 	if j.exec != nil && !j.exec.started.IsZero() {
 		snap.Started = j.exec.started
 	}
+	if m.jnl != nil {
+		op := journal.OpFinalized
+		if st == StateCancelled {
+			op = journal.OpCancelled
+		}
+		rec := journal.Record{
+			Op: op, ID: j.id, Tenant: j.tenant, Name: j.name,
+			Backend: j.backend, Priority: j.priority, Deduped: j.deduped,
+			Submitted: j.submitted, Finished: now,
+			State: string(st), Error: errMsg,
+		}
+		if res != nil {
+			if b, err := json.Marshal(res); err == nil {
+				rec.Result = b
+			}
+		}
+		// Terminal records are advisory: losing one only means the job
+		// re-runs after a crash (deterministically, to the same result),
+		// so an append error never blocks the job from finishing.
+		_ = m.jnl.Append(rec)
+	}
 	m.store.Add(j.id, snap)
 	delete(m.jobs, j.id)
 	for _, ch := range m.waiters[j.id] {
 		ch <- snap // buffered; each waiter registers exactly one slot
 	}
 	delete(m.waiters, j.id)
+	ts := m.tstateLocked(j.tenant)
+	switch prev {
+	case StateQueued:
+		ts.queued--
+	case StateRunning:
+		ts.running--
+	}
 	switch st {
 	case StateDone:
 		m.stats.Done++
@@ -589,14 +1030,15 @@ func (m *Manager) finalizeLocked(j *jobState, st State, res *tilt.Result, errMsg
 		m.stats.Cancelled++
 	}
 	if m.mx != nil {
+		tl := tenantLabel(j.tenant)
 		switch prev {
 		case StateQueued:
-			m.mx.queued.With(j.backend).Dec()
+			m.mx.queued.With(j.backend, tl).Dec()
 		case StateRunning:
-			m.mx.running.With(j.backend).Dec()
-			m.mx.runSec.With(j.backend).Observe(now.Sub(snap.Started).Seconds())
+			m.mx.running.With(j.backend, tl).Dec()
+			m.mx.runSec.With(j.backend, tl).Observe(now.Sub(snap.Started).Seconds())
 		}
-		m.mx.finished.With(j.backend, string(st)).Inc()
+		m.mx.finished.With(j.backend, string(st), tl).Inc()
 	}
 }
 
@@ -642,7 +1084,7 @@ func (m *Manager) detachLocked(j *jobState) {
 func (m *Manager) expireLocked(j *jobState) {
 	m.detachLocked(j)
 	if m.mx != nil {
-		m.mx.expired.With(j.backend).Inc()
+		m.mx.expired.With(j.backend, tenantLabel(j.tenant)).Inc()
 	}
 	m.finalizeLocked(j, StateFailed, nil, ErrTTLExpired.Error())
 }
@@ -656,14 +1098,11 @@ func (p *pool) worker() {
 	defer m.wg.Done()
 	m.mu.Lock()
 	for {
-		for p.q.Len() == 0 && !m.closed {
-			p.cond.Wait()
-		}
-		if p.q.Len() == 0 {
+		e := p.popLocked()
+		if e == nil {
 			m.mu.Unlock()
 			return // closed and drained
 		}
-		e := heap.Pop(&p.q).(*execution)
 
 		// Prune subscribers whose TTL expired while queued; if none are
 		// left the execution is dropped without compiling anything.
@@ -679,12 +1118,25 @@ func (p *pool) worker() {
 
 		e.state = StateRunning
 		e.started = now
+		m.tstateLocked(e.tenant).runningExecs++
 		for _, j := range e.subs {
 			j.state = StateRunning
+			jts := m.tstateLocked(j.tenant)
+			jts.queued--
+			jts.running++
+			if m.jnl != nil {
+				// A lost started record only downgrades a post-crash re-run
+				// to a re-queue; never fail dispatch over it.
+				_ = m.jnl.Append(journal.Record{
+					Op: journal.OpStarted, ID: j.id, Tenant: j.tenant,
+					Backend: j.backend,
+				})
+			}
 			if m.mx != nil {
-				m.mx.queued.With(j.backend).Dec()
-				m.mx.running.With(j.backend).Inc()
-				m.mx.queueSec.With(j.backend).Observe(now.Sub(j.submitted).Seconds())
+				tl := tenantLabel(j.tenant)
+				m.mx.queued.With(j.backend, tl).Dec()
+				m.mx.running.With(j.backend, tl).Inc()
+				m.mx.queueSec.With(j.backend, tl).Observe(now.Sub(j.submitted).Seconds())
 			}
 		}
 		m.mu.Unlock()
@@ -702,6 +1154,57 @@ func (p *pool) worker() {
 	}
 }
 
+// popLocked returns the next execution this worker may run, honoring the
+// per-tenant in-flight caps: capped executions are set aside and re-queued,
+// and when everything queued is capped the worker waits for a completion
+// to free a slot (a capped tenant by definition has executions running, so
+// a wake-up is always coming). Returns nil once the manager is closed and
+// the queue has drained.
+func (p *pool) popLocked() *execution {
+	m := p.m
+	for {
+		for p.q.Len() == 0 && !m.closed {
+			p.cond.Wait()
+		}
+		if p.q.Len() == 0 {
+			return nil // closed and drained
+		}
+		var parked []*execution
+		var e *execution
+		for p.q.Len() > 0 {
+			c := heap.Pop(&p.q).(*execution)
+			if m.eligibleLocked(c) {
+				e = c
+				break
+			}
+			parked = append(parked, c)
+		}
+		for _, pe := range parked {
+			heap.Push(&p.q, pe)
+		}
+		if e != nil {
+			if e.vtime > p.vnow {
+				p.vnow = e.vtime // advance the weighted-fair virtual clock
+			}
+			return e
+		}
+		p.cond.Wait()
+	}
+}
+
+// eligibleLocked reports whether the execution's owning tenant has an
+// in-flight slot free.
+func (m *Manager) eligibleLocked(e *execution) bool {
+	if m.treg == nil || e.tenant == "" {
+		return true
+	}
+	t, ok := m.treg.Lookup(e.tenant)
+	if !ok || t.MaxInFlight <= 0 {
+		return true
+	}
+	return m.tstateLocked(e.tenant).runningExecs < t.MaxInFlight
+}
+
 // completeLocked retires a finished execution and fans its outcome out to
 // every remaining subscriber. All subscribers share the same Result
 // pointer: results are read-only and bit-identical by construction, so
@@ -711,6 +1214,11 @@ func (m *Manager) completeLocked(e *execution, res runner.JobResult) {
 		delete(m.inflight, e.key)
 	}
 	e.cancel() // release the context's resources
+	m.tstateLocked(e.tenant).runningExecs--
+	// A freed in-flight slot may unblock capped executions on any pool.
+	for _, p := range m.pools {
+		p.cond.Broadcast()
+	}
 	st := StateDone
 	errMsg := ""
 	if res.Err != nil {
@@ -726,13 +1234,19 @@ func (m *Manager) completeLocked(e *execution, res runner.JobResult) {
 	e.subs = nil
 }
 
-// execQueue is a max-heap of executions by (priority, FIFO sequence).
+// execQueue is a max-heap of executions by (priority, weighted-fair
+// virtual finish time, FIFO sequence). With one tenant (or no registry)
+// every weight is 1, vtime increases in submit order, and the order
+// degenerates to the old priority-then-FIFO.
 type execQueue []*execution
 
 func (q execQueue) Len() int { return len(q) }
 func (q execQueue) Less(i, j int) bool {
 	if q[i].priority != q[j].priority {
 		return q[i].priority > q[j].priority
+	}
+	if q[i].vtime != q[j].vtime {
+		return q[i].vtime < q[j].vtime
 	}
 	return q[i].seq < q[j].seq
 }

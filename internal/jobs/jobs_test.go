@@ -451,10 +451,10 @@ func TestManagerMetricsSettle(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		fmt.Sprintf(`linq_jobs_submitted_total{backend="fake"} %d`, n),
-		fmt.Sprintf(`linq_jobs_finished_total{backend="fake",state="done"} %d`, n),
-		`linq_jobs_queued{backend="fake"} 0`,
-		`linq_jobs_running{backend="fake"} 0`,
+		fmt.Sprintf(`linq_jobs_submitted_total{backend="fake",tenant="anonymous"} %d`, n),
+		fmt.Sprintf(`linq_jobs_finished_total{backend="fake",state="done",tenant="anonymous"} %d`, n),
+		`linq_jobs_queued{backend="fake",tenant="anonymous"} 0`,
+		`linq_jobs_running{backend="fake",tenant="anonymous"} 0`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

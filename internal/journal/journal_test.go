@@ -1,0 +1,480 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// -update regenerates the golden segment files under testdata.
+var update = flag.Bool("update", false, "rewrite golden journal segments")
+
+// t0 is a fixed submission timestamp: journal tests compare records across
+// a write/replay round trip, so wall-clock jitter has no place in them.
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func rec(op Op, id string, extra func(*Record)) Record {
+	r := Record{Op: op, ID: id, Backend: "TILT", Submitted: t0}
+	if extra != nil {
+		extra(&r)
+	}
+	return r
+}
+
+// replayAll reopens dir and drains its replay stream.
+func replayAll(t *testing.T, dir string, opts ...Option) []Record {
+	t.Helper()
+	j, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var got []Record
+	if err := j.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// sameRecords compares via the JSON wire form, which is what actually
+// round-trips through the log (time.Time equality is too strict across
+// marshal boundaries, and RawMessage fields compare byte for byte).
+func sameRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d\ngot: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if !bytes.Equal(g, w) {
+			t.Errorf("record %d:\n got %s\nwant %s", i, g, w)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		rec(OpSubmitted, "j-00000001", func(r *Record) {
+			r.Tenant = "alice"
+			r.Name = "ghz"
+			r.Priority = 2
+			r.Circuit = json.RawMessage(`{"qubits":2,"gates":[{"kind":"h","qubits":[0]}]}`)
+		}),
+		rec(OpStarted, "j-00000001", nil),
+		rec(OpFinalized, "j-00000001", func(r *Record) {
+			r.State = "done"
+			r.Finished = t0.Add(time.Second)
+			r.Result = json.RawMessage(`{"backend":"TILT","fidelity":0.99}`)
+		}),
+		rec(OpSubmitted, "j-00000002", func(r *Record) {
+			r.Deadline = t0.Add(time.Hour)
+		}),
+		rec(OpCancelled, "j-00000002", func(r *Record) {
+			r.State = "cancelled"
+			r.Error = "context canceled"
+		}),
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, replayAll(t, dir), recs)
+}
+
+func TestReplayTwiceRefused(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Replay(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(func(Record) error { return nil }); err != ErrReplayed {
+		t.Fatalf("second Replay: got %v, want ErrReplayed", err)
+	}
+}
+
+func TestAppendRejectsBadRecords(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{Op: "bogus", ID: "j-1"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := j.Append(Record{Op: OpSubmitted}); err == nil {
+		t.Error("record without ID accepted")
+	}
+	j.Close()
+	if err := j.Append(rec(OpSubmitted, "j-1", nil)); err != ErrClosed {
+		t.Errorf("append after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestTornTailTruncated crashes mid-write by hand: a half-written frame at
+// the tail must be truncated in place at Open, and replay must return every
+// record before it.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := []Record{
+		rec(OpSubmitted, "j-00000001", nil),
+		rec(OpStarted, "j-00000001", nil),
+	}
+	for _, r := range keep {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a full frame header claiming more payload than exists.
+	path := filepath.Join(dir, "linq-00000001.wal")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{}, before...)
+	torn = binary.LittleEndian.AppendUint32(torn, 4096)
+	torn = binary.LittleEndian.AppendUint32(torn, 0xdeadbeef)
+	torn = append(torn, []byte(`{"op":"submitted","id":"j-partial`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sameRecords(t, replayAll(t, dir), keep)
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, before) {
+		t.Errorf("torn tail not truncated back: %d bytes, want %d", len(after), len(before))
+	}
+}
+
+// TestCorruptFrameSkipped: an intact frame (checksum matches what was
+// written) whose payload is not a record must be skipped without desyncing
+// the reader — the records after it still replay.
+func TestCorruptFrameSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "linq-00000001.wal")
+	var buf bytes.Buffer
+	first := rec(OpSubmitted, "j-00000001", nil)
+	if err := AppendTo(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed payload that is valid JSON but not a known record.
+	bogus := []byte(`{"op":"sideways","id":"x"}`)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(bogus)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(bogus, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(bogus)
+	last := rec(OpFinalized, "j-00000001", func(r *Record) { r.State = "failed"; r.Error = "x" })
+	if err := AppendTo(&buf, last); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, good, skipped := ScanRecords(buf.Bytes())
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if good != int64(buf.Len()) {
+		t.Errorf("goodBytes = %d, want %d (no truncation for skipped frames)", good, buf.Len())
+	}
+	sameRecords(t, recs, []Record{first, last})
+	sameRecords(t, replayAll(t, dir), []Record{first, last})
+}
+
+// TestRotationAndCompaction: with a tiny segment size, sealed segments
+// whose jobs all finished inside them are deleted; a segment holding a
+// still-live job survives every rotation.
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, WithSegmentBytes(256), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// A job that stays live the whole test: its submission pins segment 1.
+	if err := j.Append(rec(OpSubmitted, "j-live", nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Churn terminal jobs through many rotations.
+	for i := 0; i < 40; i++ {
+		id := string(rune('a'+i%26)) + "-job"
+		if err := j.Append(rec(OpSubmitted, id, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(rec(OpFinalized, id, func(r *Record) { r.State = "done" })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := j.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0] != 1 {
+		t.Fatalf("segment 1 holds a live job and must survive compaction; on disk: %v", segs)
+	}
+	if len(segs) > 6 {
+		t.Errorf("compaction left %d segments on disk (%v); fully-terminal ones should be gone", len(segs), segs)
+	}
+
+	// Finish the pinned job, churn a little more: segment 1 is now
+	// removable (terminal record lives in a later segment).
+	if err := j.Append(rec(OpFinalized, "j-live", func(r *Record) { r.State = "done" })); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		id := string(rune('a'+i)) + "-tail"
+		if err := j.Append(rec(OpSubmitted, id, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(rec(OpFinalized, id, func(r *Record) { r.State = "done" })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err = j.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 0 && segs[0] == 1 {
+		t.Errorf("segment 1 still on disk after its last job finished elsewhere: %v", segs)
+	}
+}
+
+func TestCheckpointShrinksJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, WithSegmentBytes(128), WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id := "j-hist" + string(rune('a'+i))
+		if err := j.Append(rec(OpSubmitted, id, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := Open(dir, WithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Replay(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	survivors := []Record{
+		rec(OpSubmitted, "j-keep", nil),
+		rec(OpFinalized, "j-done", func(r *Record) {
+			r.State = "done"
+			r.Result = json.RawMessage(`{"fidelity":1}`)
+		}),
+	}
+	if err := j2.Checkpoint(survivors); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := j2.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("after checkpoint: %d segments on disk (%v), want 1", len(segs), segs)
+	}
+	j2.Close()
+
+	sameRecords(t, replayAll(t, dir), survivors)
+}
+
+// goldenRecords is the fixed record set behind the checked-in golden
+// segments: every op, every field class (circuit payload, terminal result,
+// TTL deadline, tenant identity), fixed timestamps.
+func goldenRecords() []Record {
+	return []Record{
+		rec(OpSubmitted, "j-00000001", func(r *Record) {
+			r.Tenant = "alice"
+			r.Name = "bell"
+			r.Priority = 1
+			r.Circuit = json.RawMessage(`{"qubits":2,"gates":[{"kind":"h","qubits":[0]},{"kind":"cx","qubits":[0,1]}]}`)
+		}),
+		rec(OpStarted, "j-00000001", nil),
+		rec(OpFinalized, "j-00000001", func(r *Record) {
+			r.Tenant = "alice"
+			r.Name = "bell"
+			r.State = "done"
+			r.Finished = t0.Add(3 * time.Second)
+			r.Result = json.RawMessage(`{"backend":"TILT","fidelity":0.97,"tswap":12}`)
+		}),
+		rec(OpSubmitted, "j-00000002", func(r *Record) {
+			r.Tenant = "bob"
+			r.Deadline = t0.Add(time.Minute)
+			r.Deduped = true
+			r.Circuit = json.RawMessage(`{"qubits":1,"gates":[{"kind":"x","qubits":[0]}]}`)
+		}),
+		rec(OpCancelled, "j-00000002", func(r *Record) {
+			r.Tenant = "bob"
+			r.State = "cancelled"
+			r.Error = "cancelled by client"
+			r.Finished = t0.Add(5 * time.Second)
+		}),
+	}
+}
+
+// TestGoldenReplay replays checked-in segment files — one clean, one with a
+// torn tail — against their expected decoded records, pinning the on-disk
+// format: a framing change that breaks old journals fails here first.
+// Regenerate the files with: go test ./internal/journal -run GoldenReplay -update
+func TestGoldenReplay(t *testing.T) {
+	want := goldenRecords()
+	if *update {
+		var clean bytes.Buffer
+		for _, r := range want {
+			if err := AppendTo(&clean, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The torn variant is the clean log plus a frame header whose claimed
+		// payload never made it to disk — the shape a kill -9 mid-write leaves.
+		torn := append([]byte{}, clean.Bytes()...)
+		torn = binary.LittleEndian.AppendUint32(torn, 512)
+		torn = binary.LittleEndian.AppendUint32(torn, 0x1badf00d)
+		torn = append(torn, []byte(`{"op":"submitted","id":"j-lost`)...)
+		if err := os.WriteFile(filepath.Join("testdata", "golden_clean.wal"), clean.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", "golden_torn.wal"), torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The fuzz seed corpus is the same byte shapes, checked in as
+		// `go test fuzz v1` files so plain `go test` runs them too.
+		corpusDir := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, seed := range fuzzSeeds() {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			if err := os.WriteFile(filepath.Join(corpusDir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		recs, err := ReadSegment(filepath.Join("testdata", "golden_clean.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRecords(t, recs, want)
+	})
+	t.Run("torn", func(t *testing.T) {
+		// Same records with a torn frame appended: replay must return the
+		// intact prefix and report the tear.
+		data, err := os.ReadFile(filepath.Join("testdata", "golden_torn.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, good, skipped := ScanRecords(data)
+		if good >= int64(len(data)) {
+			t.Fatalf("goodBytes = %d of %d: the tear went unnoticed", good, len(data))
+		}
+		if skipped != 0 {
+			t.Errorf("skipped = %d, want 0", skipped)
+		}
+		sameRecords(t, recs, want)
+	})
+	t.Run("open-truncates", func(t *testing.T) {
+		// Opening a journal over a copy of the torn segment truncates it on
+		// disk and replays the same records.
+		dir := t.TempDir()
+		data, err := os.ReadFile(filepath.Join("testdata", "golden_torn.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "linq-00000001.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sameRecords(t, replayAll(t, dir), want)
+		clean, err := os.ReadFile(filepath.Join("testdata", "golden_clean.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(after, clean) {
+			t.Error("truncated torn segment does not match the clean golden file")
+		}
+	})
+}
+
+// TestOpWellKnown pins the op vocabulary (a rename would orphan old
+// journals on disk).
+func TestOpWellKnown(t *testing.T) {
+	want := map[Op]bool{
+		OpSubmitted: false, OpStarted: false,
+		OpFinalized: true, OpCancelled: true,
+	}
+	for op, terminal := range want {
+		if !op.known() {
+			t.Errorf("op %q not known", op)
+		}
+		if op.Terminal() != terminal {
+			t.Errorf("op %q Terminal() = %v, want %v", op, op.Terminal(), terminal)
+		}
+	}
+	if Op("done").known() {
+		t.Error(`op "done" should not be known`)
+	}
+}
+
+// TestSegmentsListing pins the segment naming scheme.
+func TestSegmentsListing(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	segs, err := j.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(segs, []int{1}) {
+		t.Fatalf("fresh journal segments = %v, want [1]", segs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "linq-00000001.wal")); err != nil {
+		t.Fatalf("segment file name changed: %v", err)
+	}
+}

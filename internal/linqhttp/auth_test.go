@@ -1,0 +1,325 @@
+package linqhttp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	tilt "repro"
+	"repro/internal/jobs"
+	"repro/internal/linqhttp"
+	"repro/internal/tenant"
+)
+
+// gateBackend blocks every compile on the gate — auth tests use it to keep
+// jobs queued or running while they poke at quotas and visibility.
+type gateBackend struct {
+	name string
+	gate chan struct{}
+}
+
+func (b *gateBackend) Name() string { return b.name }
+
+func (b *gateBackend) Compile(ctx context.Context, c *tilt.Circuit) (*tilt.Artifact, error) {
+	if b.gate != nil {
+		select {
+		case <-b.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return &tilt.Artifact{Backend: b.name, Circuit: c}, nil
+}
+
+func (b *gateBackend) Simulate(ctx context.Context, a *tilt.Artifact) (*tilt.Result, error) {
+	return &tilt.Result{Backend: b.name, SuccessRate: 1}, nil
+}
+
+// startTenantServer boots a server with tenant auth over one pool named
+// "TILT" backed by be (nil = a pass-through gateBackend with no gate).
+func startTenantServer(t *testing.T, be tilt.Backend, tenants ...tenant.Tenant) string {
+	t.Helper()
+	treg, err := tenant.New(tenants...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be == nil {
+		be = &gateBackend{name: "TILT"}
+	}
+	reg := tilt.NewMetricsRegistry()
+	mgr, err := jobs.New([]jobs.Pool{{Name: "TILT", Backend: be, Workers: 1}},
+		jobs.WithMetrics(reg), jobs.WithTenants(treg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(linqhttp.NewServer(mgr, reg, linqhttp.WithTenantAuth(treg)).Routes())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	return srv.URL
+}
+
+// doAuth issues a JSON request with optional headers and returns the
+// status, decoded body, and response headers.
+func doAuth(t *testing.T, method, url string, body any, headers map[string]string) (int, map[string]any, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q", method, url, raw)
+		}
+	}
+	return resp.StatusCode, decoded, resp.Header
+}
+
+// bearer builds the standard auth header set.
+func bearer(key string) map[string]string {
+	return map[string]string{"Authorization": "Bearer " + key}
+}
+
+// submitBody builds a distinct submission (qubit count varies the
+// fingerprint, so submissions never dedup against each other).
+func submitBody(qubits int) map[string]any {
+	return map[string]any{"backend": "TILT", "circuit": tilt.GHZ(qubits).Circuit}
+}
+
+func TestAuthRejections(t *testing.T) {
+	base := startTenantServer(t, nil,
+		tenant.Tenant{ID: "alice", Key: "key-alice"},
+		tenant.Tenant{ID: "mallory", Key: "key-mallory", Disabled: true},
+	)
+
+	// No key: 401 with a WWW-Authenticate challenge.
+	status, body, hdr := doAuth(t, "POST", base+"/v1/jobs", submitBody(3), nil)
+	if status != http.StatusUnauthorized || body["code"] != "unauthorized" {
+		t.Errorf("no key: status %d code %v", status, body["code"])
+	}
+	if hdr.Get("WWW-Authenticate") == "" {
+		t.Error("no key: missing WWW-Authenticate challenge")
+	}
+
+	// Wrong key: 401.
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(3), bearer("key-wrong"))
+	if status != http.StatusUnauthorized || body["code"] != "unauthorized" {
+		t.Errorf("bad key: status %d code %v", status, body["code"])
+	}
+
+	// Disabled tenant's key: 403, not 401 — the key is known, the tenant
+	// is switched off.
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(3), bearer("key-mallory"))
+	if status != http.StatusForbidden || body["code"] != "forbidden" {
+		t.Errorf("disabled tenant: status %d code %v", status, body["code"])
+	}
+
+	// A key asserting someone else's identity: 403.
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(3),
+		map[string]string{"Authorization": "Bearer key-alice", "X-Linq-Tenant": "mallory"})
+	if status != http.StatusForbidden || body["code"] != "forbidden" {
+		t.Errorf("tenant mismatch: status %d code %v", status, body["code"])
+	}
+
+	// The right key submits fine — Bearer and the X-API-Key fallback both.
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(4), bearer("key-alice"))
+	if status != http.StatusAccepted {
+		t.Errorf("good Bearer key: status %d body %v", status, body)
+	}
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(5),
+		map[string]string{"X-API-Key": "key-alice"})
+	if status != http.StatusAccepted {
+		t.Errorf("good X-API-Key: status %d body %v", status, body)
+	}
+	// The accepted job is stamped with the key's tenant.
+	status, body, _ = doAuth(t, "GET", base+"/v1/jobs/"+body["id"].(string), nil, bearer("key-alice"))
+	if status != http.StatusOK || body["tenant"] != "alice" {
+		t.Errorf("submitted job status %d tenant %v, want 200/alice", status, body["tenant"])
+	}
+
+	// Probes and scrapers stay unauthenticated.
+	for _, path := range []string{"/healthz", "/metrics", "/v1/backends"} {
+		req, _ := http.NewRequest("GET", base+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s without key: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	base := startTenantServer(t, nil,
+		tenant.Tenant{ID: "alice", Key: "ka", RatePerSec: 0.5, Burst: 2},
+		tenant.Tenant{ID: "bob", Key: "kb"},
+	)
+
+	for i := 0; i < 2; i++ {
+		status, body, _ := doAuth(t, "POST", base+"/v1/jobs", submitBody(3+i), bearer("ka"))
+		if status != http.StatusAccepted {
+			t.Fatalf("burst submission %d: status %d body %v", i, status, body)
+		}
+	}
+	status, body, hdr := doAuth(t, "POST", base+"/v1/jobs", submitBody(9), bearer("ka"))
+	if status != http.StatusTooManyRequests || body["code"] != "rate_limited" {
+		t.Fatalf("over-rate submission: status %d code %v", status, body["code"])
+	}
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+
+	// The bucket is per tenant: bob is unaffected.
+	status, body, _ = doAuth(t, "POST", base+"/v1/jobs", submitBody(10), bearer("kb"))
+	if status != http.StatusAccepted {
+		t.Errorf("other tenant while alice throttled: status %d body %v", status, body)
+	}
+
+	// Polling is never rate limited — a throttled client must still be
+	// able to watch its in-flight jobs.
+	for i := 0; i < 20; i++ {
+		status, _, _ := doAuth(t, "GET", base+"/v1/jobs", nil, bearer("ka"))
+		if status != http.StatusOK {
+			t.Fatalf("list %d while rate-limited: status %d", i, status)
+		}
+	}
+}
+
+func TestQueuedQuota429(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	base := startTenantServer(t, &gateBackend{name: "TILT", gate: gate},
+		tenant.Tenant{ID: "alice", Key: "ka", MaxQueued: 1},
+		tenant.Tenant{ID: "bob", Key: "kb"},
+	)
+
+	// Bob's job occupies the only worker; alice's first job fills her queue
+	// quota; her second bounces with 429 quota_exceeded.
+	if status, body, _ := doAuth(t, "POST", base+"/v1/jobs", submitBody(3), bearer("kb")); status != http.StatusAccepted {
+		t.Fatalf("blocker: status %d body %v", status, body)
+	}
+	waitRunning(t, base, "kb")
+	if status, body, _ := doAuth(t, "POST", base+"/v1/jobs", submitBody(4), bearer("ka")); status != http.StatusAccepted {
+		t.Fatalf("first queued: status %d body %v", status, body)
+	}
+	status, body, hdr := doAuth(t, "POST", base+"/v1/jobs", submitBody(5), bearer("ka"))
+	if status != http.StatusTooManyRequests || body["code"] != "quota_exceeded" {
+		t.Fatalf("over quota: status %d code %v", status, body["code"])
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("quota 429 missing Retry-After")
+	}
+}
+
+// waitRunning polls the tenant's listing until one of its jobs runs.
+func waitRunning(t *testing.T, base, key string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body, _ := doAuth(t, "GET", base+"/v1/jobs", nil, bearer(key))
+		if jobsAny, ok := body["jobs"].([]any); ok {
+			for _, ja := range jobsAny {
+				if j, ok := ja.(map[string]any); ok && j["state"] == "running" {
+					return
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no job reached running")
+}
+
+func TestScopedListingAndCrossTenant404(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	base := startTenantServer(t, &gateBackend{name: "TILT", gate: gate},
+		tenant.Tenant{ID: "alice", Key: "ka"},
+		tenant.Tenant{ID: "bob", Key: "kb"},
+	)
+
+	var aliceIDs []string
+	for q := 3; q <= 4; q++ {
+		status, body, _ := doAuth(t, "POST", base+"/v1/jobs", submitBody(q), bearer("ka"))
+		if status != http.StatusAccepted {
+			t.Fatalf("alice submit: status %d body %v", status, body)
+		}
+		aliceIDs = append(aliceIDs, body["id"].(string))
+	}
+	status, body, _ := doAuth(t, "POST", base+"/v1/jobs", submitBody(5), bearer("kb"))
+	if status != http.StatusAccepted {
+		t.Fatalf("bob submit: status %d body %v", status, body)
+	}
+	bobID := body["id"].(string)
+
+	// Each tenant lists exactly its own jobs.
+	_, body, _ = doAuth(t, "GET", base+"/v1/jobs", nil, bearer("ka"))
+	if body["tenant"] != "alice" {
+		t.Errorf("list tenant = %v, want alice", body["tenant"])
+	}
+	listed := map[string]bool{}
+	for _, ja := range body["jobs"].([]any) {
+		j := ja.(map[string]any)
+		listed[j["id"].(string)] = true
+		if j["tenant"] != "alice" {
+			t.Errorf("alice's listing leaked job %v of tenant %v", j["id"], j["tenant"])
+		}
+	}
+	for _, id := range aliceIDs {
+		if !listed[id] {
+			t.Errorf("alice's listing missing her job %s", id)
+		}
+	}
+	if listed[bobID] {
+		t.Errorf("alice's listing leaked bob's job %s", bobID)
+	}
+
+	// Cross-tenant access reads as 404 — not 403 — so job IDs don't leak
+	// their existence.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/" + aliceIDs[0]},
+		{"GET", "/v1/jobs/" + aliceIDs[0] + "/result"},
+		{"DELETE", "/v1/jobs/" + aliceIDs[0]},
+	} {
+		status, body, _ := doAuth(t, probe.method, base+probe.path, nil, bearer("kb"))
+		if status != http.StatusNotFound {
+			t.Errorf("%s %s as bob: status %d body %v, want 404", probe.method, probe.path, status, body)
+		}
+	}
+	// The owner still sees it.
+	status, body, _ = doAuth(t, "GET", base+"/v1/jobs/"+aliceIDs[0], nil, bearer("ka"))
+	if status != http.StatusOK || body["tenant"] != "alice" {
+		t.Errorf("owner status read: %d %v", status, body)
+	}
+}

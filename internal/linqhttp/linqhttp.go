@@ -14,12 +14,15 @@ import (
 	"net/http"
 	"runtime/debug"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	tilt "repro"
 	"repro/internal/jobs"
 	"repro/internal/qasm"
+	"repro/internal/tenant"
 	"repro/internal/workloads"
 )
 
@@ -43,6 +46,10 @@ const (
 	CodeNotReady       = "not_ready"
 	CodeTerminal       = "terminal"
 	CodeInternal       = "internal"
+	CodeUnauthorized   = "unauthorized"
+	CodeForbidden      = "forbidden"
+	CodeRateLimited    = "rate_limited"
+	CodeQuotaExceeded  = "quota_exceeded"
 )
 
 // Version reports the daemon's build version: the main module version
@@ -61,27 +68,64 @@ var Version = sync.OnceValue(func() string {
 type Server struct {
 	mgr      *jobs.Manager
 	reg      *tilt.MetricsRegistry
+	tenants  *tenant.Registry // nil = open deployment, no auth
 	start    time.Time
 	httpReqs httpCounter
+	authFail counter1 // linq_tenant_auth_failures_total{reason}
+	throttle counter1 // linq_tenant_throttled_total{tenant}
 }
 
 // httpCounter abstracts the request counter so handlers don't care about
 // the metrics package's concrete vec type.
-type httpCounter func(route string, code int)
+type httpCounter func(route string, code int, tenantID string)
+
+// counter1 is a one-label counter increment.
+type counter1 func(label string)
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithTenantAuth turns on multi-tenancy: every /v1/jobs route requires an
+// API key from the registry (Authorization: Bearer <key> or X-API-Key),
+// submissions are rate limited per tenant (429 + Retry-After), job
+// visibility is scoped to the owning tenant, and the request metrics carry
+// the tenant label.
+func WithTenantAuth(reg *tenant.Registry) ServerOption {
+	return func(s *Server) { s.tenants = reg }
+}
 
 // NewServer returns the HTTP layer over the manager, instrumenting every
 // request into the registry.
-func NewServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry) *Server {
+func NewServer(mgr *jobs.Manager, reg *tilt.MetricsRegistry, opts ...ServerOption) *Server {
 	vec := reg.CounterVec("linq_http_requests_total",
-		"HTTP requests served, by route and status code.", "route", "code")
-	return &Server{
+		"HTTP requests served, by route, status code, and tenant.", "route", "code", "tenant")
+	authVec := reg.CounterVec("linq_tenant_auth_failures_total",
+		"Requests refused by tenant authentication, by reason.", "reason")
+	throttleVec := reg.CounterVec("linq_tenant_throttled_total",
+		"Submissions deferred by a tenant's rate limit.", "tenant")
+	s := &Server{
 		mgr:   mgr,
 		reg:   reg,
 		start: time.Now(),
-		httpReqs: func(route string, code int) {
-			vec.With(route, statusLabel(code)).Inc()
+		httpReqs: func(route string, code int, tenantID string) {
+			vec.With(route, statusLabel(code), tenantLabel(tenantID)).Inc()
 		},
+		authFail: func(reason string) { authVec.With(reason).Inc() },
+		throttle: func(id string) { throttleVec.With(id).Inc() },
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// tenantLabel mirrors the jobs package's label mapping: tenant IDs come
+// from the bounded -tenants file, the empty ID reads "anonymous".
+func tenantLabel(id string) string {
+	if id == "" {
+		return "anonymous"
+	}
+	return id
 }
 
 // statusLabel maps an HTTP status onto a fixed label vocabulary: the exact
@@ -97,10 +141,16 @@ func statusLabel(code int) string {
 		return "204"
 	case http.StatusBadRequest:
 		return "400"
+	case http.StatusUnauthorized:
+		return "401"
+	case http.StatusForbidden:
+		return "403"
 	case http.StatusNotFound:
 		return "404"
 	case http.StatusConflict:
 		return "409"
+	case http.StatusTooManyRequests:
+		return "429"
 	case http.StatusServiceUnavailable:
 		return "503"
 	}
@@ -116,17 +166,106 @@ func statusLabel(code int) string {
 	}
 }
 
-// Routes builds the daemon's mux.
+// Routes builds the daemon's mux. The job routes sit behind the tenant
+// auth middleware (a no-op on open deployments); discovery, metrics, and
+// health stay unauthenticated so probes and scrapers keep working.
 func (s *Server) Routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.auth("submit", true, s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.auth("list", false, s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.auth("status", false, s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth("result", false, s.handleResult))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth("cancel", false, s.handleCancel))
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// ctxKey keys the authenticated tenant ID in the request context.
+type ctxKey int
+
+const tenantCtxKey ctxKey = iota
+
+// tenantID returns the authenticated tenant of the request ("" on open
+// deployments and before authentication).
+func tenantID(r *http.Request) string {
+	id, _ := r.Context().Value(tenantCtxKey).(string)
+	return id
+}
+
+// apiKey extracts the request's API key: Authorization: Bearer <key>, or
+// the X-API-Key header.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// auth is the tenant middleware: resolve the API key to a tenant (401
+// unknown, 403 disabled or mismatched), optionally charge the tenant's
+// rate bucket (429 + Retry-After when empty), and stamp the tenant into
+// the request context for the handler. Without a tenant registry it
+// passes every request through untouched.
+func (s *Server) auth(route string, rateLimit bool, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.tenants == nil {
+			next(w, r)
+			return
+		}
+		key := apiKey(r)
+		if key == "" {
+			s.authFail("missing_key")
+			w.Header().Set("WWW-Authenticate", `Bearer realm="linqd"`)
+			s.writeError(w, r, route, http.StatusUnauthorized, CodeUnauthorized,
+				"missing API key: pass Authorization: Bearer <key> (or X-API-Key)", nil)
+			return
+		}
+		t, err := s.tenants.Authenticate(key)
+		switch {
+		case errors.Is(err, tenant.ErrForbidden):
+			s.authFail("disabled")
+			s.writeError(w, r, route, http.StatusForbidden, CodeForbidden, err.Error(), nil)
+			return
+		case err != nil:
+			s.authFail("unknown_key")
+			w.Header().Set("WWW-Authenticate", `Bearer realm="linqd"`)
+			s.writeError(w, r, route, http.StatusUnauthorized, CodeUnauthorized, err.Error(), nil)
+			return
+		}
+		// An asserted tenant identity must match the key's owner — catches
+		// a client wired with one tenant's URI and another tenant's key.
+		if want := r.Header.Get("X-Linq-Tenant"); want != "" && want != t.ID {
+			s.authFail("tenant_mismatch")
+			s.writeError(w, r, route, http.StatusForbidden, CodeForbidden,
+				fmt.Sprintf("API key does not belong to tenant %q", want), nil)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey, t.ID))
+		if rateLimit {
+			if ok, retry := s.tenants.Allow(t.ID, time.Now()); !ok {
+				s.throttle(t.ID)
+				secs := int64(retry / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				s.writeError(w, r, route, http.StatusTooManyRequests, CodeRateLimited,
+					fmt.Sprintf("tenant %q rate limit exceeded", t.ID), nil)
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+// owns reports whether the request's tenant may see the job. Open
+// deployments see everything; authenticated tenants see only their own.
+func (s *Server) owns(r *http.Request, j jobs.Job) bool {
+	return s.tenants == nil || j.Tenant == tenantID(r)
 }
 
 // submitRequest is the POST /v1/jobs body. Exactly one of QASM, Workload,
@@ -154,6 +293,7 @@ type jobJSON struct {
 	ID        string       `json:"id"`
 	Name      string       `json:"name,omitempty"`
 	Backend   string       `json:"backend"`
+	Tenant    string       `json:"tenant,omitempty"`
 	State     jobs.State   `json:"state"`
 	Priority  int          `json:"priority,omitempty"`
 	Deduped   bool         `json:"deduped,omitempty"`
@@ -169,6 +309,7 @@ func toJobJSON(j jobs.Job, withResult bool) jobJSON {
 		ID:        j.ID,
 		Name:      j.Name,
 		Backend:   j.Backend,
+		Tenant:    j.Tenant,
 		State:     j.State,
 		Priority:  j.Priority,
 		Deduped:   j.Deduped,
@@ -203,7 +344,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+		s.writeError(w, r, route, http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("invalid JSON body: %v", err), nil)
 		return
 	}
@@ -218,7 +359,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if sources != 1 {
-		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+		s.writeError(w, r, route, http.StatusBadRequest, CodeBadRequest,
 			`pass exactly one of "qasm", "workload", or "circuit"`, nil)
 		return
 	}
@@ -234,14 +375,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if errors.As(err, &pe) && pe.Line > 0 {
 				extra["line"] = pe.Line
 			}
-			s.writeError(w, route, http.StatusBadRequest, CodeParseError, err.Error(), extra)
+			s.writeError(w, r, route, http.StatusBadRequest, CodeParseError, err.Error(), extra)
 			return
 		}
 		circ = c
 	case req.Workload != "":
 		bm, err := workloads.ByName(req.Workload)
 		if err != nil {
-			s.writeError(w, route, http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
+			s.writeError(w, r, route, http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
 			return
 		}
 		circ = bm.Circuit
@@ -257,7 +398,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// dropped) TTL.
 	const maxTTLMs = math.MaxInt64 / int64(time.Millisecond)
 	if req.TTLMs < 0 {
-		s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+		s.writeError(w, r, route, http.StatusBadRequest, CodeBadRequest,
 			`"ttl_ms" must be non-negative`, nil)
 		return
 	}
@@ -270,19 +411,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Circuit:  circ,
 		Priority: req.Priority,
 		TTL:      time.Duration(req.TTLMs) * time.Millisecond,
+		Tenant:   tenantID(r),
 	})
 	switch {
 	case errors.Is(err, jobs.ErrUnknownBackend):
-		s.writeError(w, route, http.StatusBadRequest, CodeUnknownBackend, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusBadRequest, CodeUnknownBackend, err.Error(), nil)
 		return
 	case errors.Is(err, jobs.ErrShuttingDown):
-		s.writeError(w, route, http.StatusServiceUnavailable, CodeShuttingDown, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusServiceUnavailable, CodeShuttingDown, err.Error(), nil)
+		return
+	case errors.Is(err, jobs.ErrQuotaExceeded):
+		// The quota frees as the tenant's queue drains, not on a clock;
+		// 1s is a floor for the client's poll, not a promise.
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, route, http.StatusTooManyRequests, CodeQuotaExceeded, err.Error(), nil)
 		return
 	case err != nil:
-		s.writeError(w, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 		return
 	}
-	s.writeJSON(w, route, http.StatusAccepted, map[string]any{
+	s.writeJSON(w, r, route, http.StatusAccepted, map[string]any{
 		"id":         id,
 		"status_url": "/v1/jobs/" + id,
 		"result_url": "/v1/jobs/" + id + "/result",
@@ -292,11 +440,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	const route = "status"
 	j, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
+	if err != nil || !s.owns(r, j) {
+		// A foreign tenant's job reads as absent, not forbidden: 403 would
+		// confirm the ID exists and leak submission activity.
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, jobs.ErrNotFound.Error(), nil)
 		return
 	}
-	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, false))
+	s.writeJSON(w, r, route, http.StatusOK, toJobJSON(j, false))
+}
+
+// handleList returns the requesting tenant's jobs (live plus the terminal
+// snapshots still in the bounded store), newest first. On open deployments
+// it lists the unauthenticated jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	const route = "list"
+	list := s.mgr.List(tenantID(r))
+	out := make([]jobJSON, 0, len(list))
+	for _, j := range list {
+		out = append(out, toJobJSON(j, false))
+	}
+	s.writeJSON(w, r, route, http.StatusOK, map[string]any{
+		"tenant": tenantID(r),
+		"jobs":   out,
+	})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +471,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		d, err := time.ParseDuration(waitStr)
 		if err != nil || d < 0 {
-			s.writeError(w, route, http.StatusBadRequest, CodeBadRequest,
+			s.writeError(w, r, route, http.StatusBadRequest, CodeBadRequest,
 				fmt.Sprintf("invalid wait %q: want a non-negative duration like 5s", waitStr), nil)
 			return
 		}
@@ -316,42 +482,54 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		j, err := s.mgr.Wait(ctx, id)
 		cancel()
 		switch {
+		case err == nil && !s.owns(r, j):
+			s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, jobs.ErrNotFound.Error(), nil)
+			return
 		case err == nil:
-			s.writeJSON(w, route, http.StatusOK, toJobJSON(j, true))
+			s.writeJSON(w, r, route, http.StatusOK, toJobJSON(j, true))
 			return
 		case errors.Is(err, jobs.ErrNotFound):
-			s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
+			s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
 			return
 		}
 		// Wait timed out (or the client's context died): fall through and
 		// report the job's state at this moment, exactly like a plain poll.
 	}
 	j, err := s.mgr.Get(id)
-	if err != nil {
-		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
+	if err != nil || !s.owns(r, j) {
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, jobs.ErrNotFound.Error(), nil)
 		return
 	}
 	if !j.State.Terminal() {
-		s.writeError(w, route, http.StatusConflict, CodeNotReady,
+		s.writeError(w, r, route, http.StatusConflict, CodeNotReady,
 			fmt.Sprintf("job %s is %s; result not ready", j.ID, j.State),
 			map[string]any{"state": j.State})
 		return
 	}
-	s.writeJSON(w, route, http.StatusOK, toJobJSON(j, true))
+	s.writeJSON(w, r, route, http.StatusOK, toJobJSON(j, true))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	const route = "cancel"
 	id := r.PathValue("id")
+	if s.tenants != nil {
+		// Ownership gate before the cancel mutates anything; a foreign
+		// tenant's job reads as absent (see handleStatus).
+		j, err := s.mgr.Get(id)
+		if err != nil || !s.owns(r, j) {
+			s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, jobs.ErrNotFound.Error(), nil)
+			return
+		}
+	}
 	switch err := s.mgr.Cancel(id); {
 	case errors.Is(err, jobs.ErrNotFound):
-		s.writeError(w, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, err.Error(), nil)
 	case errors.Is(err, jobs.ErrTerminal):
-		s.writeError(w, route, http.StatusConflict, CodeTerminal, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusConflict, CodeTerminal, err.Error(), nil)
 	case err != nil:
-		s.writeError(w, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
+		s.writeError(w, r, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 	default:
-		s.writeJSON(w, route, http.StatusOK, map[string]any{
+		s.writeJSON(w, r, route, http.StatusOK, map[string]any{
 			"id": id, "state": jobs.StateCancelled,
 		})
 	}
@@ -364,7 +542,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 	pools := s.mgr.Backends()
 	sort.Strings(pools)
-	s.writeJSON(w, "backends", http.StatusOK, map[string]any{
+	s.writeJSON(w, r, "backends", http.StatusOK, map[string]any{
 		"backends": pools,
 		"schemes":  tilt.Backends(),
 		"version":  Version(),
@@ -375,13 +553,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)
-	s.httpReqs("metrics", http.StatusOK)
+	s.httpReqs("metrics", http.StatusOK, tenantID(r))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	backends := s.mgr.Backends()
 	sort.Strings(backends)
-	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{
+	s.writeJSON(w, r, "healthz", http.StatusOK, map[string]any{
 		"status":   "ok",
 		"version":  Version(),
 		"uptime_s": int64(time.Since(s.start).Seconds()),
@@ -390,19 +568,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, route string, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, route string, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-	s.httpReqs(route, code)
+	s.httpReqs(route, code, tenantID(r))
 }
 
-func (s *Server) writeError(w http.ResponseWriter, route string, status int, code, msg string, extra map[string]any) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, route string, status int, code, msg string, extra map[string]any) {
 	body := map[string]any{"error": msg, "code": code}
 	for k, v := range extra {
 		body[k] = v
 	}
-	s.writeJSON(w, route, status, body)
+	s.writeJSON(w, r, route, status, body)
 }

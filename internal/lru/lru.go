@@ -83,3 +83,17 @@ func (c *Cache[K, V]) Stats() (hits, misses int64) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
+
+// Each calls fn for every entry from most to least recently used, without
+// refreshing recency or counting hits. Iteration stops early when fn
+// returns false. fn must not call back into the cache (the lock is held).
+func (c *Cache[K, V]) Each(fn func(K, V) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package tenant
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		tenants []Tenant
+		wantErr string
+	}{
+		{"empty", nil, "no tenants"},
+		{"no id", []Tenant{{Key: "k"}}, "no id"},
+		{"no key", []Tenant{{ID: "a"}}, "no key"},
+		{"dup id", []Tenant{{ID: "a", Key: "k1"}, {ID: "a", Key: "k2"}}, "duplicate id"},
+		{"shared key", []Tenant{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}}, "share a key"},
+		{"negative quota", []Tenant{{ID: "a", Key: "k", MaxQueued: -1}}, "negative limit"},
+		{"negative rate", []Tenant{{ID: "a", Key: "k", RatePerSec: -3}}, "rate_per_sec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.tenants...)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("New(%+v) err = %v, want containing %q", tc.tenants, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	reg, err := New(
+		Tenant{ID: "alice", Key: "key-alice"},
+		Tenant{ID: "bob", Key: "key-bob", Disabled: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Authenticate("key-alice")
+	if err != nil || got.ID != "alice" {
+		t.Fatalf("Authenticate(key-alice) = %+v, %v", got, err)
+	}
+	if _, err := reg.Authenticate("key-nobody"); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("unknown key: err = %v, want ErrUnauthorized", err)
+	}
+	if _, err := reg.Authenticate(""); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("empty key: err = %v, want ErrUnauthorized", err)
+	}
+	// A disabled tenant's key still authenticates as a key (no information
+	// leak about which failure it was at the transport level is needed
+	// here), but the request is refused.
+	if _, err := reg.Authenticate("key-bob"); !errors.Is(err, ErrForbidden) {
+		t.Errorf("disabled tenant: err = %v, want ErrForbidden", err)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	cfg := `{"tenants": [
+		{"id": "alice", "key": "ka", "weight": 3, "max_queued": 8, "max_inflight": 2, "rate_per_sec": 10, "burst": 20},
+		{"id": "bob", "key": "kb"}
+	]}`
+	reg, err := Load(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.IDs(); !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+		t.Errorf("IDs() = %v", got)
+	}
+	a, ok := reg.Lookup("alice")
+	if !ok || a.Weight != 3 || a.MaxQueued != 8 || a.MaxInFlight != 2 {
+		t.Errorf("Lookup(alice) = %+v, %v", a, ok)
+	}
+	if _, ok := reg.Lookup("carol"); ok {
+		t.Error("Lookup(carol) should miss")
+	}
+
+	// Typos in the config must fail loudly, not run with defaults.
+	if _, err := Load(strings.NewReader(`{"tenants": [{"id": "a", "key": "k", "max_qeued": 5}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	reg, err := New(Tenant{ID: "heavy", Key: "k", Weight: 4}, Tenant{ID: "plain", Key: "k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := reg.Weight("heavy"); w != 4 {
+		t.Errorf("Weight(heavy) = %d, want 4", w)
+	}
+	if w := reg.Weight("plain"); w != 1 {
+		t.Errorf("Weight(plain) = %d, want the default 1", w)
+	}
+	if w := reg.Weight("stranger"); w != 1 {
+		t.Errorf("Weight(stranger) = %d, want 1", w)
+	}
+	var nilReg *Registry
+	if w := nilReg.Weight("anyone"); w != 1 {
+		t.Errorf("nil registry Weight = %d, want 1", w)
+	}
+}
+
+func TestAllowTokenBucket(t *testing.T) {
+	reg, err := New(
+		Tenant{ID: "limited", Key: "k", RatePerSec: 2, Burst: 3},
+		Tenant{ID: "open", Key: "k2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	// The bucket starts full: Burst requests pass, the next is refused.
+	for i := 0; i < 3; i++ {
+		if ok, _ := reg.Allow("limited", now); !ok {
+			t.Fatalf("request %d inside burst refused", i)
+		}
+	}
+	ok, retry := reg.Allow("limited", now)
+	if ok {
+		t.Fatal("request over burst allowed")
+	}
+	if retry < time.Second {
+		t.Errorf("retryAfter = %v, want >= 1s (Retry-After has 1s resolution)", retry)
+	}
+
+	// Half a second refills one token at 2/s.
+	if ok, _ := reg.Allow("limited", now.Add(500*time.Millisecond)); !ok {
+		t.Error("refilled token refused")
+	}
+	// The bucket never overflows Burst: after a long idle stretch exactly
+	// Burst requests pass.
+	later := now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := reg.Allow("limited", later); !ok {
+			t.Fatalf("request %d after idle refill refused", i)
+		}
+	}
+	if ok, _ := reg.Allow("limited", later); ok {
+		t.Error("burst cap not enforced after idle refill")
+	}
+
+	// No configured rate, and unknown tenants: always allowed.
+	for i := 0; i < 100; i++ {
+		if ok, _ := reg.Allow("open", now); !ok {
+			t.Fatal("unlimited tenant throttled")
+		}
+		if ok, _ := reg.Allow("stranger", now); !ok {
+			t.Fatal("unknown tenant throttled")
+		}
+	}
+}
+
+func TestBurstDefaultsToCeilRate(t *testing.T) {
+	reg, err := New(Tenant{ID: "t", Key: "k", RatePerSec: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	passed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := reg.Allow("t", now); ok {
+			passed++
+		}
+	}
+	if passed != 3 {
+		t.Errorf("burst defaulted to %d requests, want ceil(2.5) = 3", passed)
+	}
+}

@@ -70,6 +70,10 @@ func Backends() []string {
 //	qccd://?ions=64&capacities=15,25,35     the QCCD baseline (NewQCCD)
 //	idealti://?ions=64                      the ideal trapped-ion bound (NewIdealTI)
 //	linqd://127.0.0.1:8080?backend=TILT     a remote linqd daemon (Remote)
+//	linqd://host:8080?key=K&tenant=alice    ... authenticating as a tenant
+//	                                        (key = API key, sent as a Bearer
+//	                                        token; tenant optionally asserts
+//	                                        the identity the key must own)
 //
 // The in-process schemes share one query vocabulary: ions, head, maxswaplen,
 // alpha, placement (identity|greedy|program), inserter (linq|stochastic),

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -29,6 +31,8 @@ type RemoteBackend struct {
 	wait    time.Duration // server-side block per result fetch (0 = pure polling)
 	pollMin time.Duration // poll backoff floor
 	pollMax time.Duration // poll backoff ceiling
+	apiKey  string        // tenant API key, sent as Authorization: Bearer
+	tenant  string        // asserted tenant ID (optional, sent as X-Linq-Tenant)
 	name    string
 }
 
@@ -59,6 +63,21 @@ func RemoteWait(d time.Duration) RemoteOption {
 // fetches that return "not ready" (defaults 10ms..1s, doubling).
 func RemotePollInterval(min, max time.Duration) RemoteOption {
 	return func(b *RemoteBackend) { b.pollMin, b.pollMax = min, max }
+}
+
+// RemoteAPIKey authenticates every request with the tenant API key (sent
+// as Authorization: Bearer <key>). Required against a daemon running with
+// -tenants; requests without it are refused with 401.
+func RemoteAPIKey(key string) RemoteOption {
+	return func(b *RemoteBackend) { b.apiKey = key }
+}
+
+// RemoteTenant asserts the tenant identity the API key must belong to
+// (sent as X-Linq-Tenant). Optional — the key alone identifies the tenant;
+// asserting it catches a mismatched key/URI pairing with a 403 instead of
+// silently submitting as the key's owner.
+func RemoteTenant(id string) RemoteOption {
+	return func(b *RemoteBackend) { b.tenant = id }
 }
 
 // Remote returns a client backend for the linqd daemon at addr
@@ -100,9 +119,17 @@ func init() {
 			}
 			opts = append(opts, RemoteWait(d))
 		}
+		if q.Has("key") {
+			opts = append(opts, RemoteAPIKey(q.Get("key")))
+		}
+		if q.Has("tenant") {
+			opts = append(opts, RemoteTenant(q.Get("tenant")))
+		}
 		for k := range q {
-			if k != "backend" && k != "wait" {
-				return nil, fmt.Errorf("unknown parameter %q (known: backend, wait)", k)
+			switch k {
+			case "backend", "wait", "key", "tenant":
+			default:
+				return nil, fmt.Errorf("unknown parameter %q (known: backend, wait, key, tenant)", k)
 			}
 		}
 		return Remote(u.Host, opts...), nil
@@ -125,6 +152,10 @@ type RemoteError struct {
 	Message string
 	// Line is the 1-based QASM source line for parse failures (0 otherwise).
 	Line int
+	// RetryAfter is the daemon's Retry-After hint on 429 responses (zero
+	// when the daemon sent none). The poll loop honors it before the next
+	// fetch; submit-side callers should too.
+	RetryAfter time.Duration
 	// cause is the underlying transport error, if any.
 	cause error
 }
@@ -245,6 +276,27 @@ func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
 	for {
 		job, ready, err := b.fetchResult(ctx, id)
 		if err != nil {
+			// A 429 is throttling, not failure: the job is still running
+			// daemon-side, so honor Retry-After (or the current backoff,
+			// whichever is longer) and poll again instead of cancelling.
+			var re *RemoteError
+			if errors.As(err, &re) && re.Status == http.StatusTooManyRequests {
+				wait := delay
+				if re.RetryAfter > wait {
+					wait = re.RetryAfter
+				}
+				pollTimer.Reset(wait)
+				select {
+				case <-ctx.Done():
+					b.cancelRemote(id)
+					return nil, ctx.Err()
+				case <-pollTimer.C:
+				}
+				if delay *= 2; delay > b.pollMax {
+					delay = b.pollMax
+				}
+				continue
+			}
 			// Whatever broke the fetch — caller cancellation or a
 			// transport/HTTP failure — stop the daemon-side work too, or
 			// the submitted job would keep a remote worker busy computing
@@ -304,6 +356,7 @@ func (b *RemoteBackend) submit(ctx context.Context, c *Circuit) (string, error) 
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	b.setAuth(req)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return "", b.transportError(ctx, err)
@@ -332,6 +385,7 @@ func (b *RemoteBackend) fetchResult(ctx context.Context, id string) (job remoteJ
 	if err != nil {
 		return remoteJob{}, false, err
 	}
+	b.setAuth(req)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return remoteJob{}, false, b.transportError(ctx, err)
@@ -361,9 +415,20 @@ func (b *RemoteBackend) cancelRemote(id string) {
 	if err != nil {
 		return
 	}
+	b.setAuth(req)
 	if resp, err := b.client.Do(req); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+	}
+}
+
+// setAuth stamps the tenant credentials onto an outgoing request.
+func (b *RemoteBackend) setAuth(req *http.Request) {
+	if b.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+b.apiKey)
+	}
+	if b.tenant != "" {
+		req.Header.Set("X-Linq-Tenant", b.tenant)
 	}
 }
 
@@ -377,7 +442,8 @@ func (b *RemoteBackend) transportError(ctx context.Context, err error) error {
 	return &RemoteError{Status: 0, Message: err.Error(), cause: err}
 }
 
-// decodeRemoteError turns a non-2xx daemon response into a RemoteError.
+// decodeRemoteError turns a non-2xx daemon response into a RemoteError,
+// carrying the Retry-After hint through for throttled (429) requests.
 func decodeRemoteError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var body remoteErrorBody
@@ -387,5 +453,12 @@ func decodeRemoteError(resp *http.Response) error {
 			body.Error = http.StatusText(resp.StatusCode)
 		}
 	}
-	return &RemoteError{Status: resp.StatusCode, Code: body.Code, Message: body.Error, Line: body.Line}
+	re := &RemoteError{Status: resp.StatusCode, Code: body.Code, Message: body.Error, Line: body.Line}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		// linqd sends delay-seconds; the HTTP-date form is not parsed.
+		if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return re
 }
