@@ -14,6 +14,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/qccd"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // noCopy triggers go vet's copylocks check when a struct embedding it is
@@ -249,6 +250,10 @@ func (b *TILTBackend) Name() string { return "TILT" }
 // without recompiling.
 func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error) {
 	mx := b.cfg.mx
+	// When the context carries a trace span (jobs.Manager's execution
+	// context, or a caller's ContextWithSpan), the compile and each pass
+	// become child spans; with no span every tracing call below no-ops.
+	ctx, span := tracing.StartSpan(ctx, "compile")
 	var key string
 	if b.cache != nil {
 		key = c.Fingerprint()
@@ -256,22 +261,32 @@ func (b *TILTBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error
 			if mx != nil {
 				mx.cacheHits.With(b.Name()).Inc()
 			}
+			span.SetAttr("cache", "hit")
+			span.End()
 			return a, nil
 		}
 		if mx != nil {
 			mx.cacheMisses.With(b.Name()).Inc()
 		}
+		span.SetAttr("cache", "miss")
 	}
 	start := time.Now()
 	cfg := b.cfg.resolved(c)
 	passes, err := cfg.passList()
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
-	cr, err := core.CompileWith(ctx, c, cfg.core, passes, cfg.observer)
+	obs := cfg.observer
+	if span != nil {
+		obs = &passSpanObserver{inner: cfg.observer, parent: span}
+	}
+	cr, err := core.CompileWith(ctx, c, cfg.core, passes, obs)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	defer span.End()
 	if mx != nil {
 		mx.compiles.With(b.Name()).Inc()
 		mx.compileSec.With(b.Name()).Observe(time.Since(start).Seconds())
@@ -302,19 +317,23 @@ func (b *TILTBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	ctx, span := tracing.StartSpan(ctx, "simulate")
 	start := time.Now()
 	sr, err := a.Compile.Simulate(ctx, a.cfg.core)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
 	res := resultFromSim(b.Name(), sr)
 	if a.cfg.shots > 0 {
 		mcStats, err := runMC(ctx, a)
 		if err != nil {
+			span.EndErr(err)
 			return nil, err
 		}
 		res.MC = mcStats
 	}
+	defer span.End()
 	res.TILT = &TILTStats{
 		Device:        a.cfg.core.Device,
 		SwapCount:     a.Compile.SwapCount,
@@ -386,6 +405,18 @@ func runMC(ctx context.Context, a *Artifact) (*MCStats, error) {
 	return &out, nil
 }
 
+// CacheStats snapshots the compile cache's counters. ok is false when the
+// backend was built without WithCompileCache. This is the live
+// cache-hit-rate sample jobs.Manager.PoolLoads (and so GET /v1/backends)
+// reports per pool.
+func (b *TILTBackend) CacheStats() (CacheStats, bool) {
+	if b.cache == nil {
+		return CacheStats{}, false
+	}
+	hits, misses := b.cache.Stats()
+	return CacheStats{Hits: hits, Misses: misses, Entries: b.cache.Len()}, true
+}
+
 // AutoTune compiles the circuit at each candidate MaxSwapLen (default:
 // HeadSize−1 down to HeadSize/2) and returns the trials plus the index of
 // the best by success rate — the paper's §IV-C parameter search.
@@ -417,6 +448,8 @@ func (b *QCCDBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := tracing.StartSpan(ctx, "compile")
+	defer span.End()
 	start := time.Now()
 	cfg := b.cfg.resolved(c)
 	a := &Artifact{
@@ -438,12 +471,15 @@ func (b *QCCDBackend) Simulate(ctx context.Context, a *Artifact) (*Result, error
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	ctx, span := tracing.StartSpan(ctx, "simulate")
 	start := time.Now()
 	best, err := qccd.RunBestCapacity(ctx, a.Native, a.cfg.core.Device.NumIons,
 		a.cfg.capacities, a.cfg.core.NoiseParams())
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	defer span.End()
 	if mx := b.cfg.mx; mx != nil {
 		mx.simulateSec.With(b.Name()).Observe(time.Since(start).Seconds())
 	}
@@ -487,12 +523,15 @@ func (b *IdealTIBackend) Compile(ctx context.Context, c *Circuit) (*Artifact, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := tracing.StartSpan(ctx, "compile")
 	start := time.Now()
 	cfg := b.cfg.resolved(c)
 	native, mapped, err := core.PlaceIdeal(c, cfg.core.Device.NumIons)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	defer span.End()
 	if mx := b.cfg.mx; mx != nil {
 		mx.compiles.With(b.Name()).Inc()
 		mx.compileSec.With(b.Name()).Observe(time.Since(start).Seconds())
@@ -511,12 +550,15 @@ func (b *IdealTIBackend) Simulate(ctx context.Context, a *Artifact) (*Result, er
 	if err := checkArtifact(a, b.Name()); err != nil {
 		return nil, err
 	}
+	ctx, span := tracing.StartSpan(ctx, "simulate")
 	start := time.Now()
 	sr, err := sim.SimulateIdeal(ctx, a.Mapped,
 		device.IdealTI{NumIons: a.cfg.core.Device.NumIons}, a.cfg.core.NoiseParams())
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	defer span.End()
 	if mx := b.cfg.mx; mx != nil {
 		mx.simulateSec.With(b.Name()).Observe(time.Since(start).Seconds())
 	}

@@ -14,6 +14,13 @@
 // per-tenant quotas and rate limits (429 + Retry-After), weighted-fair
 // scheduling, and per-tenant metric labels.
 //
+// The daemon is observable end to end: every HTTP request and job carries
+// a trace (W3C traceparent in, stitched spans out via /v1/traces/{id}),
+// job lifecycle transitions stream live over /v1/events (SSE), and
+// /v1/backends reports per-pool load samples. -log-format json switches
+// the structured request/lifecycle log (stderr) to JSON lines carrying
+// trace, job, and tenant IDs.
+//
 // Usage:
 //
 //	linqd                              # serve on 127.0.0.1:8080
@@ -28,7 +35,9 @@
 //	GET    /v1/jobs/{id}/result fetch the terminal outcome (409 until terminal;
 //	                            ?wait=5s blocks daemon-side until terminal or timeout)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/backends         pools served here + registered tilt.Open schemes
+//	GET    /v1/traces/{id}      stitched trace (all spans) for a job
+//	GET    /v1/events           live job-transition stream (Server-Sent Events)
+//	GET    /v1/backends         pools served here + live load samples + schemes
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness + version + lifecycle counters
 //
@@ -43,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +65,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/linqhttp"
 	"repro/internal/tenant"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -93,6 +104,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		journalSeg = fs.Int64("journal-segment-bytes", 0, "journal segment rotation size (0 = default 4MiB)")
 		journalNoF = fs.Bool("journal-nosync", false, "skip the per-append fsync (faster, loses the power-failure guarantee)")
 		tenantsCfg = fs.String("tenants", "", "tenants JSON config; turns on API-key auth, quotas, and rate limits")
+
+		logFormat   = fs.String("log-format", "text", `structured request/lifecycle log format: "text" or "json" (stderr)`)
+		traceStore  = fs.Int("trace-store", 512, "finished traces kept in memory for /v1/traces (0 disables tracing)")
+		traceExport = fs.String("trace-export", "", `append finished spans as JSON lines to this file ("-" = stderr)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +116,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "linqd %s\n", linqhttp.Version())
 		return nil
 	}
+
+	// Structured log: requests and lifecycle events on stderr, with trace,
+	// job, and tenant IDs attached. The terse stdout lines (listening on,
+	// recovered, drained) stay as the stable machine-greppable interface.
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("linqd: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	reg := tilt.NewMetricsRegistry()
 	common := []tilt.Option{tilt.WithDevice(*ions, *head), tilt.WithMetrics(reg)}
@@ -112,7 +141,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		tiltOpts = append(tiltOpts, tilt.WithShots(*shots))
 	}
 	mgrOpts := []jobs.Option{jobs.WithStoreSize(*store), jobs.WithMetrics(reg)}
-	srvOpts := []linqhttp.ServerOption{}
+	srvOpts := []linqhttp.ServerOption{linqhttp.WithLogger(logger)}
+	if *traceStore > 0 {
+		topts := []tracing.Option{tracing.WithMaxTraces(*traceStore), tracing.WithMetrics(reg)}
+		if *traceExport != "" {
+			w := io.Writer(os.Stderr)
+			if *traceExport != "-" {
+				f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return fmt.Errorf("linqd: trace export: %w", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			topts = append(topts, tracing.WithExporter(tracing.NewJSONExporter(w)))
+		}
+		tracer := tracing.New("linqd", topts...)
+		mgrOpts = append(mgrOpts, jobs.WithTracer(tracer))
+		srvOpts = append(srvOpts, linqhttp.WithTracer(tracer))
+	}
 	if *tenantsCfg != "" {
 		treg, err := tenant.LoadFile(*tenantsCfg)
 		if err != nil {
@@ -150,6 +197,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		rc := mgr.Recovery()
 		fmt.Fprintf(out, "linqd: journal %s: recovered %d terminal, %d requeued, %d rerun, %d expired, %d unrecoverable\n",
 			*journalDir, rc.Terminal, rc.Requeued, rc.Rerun, rc.Expired, rc.Unrecoverable)
+		logger.Info("journal recovered", "dir", *journalDir,
+			"terminal", rc.Terminal, "requeued", rc.Requeued, "rerun", rc.Rerun,
+			"expired", rc.Expired, "unrecoverable", rc.Unrecoverable)
 	}
 
 	srv := linqhttp.NewServer(mgr, reg, srvOpts...)
@@ -159,6 +209,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	bound := ln.Addr().String()
 	fmt.Fprintf(out, "linqd: listening on %s\n", bound)
+	logger.Info("listening", "addr", bound, "version", linqhttp.Version())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			ln.Close()
@@ -180,6 +231,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// HTTP exchanges), then drain the job queue so every accepted job
 	// reaches a terminal state before the process exits.
 	fmt.Fprintf(out, "linqd: shutting down, draining jobs (max %v)\n", *drain)
+	logger.Info("draining", "max", *drain)
 	// The signal ctx is already done here; WithoutCancel detaches the
 	// drain deadline from it without minting a fresh context root.
 	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drain)
@@ -191,6 +243,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	st := mgr.Stats()
 	fmt.Fprintf(out, "linqd: drained: %d submitted (%d deduped), %d done, %d failed, %d cancelled\n",
 		st.Submitted, st.Deduped, st.Done, st.Failed, st.Cancelled)
+	logger.Info("drained", "submitted", st.Submitted, "deduped", st.Deduped,
+		"done", st.Done, "failed", st.Failed, "cancelled", st.Cancelled)
 	if drainErr != nil {
 		return fmt.Errorf("linqd: drain incomplete: %w", drainErr)
 	}

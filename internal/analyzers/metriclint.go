@@ -21,11 +21,17 @@ import (
 // inline in With arguments create unbounded label cardinality and are
 // rejected.
 //
+// Family names are further namespaced by subsystem: the token right after
+// the linq_ prefix must come from the fixed vocabulary in
+// metricSubsystems, so linq_trace_* and linq_events_* families land next
+// to their jobs/journal/pool siblings instead of minting ad-hoc prefixes
+// that dashboards then have to chase.
+//
 // Silence a deliberate deviation with //lint:metriclint-exempt <reason>.
 var MetricLint = &analysis.Analyzer{
 	Name: "metriclint",
-	Doc: "metric families must be linq_* snake_case constants with constant " +
-		"label schemas and bounded label values",
+	Doc: "metric families must be linq_<subsystem>_* snake_case constants with " +
+		"constant label schemas and bounded label values",
 	Run: runMetricLint,
 }
 
@@ -33,6 +39,27 @@ var (
 	metricNameRe = regexp.MustCompile(`^linq(_[a-z0-9]+)+$`)
 	labelNameRe  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 )
+
+// metricSubsystems is the closed vocabulary of family namespaces: the
+// token between linq_ and the rest of the name. Adding a subsystem here is
+// a deliberate, reviewed act — it is the unit dashboards and alerts group
+// by.
+var metricSubsystems = map[string]bool{
+	"compile":  true, // compile cache + latency (backend hot path)
+	"compiles": true, // legacy spelling of the compile counter
+	"events":   true, // /v1/events SSE bus
+	"http":     true, // linqhttp request metrics
+	"job":      true, // per-job latency histograms
+	"jobs":     true, // jobs.Manager lifecycle counters/gauges
+	"journal":  true, // write-ahead journal
+	"mc":       true, // Monte-Carlo sharding
+	"pass":     true, // per-pass compile latency
+	"pool":     true, // client-side PoolBackend
+	"runner":   true, // experiment runner
+	"simulate": true, // simulation latency
+	"tenant":   true, // multi-tenant auth/quota/throttle
+	"trace":    true, // tracing span store
+}
 
 // familyMethods maps Registry method name → index of the first label-name
 // argument (-1: no labels).
@@ -126,6 +153,8 @@ func checkFamily(pass *analysis.Pass, call *ast.CallExpr, kind string, labelIdx 
 	}
 	if !metricNameRe.MatchString(name) {
 		pass.Reportf(call.Args[0].Pos(), "metric family %q must match linq_* snake_case (%s)", name, metricNameRe)
+	} else if sub := strings.SplitN(name, "_", 3)[1]; !metricSubsystems[sub] {
+		pass.Reportf(call.Args[0].Pos(), "metric family %q uses unknown subsystem %q; use one of the fixed vocabulary (see metricSubsystems) or extend it deliberately", name, sub)
 	}
 
 	var labels []string

@@ -9,8 +9,12 @@ const familyJobs = "linq_jobs_total"
 
 func register(r *metrics.Registry, backend string) {
 	r.Counter("linq_compiles_total", "compiles")
-	r.Gauge("linq_queue_depth", "queue depth")
+	r.Gauge("linq_jobs_queue_depth", "queue depth")
 	r.Histogram("linq_compile_seconds", "latency", nil)
+
+	// The observability subsystems are first-class vocabulary.
+	r.Counter("linq_trace_spans_finished_total", "finished spans")
+	r.Counter("linq_events_dropped_total", "dropped SSE frames")
 
 	// Get-or-create: re-registering the same name with the same kind and
 	// schema is the documented lookup idiom.

@@ -45,6 +45,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/metrics"
 	"repro/internal/tenant"
+	"repro/internal/tracing"
 	"repro/runner"
 )
 
@@ -120,6 +121,10 @@ type Request struct {
 	// deployments). It scopes quotas, weighted-fair scheduling, listing,
 	// and the per-tenant metric labels.
 	Tenant string
+	// Parent, when valid, links the job's spans into a trace begun
+	// elsewhere — typically the HTTP request span that carried the
+	// client's traceparent header. Ignored without WithTracer.
+	Parent tracing.SpanContext
 }
 
 // Job is an immutable snapshot of one submission's lifecycle, returned by
@@ -143,6 +148,12 @@ type Job struct {
 	Result *tilt.Result
 	// Error is the failure message (terminal failed/cancelled jobs only).
 	Error string
+	// TraceID names the job's trace in the manager's tracer (empty without
+	// WithTracer, and for snapshots restored from the journal — the trace
+	// store is in-memory only). It lives on the Job, never inside Result,
+	// so fingerprint-dedup'd submissions still share a byte-identical
+	// Result payload.
+	TraceID string
 }
 
 // jobState is the manager's mutable record of one submission; all fields
@@ -158,6 +169,13 @@ type jobState struct {
 	deadline  time.Time // zero = no TTL
 	state     State
 	exec      *execution
+
+	// span is the job's root span and queueSpan its queue-wait child (both
+	// nil without WithTracer; every tracing call is nil-safe). traceID is
+	// cached so snapshots survive the span ending.
+	span      *tracing.Span
+	queueSpan *tracing.Span
+	traceID   string
 }
 
 // execution is one physical compile+simulate: the unit the pools queue and
@@ -204,6 +222,7 @@ type pool struct {
 	backend tilt.Backend
 	workers int
 	q       execQueue
+	running int        // executions currently executing on this pool
 	vnow    float64    // weighted-fair virtual clock: vtime of the last pop
 	cond    *sync.Cond // waits on Manager.mu for queue or shutdown activity
 }
@@ -224,10 +243,39 @@ type Manager struct {
 
 	jnl        *journal.Journal // nil = in-memory only
 	treg       *tenant.Registry // nil = no quotas, all weights 1
+	tracer     *tracing.Tracer  // nil = tracing off
 	runnerOpts []runner.Option
 	mx         *instruments
 	stats      Stats    // cumulative lifecycle counts, guarded by mu
 	recovery   Recovery // journal-replay outcome, fixed after New
+
+	// Event-bus state (guarded by mu): live subscriptions by ID and the
+	// monotonically increasing event sequence number.
+	eventSubs map[uint64]*eventSub
+	eventSeq  uint64
+	subSeq    uint64
+}
+
+// Event is one job state transition, as streamed to Subscribe channels
+// (and, through linqd, to /v1/events SSE clients). Events for one job are
+// delivered in lifecycle order; Seq orders events across jobs.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	JobID   string    `json:"job"`
+	Name    string    `json:"name,omitempty"`
+	Backend string    `json:"backend"`
+	Tenant  string    `json:"tenant,omitempty"`
+	State   State     `json:"state"`
+	Deduped bool      `json:"deduped,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// eventSub is one live Subscribe registration.
+type eventSub struct {
+	tenant string
+	ch     chan Event
 }
 
 // Recovery summarizes what New rebuilt from the journal.
@@ -288,6 +336,17 @@ type managerConfig struct {
 	metrics   *metrics.Registry
 	journal   *journal.Journal
 	tenants   *tenant.Registry
+	tracer    *tracing.Tracer
+}
+
+// WithTracer attaches a tracer: every submission gets a root span (linked
+// under Request.Parent when the submission continues a client-side trace),
+// a queue-wait child span, and — because the execution context carries the
+// span — compile/simulate/per-pass child spans from the backend. Job
+// snapshots expose the trace ID so callers can fetch the assembled trace
+// from the tracer's store.
+func WithTracer(t *tracing.Tracer) Option {
+	return func(c *managerConfig) { c.tracer = t }
 }
 
 // WithJournal attaches a write-ahead journal: every state transition is
@@ -340,6 +399,15 @@ type instruments struct {
 	runSec    *metrics.HistogramVec // linq_job_run_seconds{backend,tenant}
 	rejected  *metrics.CounterVec   // linq_tenant_rejected_total{tenant,reason}
 	replayed  *metrics.CounterVec   // linq_jobs_replayed_total{backend,outcome}
+
+	// Live telemetry-plane families: the physical queue depth each pool
+	// sees (executions, after dedup), per-tenant in-flight executions, and
+	// the event bus's delivery counters.
+	queueDepth  *metrics.GaugeVec // linq_jobs_queue_depth{backend}
+	inflight    *metrics.GaugeVec // linq_jobs_inflight{tenant}
+	evPublished *metrics.Counter  // linq_events_published_total
+	evDropped   *metrics.Counter  // linq_events_dropped_total
+	evSubs      *metrics.Gauge    // linq_events_subscribers
 }
 
 func newInstruments(r *metrics.Registry) *instruments {
@@ -364,6 +432,16 @@ func newInstruments(r *metrics.Registry) *instruments {
 			"Submissions rejected by tenant policy, by reason.", "tenant", "reason"),
 		replayed: r.CounterVec("linq_jobs_replayed_total",
 			"Jobs rebuilt from the journal at startup, by outcome.", "backend", "outcome"),
+		queueDepth: r.GaugeVec("linq_jobs_queue_depth",
+			"Executions waiting in the pool queue (after dedup).", "backend"),
+		inflight: r.GaugeVec("linq_jobs_inflight",
+			"Executions currently running, by owning tenant.", "tenant"),
+		evPublished: r.Counter("linq_events_published_total",
+			"Job-transition events delivered to subscribers."),
+		evDropped: r.Counter("linq_events_dropped_total",
+			"Job-transition events dropped because a subscriber's buffer was full."),
+		evSubs: r.Gauge("linq_events_subscribers",
+			"Live event-bus subscriptions."),
 	}
 }
 
@@ -399,6 +477,9 @@ func New(pools []Pool, opts ...Option) (*Manager, error) {
 		tenants:  make(map[string]*tenantState),
 		jnl:      cfg.journal,
 		treg:     cfg.tenants,
+		tracer:   cfg.tracer,
+
+		eventSubs: make(map[uint64]*eventSub),
 	}
 	if cfg.metrics != nil {
 		m.mx = newInstruments(cfg.metrics)
@@ -699,6 +780,17 @@ func (m *Manager) Submit(req Request) (string, error) {
 	if req.TTL > 0 {
 		j.deadline = j.submitted.Add(req.TTL)
 	}
+	if m.tracer != nil {
+		// StartRemote links under the caller's span (the HTTP request span
+		// carrying the client's traceparent) or roots a fresh trace when
+		// the submission arrived without one.
+		j.span = m.tracer.StartRemote("job", req.Parent)
+		j.span.SetAttr("job_id", j.id) //lint:lockorder-exempt Manager.mu is the outer lock; tracing Span.mu is a leaf never held across jobs calls
+		j.span.SetAttr("backend", j.backend)
+		j.span.SetAttr("tenant", tenantLabel(j.tenant))
+		j.traceID = j.span.Context().TraceID
+		j.queueSpan = j.span.StartChild("queue-wait")
+	}
 	key := req.Backend + "\x00" + fp
 	_, dedup := m.inflight[key]
 	if m.jnl != nil {
@@ -723,7 +815,13 @@ func (m *Manager) Submit(req Request) (string, error) {
 		if m.mx != nil {
 			m.mx.deduped.With(j.backend, tenantLabel(j.tenant)).Inc()
 		}
+		j.span.SetAttr("deduped", "true")
+		if j.state == StateRunning {
+			// Attached to an execution already on a worker: no queue wait.
+			j.queueSpan.End() //lint:lockorder-exempt Manager.mu is the outer lock; tracing Tracer.mu only guards the span store and never calls back into jobs
+		}
 	}
+	m.emitLocked(j, j.state, "")
 	return j.id, nil
 }
 
@@ -746,7 +844,15 @@ func (m *Manager) attachLocked(j *jobState, p *pool, key string, circ *tilt.Circ
 			j.deadline = time.Time{} // already started: TTL is satisfied
 		}
 	} else {
-		ctx, cancel := context.WithCancel(context.Background())
+		base := context.Background()
+		if j.span != nil {
+			// The execution context carries the first subscriber's span, so
+			// the backend's compile/simulate/per-pass child spans land in
+			// that job's trace. Later dedup subscribers keep their own
+			// (span-less) traces; the shared work is attributed once.
+			base = tracing.ContextWithSpan(base, j.span)
+		}
+		ctx, cancel := context.WithCancel(base)
 		e := &execution{
 			key:      key,
 			pool:     p,
@@ -764,6 +870,7 @@ func (m *Manager) attachLocked(j *jobState, p *pool, key string, circ *tilt.Circ
 		j.exec = e
 		m.inflight[key] = e
 		heap.Push(&p.q, e)
+		m.gaugeQueueDepthLocked(p)
 		p.cond.Signal()
 	}
 	m.jobs[j.id] = j
@@ -778,6 +885,20 @@ func (m *Manager) attachLocked(j *jobState, p *pool, key string, circ *tilt.Circ
 		if m.mx != nil {
 			m.mx.running.With(j.backend, tenantLabel(j.tenant)).Inc()
 		}
+	}
+}
+
+// gaugeQueueDepthLocked re-samples the pool's physical queue depth gauge.
+func (m *Manager) gaugeQueueDepthLocked(p *pool) {
+	if m.mx != nil {
+		m.mx.queueDepth.With(p.name).Set(float64(p.q.Len())) //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
+	}
+}
+
+// gaugeInflightLocked re-samples the tenant's in-flight executions gauge.
+func (m *Manager) gaugeInflightLocked(tenantID string) {
+	if m.mx != nil {
+		m.mx.inflight.With(tenantLabel(tenantID)).Set(float64(m.tstateLocked(tenantID).runningExecs))
 	}
 }
 
@@ -902,6 +1023,127 @@ func (m *Manager) Wait(ctx context.Context, id string) (Job, error) {
 	return Job{}, ErrNotFound
 }
 
+// Subscribe registers a job-transition event stream scoped to one tenant:
+// the channel receives every Event whose job the tenant owns (the empty
+// tenant ID subscribes to unauthenticated submissions, which is everything
+// in a deployment without a tenant registry). buf bounds the channel
+// (<= 0: 64); when a consumer falls behind, events are dropped rather than
+// blocking the manager — SSE clients re-sync from Get. The returned cancel
+// func unregisters the subscription (idempotent); the channel is never
+// closed, so consumers select against their own context.
+func (m *Manager) Subscribe(tenantID string, buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	m.mu.Lock()
+	m.subSeq++
+	id := m.subSeq
+	m.eventSubs[id] = &eventSub{tenant: tenantID, ch: ch}
+	if m.mx != nil {
+		m.mx.evSubs.Set(float64(len(m.eventSubs))) //lint:lockorder-exempt Manager.mu is the outer lock; metrics family.mu is a leaf never held across jobs calls
+	}
+	m.mu.Unlock()
+	cancel := func() {
+		m.mu.Lock()
+		if _, live := m.eventSubs[id]; live {
+			delete(m.eventSubs, id)
+			if m.mx != nil {
+				m.mx.evSubs.Set(float64(len(m.eventSubs)))
+			}
+		}
+		m.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// emitLocked fans one job transition out to the matching subscribers. The
+// sends are non-blocking (a full subscriber drops the event and books
+// linq_events_dropped_total), so a stalled SSE client can never wedge the
+// scheduler.
+func (m *Manager) emitLocked(j *jobState, st State, errMsg string) {
+	if len(m.eventSubs) == 0 {
+		return
+	}
+	m.eventSeq++
+	ev := Event{
+		Seq:     m.eventSeq,
+		Time:    time.Now(),
+		JobID:   j.id,
+		Name:    j.name,
+		Backend: j.backend,
+		Tenant:  j.tenant,
+		State:   st,
+		Deduped: j.deduped,
+		TraceID: j.traceID,
+		Error:   errMsg,
+	}
+	for _, s := range m.eventSubs {
+		if s.tenant != j.tenant {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+			if m.mx != nil {
+				m.mx.evPublished.Inc()
+			}
+		default:
+			if m.mx != nil {
+				m.mx.evDropped.Inc()
+			}
+		}
+	}
+}
+
+// PoolLoad is a live load sample of one backend pool — the routing signal
+// /v1/backends exposes for Pool members and fleet supervisors: prefer the
+// member with the shallowest queue and free workers, avoid draining ones.
+type PoolLoad struct {
+	// Backend is the pool's name; Workers its concurrency bound.
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	// Queued and Running count executions (deduplicated physical work, not
+	// subscriber jobs) waiting in the queue and on workers right now.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// CacheHitRate is the backend's compile-cache hit rate in [0, 1]
+	// (-1 when the backend has no cache or has served no lookups yet).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Draining reports that the manager stopped intake (Shutdown began).
+	Draining bool `json:"draining"`
+}
+
+// compileCached is implemented by backends with an inspectable compile
+// cache (tilt.TILTBackend).
+type compileCached interface {
+	CacheStats() (tilt.CacheStats, bool)
+}
+
+// PoolLoads samples every pool's live load, sorted by backend name.
+func (m *Manager) PoolLoads() []PoolLoad {
+	m.mu.Lock()
+	out := make([]PoolLoad, 0, len(m.pools))
+	for _, p := range m.pools {
+		pl := PoolLoad{
+			Backend:      p.name,
+			Workers:      p.workers,
+			Queued:       p.q.Len(),
+			Running:      p.running,
+			CacheHitRate: -1,
+			Draining:     m.closed,
+		}
+		if cc, ok := p.backend.(compileCached); ok {
+			if st, live := cc.CacheStats(); live && st.Hits+st.Misses > 0 {
+				pl.CacheHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+			}
+		}
+		out = append(out, pl)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Backend < out[k].Backend })
+	return out
+}
+
 // Cancel cancels one submission. A queued job is withdrawn; a running
 // job's execution is interrupted through its context unless other
 // submissions still subscribe to it (they keep it alive and keep their
@@ -970,6 +1212,7 @@ func (m *Manager) snapshotLocked(j *jobState) Job {
 	if j.exec != nil && j.state == StateRunning {
 		snap.Started = j.exec.started
 	}
+	snap.TraceID = j.traceID
 	return snap
 }
 
@@ -1040,6 +1283,17 @@ func (m *Manager) finalizeLocked(j *jobState, st State, res *tilt.Result, errMsg
 		}
 		m.mx.finished.With(j.backend, string(st), tl).Inc()
 	}
+	// Close out the job's spans: the queue-wait child first (still open
+	// when a queued job is cancelled or expires), then the root, carrying
+	// the failure if any. Nil-safe without WithTracer.
+	j.queueSpan.End()
+	j.span.SetAttr("state", string(st))
+	if errMsg != "" {
+		j.span.EndErr(errors.New(errMsg))
+	} else {
+		j.span.End()
+	}
+	m.emitLocked(j, st, errMsg)
 }
 
 // detachLocked unsubscribes a job from its execution; the last subscriber
@@ -1076,6 +1330,7 @@ func (m *Manager) detachLocked(j *jobState) {
 	}
 	if e.state == StateQueued && e.index >= 0 {
 		heap.Remove(&e.pool.q, e.index)
+		m.gaugeQueueDepthLocked(e.pool)
 	}
 	e.cancel()
 }
@@ -1103,6 +1358,7 @@ func (p *pool) worker() {
 			m.mu.Unlock()
 			return // closed and drained
 		}
+		m.gaugeQueueDepthLocked(p)
 
 		// Prune subscribers whose TTL expired while queued; if none are
 		// left the execution is dropped without compiling anything.
@@ -1118,9 +1374,12 @@ func (p *pool) worker() {
 
 		e.state = StateRunning
 		e.started = now
+		p.running++
 		m.tstateLocked(e.tenant).runningExecs++
+		m.gaugeInflightLocked(e.tenant)
 		for _, j := range e.subs {
 			j.state = StateRunning
+			j.queueSpan.End()
 			jts := m.tstateLocked(j.tenant)
 			jts.queued--
 			jts.running++
@@ -1138,6 +1397,7 @@ func (p *pool) worker() {
 				m.mx.running.With(j.backend, tl).Inc()
 				m.mx.queueSec.With(j.backend, tl).Observe(now.Sub(j.submitted).Seconds())
 			}
+			m.emitLocked(j, StateRunning, "")
 		}
 		m.mu.Unlock()
 
@@ -1214,7 +1474,9 @@ func (m *Manager) completeLocked(e *execution, res runner.JobResult) {
 		delete(m.inflight, e.key)
 	}
 	e.cancel() // release the context's resources
+	e.pool.running--
 	m.tstateLocked(e.tenant).runningExecs--
+	m.gaugeInflightLocked(e.tenant)
 	// A freed in-flight slot may unblock capped executions on any pool.
 	for _, p := range m.pools {
 		p.cond.Broadcast()

@@ -1,0 +1,114 @@
+// Internal (package jobs) test: Wait must unregister its waiter channel
+// when the caller's context dies mid-wait, or every abandoned ?wait= poll
+// leaks a channel in m.waiters for the lifetime of the job.
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	tilt "repro"
+)
+
+// gateBackend blocks every Compile until release is closed, keeping the
+// job alive while Wait callers come and go.
+type gateBackend struct{ release chan struct{} }
+
+func (b *gateBackend) Name() string { return "gate" }
+
+func (b *gateBackend) Compile(ctx context.Context, c *tilt.Circuit) (*tilt.Artifact, error) {
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &tilt.Artifact{Backend: "gate", Circuit: c}, nil
+}
+
+func (b *gateBackend) Simulate(ctx context.Context, a *tilt.Artifact) (*tilt.Result, error) {
+	return &tilt.Result{Backend: "gate", SuccessRate: 1}, nil
+}
+
+// waiterCount reads len(m.waiters[id]) under the manager lock.
+func waiterCount(m *Manager, id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters[id])
+}
+
+// TestWaitCleansUpWaiterOnCancel cancels a crowd of concurrent Wait calls
+// mid-wait (while the job is still running) and asserts no waiter channel
+// stays registered; a survivor then proves delivery still works and that
+// finalize clears the map entirely. Run under -race this also shakes out
+// unsynchronized waiter-slice access.
+func TestWaitCleansUpWaiterOnCancel(t *testing.T) {
+	be := &gateBackend{release: make(chan struct{})}
+	m, err := New([]Pool{{Name: "gate", Backend: be, Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = m.Shutdown(sctx)
+	}()
+
+	id, err := m.Submit(Request{Backend: "gate", Circuit: tilt.GHZ(3).Circuit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cancelled = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < cancelled; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Wait(ctx, id); err != context.Canceled {
+				t.Errorf("cancelled Wait: err = %v, want context.Canceled", err)
+			}
+		}()
+	}
+	// One survivor waits with a live context and must still get the snapshot.
+	got := make(chan Job, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j, err := m.Wait(context.Background(), id)
+		if err != nil {
+			t.Errorf("surviving Wait: %v", err)
+		}
+		got <- j
+	}()
+
+	// Let every waiter register before cancelling the doomed sixteen.
+	deadline := time.Now().Add(10 * time.Second)
+	for waiterCount(m, id) < cancelled+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never registered: have %d, want %d", waiterCount(m, id), cancelled+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	// Cancellation must unregister exactly the cancelled waiters.
+	for waiterCount(m, id) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled waiters leaked: %d channels registered, want 1", waiterCount(m, id))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(be.release)
+	wg.Wait()
+	j := <-got
+	if !j.State.Terminal() {
+		t.Fatalf("surviving waiter got non-terminal snapshot: %v", j.State)
+	}
+	if n := waiterCount(m, id); n != 0 {
+		t.Fatalf("waiters not cleared after finalize: %d left", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime/debug"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/qasm"
 	"repro/internal/tenant"
+	"repro/internal/tracing"
 	"repro/internal/workloads"
 )
 
@@ -33,6 +35,15 @@ const maxBodyBytes = 8 << 20
 // maxResultWait caps the daemon-side blocking ?wait= on a result fetch, so
 // a client cannot pin a handler goroutine for hours.
 const maxResultWait = 60 * time.Second
+
+// eventsBuffer is the per-subscriber event channel depth behind
+// GET /v1/events; a client more than this many frames behind loses the
+// overflow (and can re-sync any job it cares about from GET /v1/jobs/{id}).
+const eventsBuffer = 256
+
+// eventsHeartbeat paces SSE keep-alive comments so idle streams survive
+// proxies and dead clients are detected by the write failing.
+const eventsHeartbeat = 15 * time.Second
 
 // Machine-readable error codes carried in the "code" field of error
 // responses, so clients (the Remote backend, Pool breakers) can branch
@@ -69,6 +80,8 @@ type Server struct {
 	mgr      *jobs.Manager
 	reg      *tilt.MetricsRegistry
 	tenants  *tenant.Registry // nil = open deployment, no auth
+	tracer   *tracing.Tracer  // nil = tracing off
+	logger   *slog.Logger     // nil = no access log
 	start    time.Time
 	httpReqs httpCounter
 	authFail counter1 // linq_tenant_auth_failures_total{reason}
@@ -92,6 +105,23 @@ type ServerOption func(*Server)
 // the tenant label.
 func WithTenantAuth(reg *tenant.Registry) ServerOption {
 	return func(s *Server) { s.tenants = reg }
+}
+
+// WithTracer turns on request tracing: every API request gets a span (the
+// extraction point for incoming W3C traceparent headers, so client-side
+// traces stitch through), submissions link their job spans under it, and
+// GET /v1/traces/{id} serves a job's assembled trace from this tracer's
+// store. Share the tracer with jobs.WithTracer so daemon-side spans land in
+// one store.
+func WithTracer(t *tracing.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithLogger turns on structured access logging: one record per API
+// request carrying route, method, status, tenant, trace ID, and duration,
+// plus a record per accepted submission carrying the job ID.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
 }
 
 // NewServer returns the HTTP layer over the manager, instrumenting every
@@ -167,19 +197,105 @@ func statusLabel(code int) string {
 }
 
 // Routes builds the daemon's mux. The job routes sit behind the tenant
-// auth middleware (a no-op on open deployments); discovery, metrics, and
-// health stay unauthenticated so probes and scrapers keep working.
+// auth middleware (a no-op on open deployments), all wrapped in the
+// observe middleware (spans + access log, a no-op without WithTracer /
+// WithLogger); discovery, metrics, and health stay unauthenticated so
+// probes and scrapers keep working, and /metrics and /healthz stay
+// unobserved so scrape traffic doesn't flood the trace store.
 func (s *Server) Routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.auth("submit", true, s.handleSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.auth("list", false, s.handleList))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.auth("status", false, s.handleStatus))
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth("result", false, s.handleResult))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth("cancel", false, s.handleCancel))
-	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("POST /v1/jobs", s.observe("submit", s.auth("submit", true, s.handleSubmit)))
+	mux.HandleFunc("GET /v1/jobs", s.observe("list", s.auth("list", false, s.handleList)))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.observe("status", s.auth("status", false, s.handleStatus)))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.observe("result", s.auth("result", false, s.handleResult)))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.observe("cancel", s.auth("cancel", false, s.handleCancel)))
+	mux.HandleFunc("GET /v1/events", s.observe("events", s.auth("events", false, s.handleEvents)))
+	mux.HandleFunc("GET /v1/traces/{id}", s.observe("trace", s.auth("trace", false, s.handleTrace)))
+	mux.HandleFunc("GET /v1/backends", s.observe("backends", s.handleBackends))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// statusWriter records the response status (and the authenticated tenant,
+// stamped by the auth middleware) for the observe middleware, passing
+// Flush through so SSE streaming keeps working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	tenant string
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does — the SSE
+// handler needs the capability to survive this wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// observe wraps a route in the telemetry middleware: start a request span
+// (continuing the client's trace when the request carries a W3C
+// traceparent header), run the handler with the span in its context, and
+// emit one structured access-log record. With neither a tracer nor a
+// logger configured the handler runs untouched.
+func (s *Server) observe(route string, next http.HandlerFunc) http.HandlerFunc {
+	if s.tracer == nil && s.logger == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		parent, _ := tracing.ParseTraceparent(r.Header.Get("Traceparent"))
+		var span *tracing.Span
+		if s.tracer != nil {
+			span = s.tracer.StartRemote("http "+route, parent)
+			span.SetAttr("route", route)
+			span.SetAttr("method", r.Method)
+			r = r.WithContext(tracing.ContextWithSpan(r.Context(), span))
+		}
+		next(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		traceID := span.Context().TraceID
+		if traceID == "" {
+			traceID = parent.TraceID // logged even when tracing is off
+		}
+		if span != nil {
+			span.SetAttr("status", statusLabel(sw.status))
+			span.SetAttr("tenant", tenantLabel(sw.tenant))
+			span.End()
+		}
+		if s.logger != nil {
+			s.logger.Info("request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.String("tenant", tenantLabel(sw.tenant)),
+				slog.String("trace_id", traceID),
+				slog.Duration("duration", time.Since(start)),
+			)
+		}
+	}
 }
 
 // ctxKey keys the authenticated tenant ID in the request context.
@@ -245,6 +361,9 @@ func (s *Server) auth(route string, rateLimit bool, next http.HandlerFunc) http.
 			return
 		}
 		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey, t.ID))
+		if sw, ok := w.(*statusWriter); ok {
+			sw.tenant = t.ID // surfaces in the observe middleware's span and log
+		}
 		if rateLimit {
 			if ok, retry := s.tenants.Allow(t.ID, time.Now()); !ok {
 				s.throttle(t.ID)
@@ -290,18 +409,22 @@ type submitRequest struct {
 
 // jobJSON is the wire form of a job snapshot.
 type jobJSON struct {
-	ID        string       `json:"id"`
-	Name      string       `json:"name,omitempty"`
-	Backend   string       `json:"backend"`
-	Tenant    string       `json:"tenant,omitempty"`
-	State     jobs.State   `json:"state"`
-	Priority  int          `json:"priority,omitempty"`
-	Deduped   bool         `json:"deduped,omitempty"`
-	Submitted string       `json:"submitted,omitempty"`
-	Started   string       `json:"started,omitempty"`
-	Finished  string       `json:"finished,omitempty"`
-	Error     string       `json:"error,omitempty"`
-	Result    *tilt.Result `json:"result,omitempty"`
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	Backend   string     `json:"backend"`
+	Tenant    string     `json:"tenant,omitempty"`
+	State     jobs.State `json:"state"`
+	Priority  int        `json:"priority,omitempty"`
+	Deduped   bool       `json:"deduped,omitempty"`
+	Submitted string     `json:"submitted,omitempty"`
+	Started   string     `json:"started,omitempty"`
+	Finished  string     `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// TraceID names the job's trace (GET /v1/traces/{id} serves it). It
+	// rides on the job envelope, never inside "result", so deduplicated
+	// submissions still share a byte-identical result subobject.
+	TraceID string       `json:"trace_id,omitempty"`
+	Result  *tilt.Result `json:"result,omitempty"`
 }
 
 func toJobJSON(j jobs.Job, withResult bool) jobJSON {
@@ -317,6 +440,7 @@ func toJobJSON(j jobs.Job, withResult bool) jobJSON {
 		Started:   stamp(j.Started),
 		Finished:  stamp(j.Finished),
 		Error:     j.Error,
+		TraceID:   j.TraceID,
 	}
 	if withResult && j.Result != nil {
 		// Shallow-copy so the Result instance shared between deduped
@@ -412,6 +536,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Priority: req.Priority,
 		TTL:      time.Duration(req.TTLMs) * time.Millisecond,
 		Tenant:   tenantID(r),
+		// Link the job's spans under this request's span (which itself
+		// continues the client's trace when a traceparent came in).
+		Parent: tracing.FromContext(r.Context()).Context(),
 	})
 	switch {
 	case errors.Is(err, jobs.ErrUnknownBackend):
@@ -430,10 +557,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, route, http.StatusInternalServerError, CodeInternal, err.Error(), nil)
 		return
 	}
+	if s.logger != nil {
+		s.logger.Info("job accepted",
+			slog.String("job", id),
+			slog.String("backend", req.Backend),
+			slog.String("tenant", tenantLabel(tenantID(r))),
+			slog.String("trace_id", tracing.FromContext(r.Context()).Context().TraceID),
+		)
+	}
 	s.writeJSON(w, r, route, http.StatusAccepted, map[string]any{
 		"id":         id,
 		"status_url": "/v1/jobs/" + id,
 		"result_url": "/v1/jobs/" + id + "/result",
+		"trace_url":  "/v1/traces/" + id,
 	})
 }
 
@@ -536,9 +672,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBackends is the discovery endpoint: the pools this daemon serves
-// (the names POST /v1/jobs accepts) and the URI schemes the process's
-// backend registry knows (the names tilt.Open accepts), so a client can
-// enumerate the execution surface before submitting.
+// (the names POST /v1/jobs accepts), the URI schemes the process's backend
+// registry knows (the names tilt.Open accepts), and a live load sample per
+// pool — queue depth, in-flight executions, compile-cache hit rate, drain
+// state — so a Pool member or fleet supervisor can route on current
+// pressure, not just reachability.
 func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 	pools := s.mgr.Backends()
 	sort.Strings(pools)
@@ -546,7 +684,88 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 		"backends": pools,
 		"schemes":  tilt.Backends(),
 		"version":  Version(),
+		"load":     s.mgr.PoolLoads(),
 	})
+}
+
+// handleTrace serves a job's assembled daemon-side trace: every finished
+// span sharing the job's trace ID still in the tracer's bounded store.
+// The job ID (not the raw trace ID) is the key, so the same ownership rule
+// as status/result applies; clients holding the client half of the trace
+// merge the two span sets by trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	const route = "trace"
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil || !s.owns(r, j) {
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound, jobs.ErrNotFound.Error(), nil)
+		return
+	}
+	if s.tracer == nil || j.TraceID == "" {
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound,
+			"no trace recorded for this job (daemon tracing disabled)", nil)
+		return
+	}
+	spans, ok := s.tracer.Trace(j.TraceID)
+	if !ok {
+		s.writeError(w, r, route, http.StatusNotFound, CodeNotFound,
+			"trace evicted from the bounded store", nil)
+		return
+	}
+	s.writeJSON(w, r, route, http.StatusOK, map[string]any{
+		"job":      j.ID,
+		"trace_id": j.TraceID,
+		"spans":    spans,
+	})
+}
+
+// handleEvents streams job-transition events as Server-Sent Events: one
+// "job" frame per queued/running/terminal transition of the requesting
+// tenant's jobs (every job on open deployments), with periodic comment
+// heartbeats. The stream is best-effort — a slow consumer loses frames
+// rather than slowing the scheduler — so consumers re-sync jobs they care
+// about from GET /v1/jobs/{id}.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	const route = "events"
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, route, http.StatusInternalServerError, CodeInternal,
+			"streaming unsupported by this server", nil)
+		return
+	}
+	ch, unsubscribe := s.mgr.Subscribe(tenantID(r), eventsBuffer)
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// The SSE spec's comment frame: tells the client the stream is live
+	// before the first event exists.
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+	s.httpReqs(route, http.StatusOK, tenantID(r))
+
+	heartbeat := time.NewTicker(eventsHeartbeat)
+	defer heartbeat.Stop()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			fmt.Fprintf(w, "id: %d\nevent: job\ndata: ", ev.Seq)
+			if err := enc.Encode(ev); err != nil { // Encode appends the frame-ending newline
+				return
+			}
+			fmt.Fprint(w, "\n")
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -114,7 +114,10 @@ func (t PassTiming) GateDelta() int { return t.GatesAfter - t.GatesBefore }
 // Run (the pipeline is single-threaded), but an observer attached to
 // concurrent pipelines — e.g. one backend's observer across a batch of
 // Compiles — receives interleaved calls and must be safe for concurrent use.
-// Implementations must not mutate the state.
+// Implementations must not mutate the state. The tracing plane rides this
+// hook: backends tee pass events into per-pass child spans of the compile
+// span (one observer per Compile, so the sequential-within-one-Run
+// guarantee is what makes that tee lock-free).
 type Observer interface {
 	// PassStarted fires immediately before a pass runs.
 	PassStarted(name string, index int)

@@ -1,0 +1,329 @@
+package tracing_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+func TestRootChildLinkage(t *testing.T) {
+	tr := tracing.New("test")
+	root := tr.StartRoot("job")
+	root.SetAttr("tenant", "alice")
+	child := root.StartChild("compile")
+	child.Annotate("cache miss")
+	child.End()
+	root.End()
+
+	sc := root.Context()
+	if !sc.Valid() {
+		t.Fatalf("root context invalid: %+v", sc)
+	}
+	spans, ok := tr.Trace(sc.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not stored", sc.TraceID)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Sorted by start time: root first.
+	if spans[0].Name != "job" || spans[1].Name != "compile" {
+		t.Fatalf("span order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].ParentID != "" {
+		t.Errorf("root has parent %q", spans[0].ParentID)
+	}
+	if spans[1].ParentID != spans[0].SpanID {
+		t.Errorf("child parent %q, want %q", spans[1].ParentID, spans[0].SpanID)
+	}
+	if spans[1].TraceID != spans[0].TraceID {
+		t.Errorf("child trace %q, want %q", spans[1].TraceID, spans[0].TraceID)
+	}
+	if spans[0].Attrs["tenant"] != "alice" {
+		t.Errorf("attrs = %v", spans[0].Attrs)
+	}
+	if len(spans[1].Events) != 1 || spans[1].Events[0].Msg != "cache miss" {
+		t.Errorf("events = %v", spans[1].Events)
+	}
+	if spans[0].Duration() < 0 {
+		t.Errorf("negative duration %v", spans[0].Duration())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on a nil tracer / nil span must be a no-op.
+	var tr *tracing.Tracer
+	s := tr.StartRoot("x")
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	s.SetAttr("k", "v")
+	s.Annotate("e")
+	c := s.StartChild("y")
+	if c != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
+	s.EndErr(errors.New("boom"))
+	s.End()
+	if got := s.Traceparent(); got != "" {
+		t.Errorf("nil span traceparent %q", got)
+	}
+	if _, ok := tr.Trace("abc"); ok {
+		t.Error("nil tracer stored a trace")
+	}
+	if tr.Len() != 0 || tr.Service() != "" {
+		t.Error("nil tracer not empty")
+	}
+	ctx, sp := tracing.StartSpan(context.Background(), "z")
+	if sp != nil {
+		t.Fatal("StartSpan without active span returned non-nil")
+	}
+	if tracing.FromContext(ctx) != nil {
+		t.Fatal("FromContext returned span for bare context")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := tracing.New("client")
+	root := tr.StartRoot("submit")
+	hdr := root.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent %q", hdr)
+	}
+	sc, ok := tracing.ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) failed", hdr)
+	}
+	if sc != root.Context() {
+		t.Fatalf("round trip %+v != %+v", sc, root.Context())
+	}
+
+	// A remote tracer continues the trace under the same ID.
+	daemon := tracing.New("linqd")
+	remote := daemon.StartRemote("http.submit", sc)
+	if remote.Context().TraceID != sc.TraceID {
+		t.Errorf("remote trace %q, want %q", remote.Context().TraceID, sc.TraceID)
+	}
+	remote.End()
+	spans, ok := daemon.Trace(sc.TraceID)
+	if !ok || len(spans) != 1 || spans[0].ParentID != sc.SpanID {
+		t.Fatalf("daemon store: ok=%v spans=%+v", ok, spans)
+	}
+	root.End()
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"01-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01",  // version
+		"00-aaaa-bbbbbbbbbbbbbbbb-01",                              // short trace
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbb-01",              // short span
+		"00-00000000000000000000000000000000-bbbbbbbbbbbbbbbb-01",  // zero trace
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-0000000000000000-01",  // zero span
+		"00-AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA-bbbbbbbbbbbbbbbb-01",  // uppercase
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-001", // flags width
+	}
+	for _, h := range bad {
+		if _, ok := tracing.ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	// Extra fields after flags are tolerated (future versions append them).
+	if _, ok := tracing.ParseTraceparent("00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01-extra"); !ok {
+		t.Error("trailing field rejected")
+	}
+}
+
+func TestStartRemoteInvalidParentStartsFresh(t *testing.T) {
+	tr := tracing.New("linqd")
+	s := tr.StartRemote("http", tracing.SpanContext{})
+	if s == nil || !s.Context().Valid() {
+		t.Fatalf("invalid parent should start a fresh trace, got %+v", s.Context())
+	}
+	if s.Context().TraceID == "" {
+		t.Fatal("no trace ID minted")
+	}
+	s.End()
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := tracing.New("test")
+	root := tr.StartRoot("job")
+	ctx := tracing.ContextWithSpan(context.Background(), root)
+	if tracing.FromContext(ctx) != root {
+		t.Fatal("FromContext lost the span")
+	}
+	ctx2, child := tracing.StartSpan(ctx, "compile")
+	if child == nil {
+		t.Fatal("StartSpan returned nil with active span")
+	}
+	if tracing.FromContext(ctx2) != child {
+		t.Fatal("StartSpan did not activate the child")
+	}
+	child.End()
+	root.End()
+	spans, _ := tr.Trace(root.Context().TraceID)
+	if len(spans) != 2 || spans[1].ParentID != root.Context().SpanID {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestBoundedStoreEvictsOldest(t *testing.T) {
+	tr := tracing.New("test", tracing.WithMaxTraces(2))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		s := tr.StartRoot(fmt.Sprintf("t%d", i))
+		ids = append(ids, s.Context().TraceID)
+		s.End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2", tr.Len())
+	}
+	if _, ok := tr.Trace(ids[0]); ok {
+		t.Error("oldest trace not evicted")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := tr.Trace(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+}
+
+func TestPerTraceSpanBound(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := tracing.New("test", tracing.WithMaxSpans(2), tracing.WithMetrics(reg))
+	root := tr.StartRoot("job")
+	for i := 0; i < 4; i++ {
+		root.StartChild(fmt.Sprintf("c%d", i)).End()
+	}
+	root.End()
+	spans, _ := tr.Trace(root.Context().TraceID)
+	if len(spans) != 2 {
+		t.Fatalf("stored %d spans, want 2", len(spans))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "linq_trace_spans_dropped_total 3") {
+		t.Errorf("dropped counter missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `linq_trace_spans_finished_total{service="test"} 2`) {
+		t.Errorf("finished counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, "linq_trace_stored_traces 1") {
+		t.Errorf("stored gauge missing:\n%s", out)
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := tracing.New("test")
+	s := tr.StartRoot("x")
+	s.End()
+	s.EndErr(errors.New("late"))
+	spans, _ := tr.Trace(s.Context().TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans, want 1", len(spans))
+	}
+	if spans[0].Error != "" {
+		t.Errorf("late EndErr recorded error %q", spans[0].Error)
+	}
+}
+
+func TestEndErrRecordsError(t *testing.T) {
+	tr := tracing.New("test")
+	s := tr.StartRoot("x")
+	s.EndErr(errors.New("compile exploded"))
+	spans, _ := tr.Trace(s.Context().TraceID)
+	if spans[0].Error != "compile exploded" {
+		t.Errorf("error = %q", spans[0].Error)
+	}
+}
+
+func TestJSONExporter(t *testing.T) {
+	var buf bytes.Buffer
+	exp := tracing.NewJSONExporter(&buf)
+	tr := tracing.New("test", tracing.WithExporter(exp))
+	root := tr.StartRoot("job")
+	root.StartChild("compile").End()
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exported %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var d tracing.SpanData
+		if err := json.Unmarshal([]byte(ln), &d); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if d.TraceID != root.Context().TraceID || d.Service != "test" {
+			t.Errorf("exported span %+v", d)
+		}
+	}
+	if exp.Failed() != 0 {
+		t.Errorf("Failed() = %d", exp.Failed())
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONExporterCountsWriteFailures(t *testing.T) {
+	exp := tracing.NewJSONExporter(errWriter{})
+	tr := tracing.New("test", tracing.WithExporter(exp))
+	tr.StartRoot("x").End()
+	if exp.Failed() != 1 {
+		t.Errorf("Failed() = %d, want 1", exp.Failed())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := tracing.New("test", tracing.WithMaxSpans(4096))
+	root := tr.StartRoot("job")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 32; j++ {
+				c := root.StartChild(fmt.Sprintf("w%d", i))
+				c.SetAttr("iter", fmt.Sprintf("%d", j))
+				c.Annotate("tick")
+				c.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	spans, ok := tr.Trace(root.Context().TraceID)
+	if !ok || len(spans) != 16*32+1 {
+		t.Fatalf("stored %d spans, want %d", len(spans), 16*32+1)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	tr := tracing.New("test")
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		s := tr.StartRoot("x")
+		sc := s.Context()
+		if seen[sc.TraceID] || seen[sc.SpanID] {
+			t.Fatalf("duplicate ID at iter %d: %+v", i, sc)
+		}
+		seen[sc.TraceID] = true
+		seen[sc.SpanID] = true
+		s.End()
+	}
+}

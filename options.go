@@ -278,6 +278,11 @@ func WithExtraPass(after string, p Pass) Option {
 // TILT compilation — the hook for tracing, metrics, and progress reporting.
 // Use PassObserverFuncs to adapt plain functions.
 //
+// When the compile context carries a trace span (ContextWithSpan, or a
+// jobs.Manager execution), the backend additionally tees the same pass
+// events into per-pass child spans; the configured observer still receives
+// every call.
+//
 // Within one Compile the observer's calls are sequential, but a backend
 // shared across goroutines (e.g. one backend fanned over a runner batch)
 // runs one pipeline per concurrent Compile, so the observer must be safe

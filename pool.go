@@ -159,6 +159,58 @@ func (p *PoolBackend) Healthy() int {
 	return n
 }
 
+// PoolMemberHealth is one member's live sample from PoolBackend.Health:
+// local breaker/load state always, plus the daemon's own load report for
+// members that expose one (RemoteBackend).
+type PoolMemberHealth struct {
+	// Name is the member backend's name; Healthy reports a closed (or
+	// half-open) breaker; InFlight counts this pool's calls currently
+	// executing on the member.
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	InFlight int64  `json:"inflight"`
+	// Remote is the daemon's live health/load sample, nil for members that
+	// don't expose one. Error is the sample-fetch failure, if any ("" on
+	// success) — a failed sample does not trip the breaker.
+	Remote *RemoteHealth `json:"remote,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// healthReporter is implemented by members that can sample their endpoint's
+// live load (RemoteBackend.Health).
+type healthReporter interface {
+	Health(ctx context.Context) (RemoteHealth, error)
+}
+
+// Health samples every member: breaker state and in-flight load locally,
+// and — for members backed by a daemon — the endpoint's own queue-depth /
+// cache / drain report, fetched sequentially with the caller's context
+// bounding the whole sweep. This is the fleet supervisor's routing input;
+// sampling never mutates breaker state.
+func (p *PoolBackend) Health(ctx context.Context) []PoolMemberHealth {
+	now := time.Now()
+	out := make([]PoolMemberHealth, 0, len(p.members))
+	for _, m := range p.members {
+		m.mu.Lock()
+		healthy := m.openUntil.IsZero() || !now.Before(m.openUntil)
+		m.mu.Unlock()
+		h := PoolMemberHealth{
+			Name:     m.b.Name(),
+			Healthy:  healthy,
+			InFlight: m.inflight.Load(),
+		}
+		if hr, ok := m.b.(healthReporter); ok {
+			if rh, err := hr.Health(ctx); err != nil {
+				h.Error = err.Error()
+			} else {
+				h.Remote = &rh
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
 // Compile implements Backend: pick a member and compile there. The
 // returned artifact is a pool-owned wrapper that remembers its member, so
 // Simulate lands on the same endpoint. The member's own artifact is never

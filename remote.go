@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/tracing"
 )
 
 // RemoteBackend executes circuits on a linqd daemon over its HTTP job API:
@@ -259,12 +261,26 @@ type remoteErrorBody struct {
 	Line  int    `json:"line"`
 }
 
-// run is the full submit → wait → result round trip.
+// run is the full submit → wait → result round trip. When the caller's
+// context carries a trace span, the round trip becomes a child span and
+// every daemon request carries its traceparent, so the daemon's spans join
+// the client's trace.
 func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
+	ctx, span := tracing.StartSpan(ctx, "remote "+b.backend)
+	span.SetAttr("base", b.base)
 	id, err := b.submit(ctx, c)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	span.SetAttr("job_id", id)
+	res, err := b.await(ctx, id)
+	span.EndErr(err)
+	return res, err
+}
+
+// await polls (or block-fetches) the submitted job to a terminal state.
+func (b *RemoteBackend) await(ctx context.Context, id string) (*Result, error) {
 	delay := b.pollMin
 	// One timer reused across poll iterations (created stopped and armed
 	// per wait) instead of a fresh time.After timer every round trip.
@@ -405,6 +421,55 @@ func (b *RemoteBackend) fetchResult(ctx context.Context, id string) (job remoteJ
 	}
 }
 
+// RemoteLoad is one pool's live load sample from a daemon's /v1/backends
+// response — the routing signal a Pool member or fleet supervisor reads.
+type RemoteLoad struct {
+	// Backend is the daemon-side pool name; Workers its concurrency bound.
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	// Queued and Running count deduplicated executions waiting and on
+	// workers right now.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// CacheHitRate is the pool backend's compile-cache hit rate in [0, 1]
+	// (-1 without a cache or before the first lookup).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Draining reports the daemon stopped intake.
+	Draining bool `json:"draining"`
+}
+
+// RemoteHealth is a daemon's discovery/health sample: what it serves and
+// how loaded each pool is right now.
+type RemoteHealth struct {
+	Version  string       `json:"version"`
+	Backends []string     `json:"backends"`
+	Load     []RemoteLoad `json:"load"`
+}
+
+// Health fetches the daemon's live health/load sample (GET /v1/backends).
+// Routing layers call it out of band; it never touches the job API, so it
+// works against draining daemons too.
+func (b *RemoteBackend) Health(ctx context.Context) (RemoteHealth, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/backends", nil)
+	if err != nil {
+		return RemoteHealth{}, err
+	}
+	b.setAuth(req)
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return RemoteHealth{}, b.transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RemoteHealth{}, decodeRemoteError(resp)
+	}
+	var out RemoteHealth
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return RemoteHealth{}, &RemoteError{Status: resp.StatusCode, Message: fmt.Sprintf("backends: malformed response: %v", err)}
+	}
+	return out, nil
+}
+
 // cancelRemote best-effort DELETEs the job after the caller's context was
 // cancelled, so the daemon abandons the work too. It runs on its own short
 // deadline: the caller's context is already dead.
@@ -422,13 +487,17 @@ func (b *RemoteBackend) cancelRemote(id string) {
 	}
 }
 
-// setAuth stamps the tenant credentials onto an outgoing request.
+// setAuth stamps the tenant credentials — and, when the request's context
+// carries a trace span, its W3C traceparent — onto an outgoing request.
 func (b *RemoteBackend) setAuth(req *http.Request) {
 	if b.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+b.apiKey)
 	}
 	if b.tenant != "" {
 		req.Header.Set("X-Linq-Tenant", b.tenant)
+	}
+	if tp := tracing.FromContext(req.Context()).Traceparent(); tp != "" {
+		req.Header.Set("Traceparent", tp)
 	}
 }
 
