@@ -1,0 +1,186 @@
+// Command linqfleet is the linqd autoscaling supervisor: it spawns a fleet
+// of local linqd processes, polls each member's GET /v1/backends load
+// sample, adds a member when queue depth stays over the high-watermark,
+// drains one (SIGTERM — linqd finishes every accepted job) when the fleet
+// idles at the low-watermark, and restarts crashed members on their old
+// address and journal so accepted jobs replay instead of vanishing.
+//
+// Usage:
+//
+//	linqfleet -linqd ./linqd -min 2 -max 6
+//	linqfleet -linqd ./linqd -high-water 8 -low-water 0 -sustain 3 -poll 500ms
+//	linqfleet -linqd ./linqd -journal -- -workers 2 -shots 0
+//
+// Everything after "--" is passed through to each linqd member verbatim
+// (after the supervisor-owned -addr/-addr-file/-journal-dir flags).
+//
+// Endpoints:
+//
+//	GET /v1/fleet  member census: slot, pid, addr, state, queue depth, restarts
+//	GET /metrics   Prometheus text exposition (linq_fleet_* families)
+//	GET /healthz   liveness + member count
+//
+// SIGINT/SIGTERM drain the whole fleet before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/linqhttp"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linqfleet: ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the supervisor: parse flags (splitting
+// passthrough linqd args at "--"), start the fleet, serve the status
+// endpoint until ctx is cancelled, then drain every member. It returns
+// once the fleet has exited.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	args, passthrough := splitArgs(args)
+
+	fs := flag.NewFlagSet("linqfleet", flag.ContinueOnError)
+	var (
+		linqd     = fs.String("linqd", "linqd", "linqd binary to spawn")
+		addr      = fs.String("addr", "127.0.0.1:9090", "supervisor listen address (port 0 picks a free port)")
+		addrFile  = fs.String("addr-file", "", "write the supervisor's bound address to this file once serving")
+		dir       = fs.String("dir", "", "scratch directory for member addr files and journals (empty = temp dir)")
+		minM      = fs.Int("min", 1, "minimum members")
+		maxM      = fs.Int("max", 4, "maximum members")
+		highWater = fs.Int("high-water", 8, "scale up when mean queued jobs per member stays above this")
+		lowWater  = fs.Int("low-water", 0, "scale down when fleet-wide queued jobs stays at or below this")
+		sustain   = fs.Int("sustain", 3, "consecutive polls a watermark must hold before acting")
+		poll      = fs.Duration("poll", 500*time.Millisecond, "member load sampling period")
+		drain     = fs.Duration("drain", 30*time.Second, "max time for a drained member to exit before SIGKILL")
+		journal   = fs.Bool("journal", false, "give each member slot a persistent journal dir (crash restarts replay jobs)")
+		quiet     = fs.Bool("quiet", false, "discard member stdout/stderr instead of forwarding to stderr")
+		version   = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "linqfleet %s\n", linqhttp.Version())
+		return nil
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	memberOut := io.Writer(os.Stderr)
+	if *quiet {
+		memberOut = io.Discard
+	}
+	reg := metrics.NewRegistry()
+	sup, err := fleet.New(fleet.Config{
+		LinqdPath:    *linqd,
+		Args:         passthrough,
+		Dir:          *dir,
+		Min:          *minM,
+		Max:          *maxM,
+		HighWater:    *highWater,
+		LowWater:     *lowWater,
+		Sustain:      *sustain,
+		Poll:         *poll,
+		DrainTimeout: *drain,
+		Journal:      *journal,
+		Metrics:      reg,
+		Logger:       logger,
+		MemberOutput: memberOut,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sup.Status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"ok":      true,
+			"version": linqhttp.Version(),
+			"members": len(sup.Status().Members),
+		})
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(out, "linqfleet: listening on %s\n", bound)
+	logger.Info("listening", "addr", bound, "version", linqhttp.Version())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Run blocks until ctx cancels, then drains the fleet and returns.
+	runErr := sup.Run(ctx)
+
+	fmt.Fprintf(out, "linqfleet: fleet drained, shutting down\n")
+	// ctx is done (or Run failed); WithoutCancel detaches the HTTP
+	// shutdown deadline without minting a fresh context root.
+	shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	default:
+	}
+	return runErr
+}
+
+// splitArgs separates the supervisor's own flags from the passthrough
+// linqd member arguments after the first "--".
+func splitArgs(args []string) (own, passthrough []string) {
+	for i, a := range args {
+		if a == "--" {
+			return args[:i], args[i+1:]
+		}
+	}
+	return args, nil
+}

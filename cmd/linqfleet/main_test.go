@@ -1,0 +1,348 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func TestSplitArgs(t *testing.T) {
+	own, pass := splitArgs([]string{"-min", "2", "--", "-workers", "1"})
+	if len(own) != 2 || own[0] != "-min" {
+		t.Errorf("own = %v", own)
+	}
+	if len(pass) != 2 || pass[0] != "-workers" {
+		t.Errorf("passthrough = %v", pass)
+	}
+	if own, pass := splitArgs([]string{"-min", "2"}); len(own) != 2 || pass != nil {
+		t.Errorf("no separator: own = %v pass = %v", own, pass)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "linqfleet ") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+// lockedBuffer guards subprocess output against concurrent writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// buildBinary compiles the package at dir into a test-scoped binary.
+func buildBinary(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, dir)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", dir, err, out)
+	}
+	return bin
+}
+
+// fleetStatus decodes GET /v1/fleet.
+func fleetStatus(t *testing.T, base string) (fleet.Status, error) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		return fleet.Status{}, err
+	}
+	defer resp.Body.Close()
+	var st fleet.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fleet.Status{}, err
+	}
+	return st, nil
+}
+
+// waitFleet polls /v1/fleet until cond holds.
+func waitFleet(t *testing.T, base string, d time.Duration, what string, cond func(fleet.Status) bool) fleet.Status {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last fleet.Status
+	for time.Now().Before(deadline) {
+		st, err := fleetStatus(t, base)
+		if err == nil {
+			last = st
+			if cond(st) {
+				return st
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("fleet never reached %s; last status: %+v", what, last)
+	return fleet.Status{}
+}
+
+func servingMembers(st fleet.Status) []fleet.MemberStatus {
+	var out []fleet.MemberStatus
+	for _, m := range st.Members {
+		if m.State == fleet.StateServing {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// uniqueQASM returns a GHZ-like circuit with i trailing single-qubit gates,
+// so every submission has a distinct fingerprint and the daemon's dedup
+// cannot collapse the synthetic load.
+func uniqueQASM(width, i int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OPENQASM 2.0;\nqreg q[%d];\nh q[0];\n", width)
+	for q := 0; q+1 < width; q++ {
+		fmt.Fprintf(&b, "cx q[%d],q[%d];\n", q, q+1)
+	}
+	for k := 0; k < i; k++ {
+		fmt.Fprintf(&b, "h q[%d];\n", k%width)
+	}
+	return b.String()
+}
+
+// submitJob POSTs one job to a member and returns its ID ("" when the
+// member is unreachable or refuses — the caller decides whether that
+// matters).
+func submitJob(base, qasm string) (string, error) {
+	body, _ := json.Marshal(map[string]any{"backend": "TILT", "qasm": qasm})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var decoded struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		return "", err
+	}
+	return decoded.ID, nil
+}
+
+// pollJobState polls a job until terminal, riding out connection failures
+// (the member may be dead and restarting in between).
+func pollJobState(t *testing.T, base, id string, d time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			var decoded struct {
+				State string `json:"state"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&decoded)
+			resp.Body.Close()
+			if err == nil {
+				switch decoded.State {
+				case "done", "failed", "cancelled":
+					return decoded.State
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s on %s never reached a terminal state", id, base)
+	return ""
+}
+
+// TestFleetE2EScaleCrashDrain is the acceptance scenario for the
+// supervisor, against real linqd subprocesses: the fleet comes up at -min,
+// scales up under sustained synthetic load, survives a SIGKILL'd member
+// (automatic restart on the same address, journal replay finishing every
+// accepted job), and drains back down once the load stops.
+func TestFleetE2EScaleCrashDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real subprocesses")
+	}
+	linqd := buildBinary(t, "../linqd", "linqd")
+	linqfleet := buildBinary(t, ".", "linqfleet")
+
+	addrFile := filepath.Join(t.TempDir(), "fleet.addr")
+	sup := exec.Command(linqfleet,
+		"-linqd", linqd,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-dir", t.TempDir(),
+		"-min", "2", "-max", "3",
+		"-high-water", "2", "-low-water", "0",
+		"-sustain", "2",
+		"-poll", "100ms",
+		"-drain", "60s",
+		"-journal", "-quiet",
+		// One worker and a heavy Monte-Carlo cross-check per job: the
+		// analytic simulation alone is microseconds, far too fast for any
+		// submission rate to ever build the queue depth the watermark
+		// policy needs to see.
+		"--", "-workers", "1", "-cache", "0", "-shots", "200000",
+	)
+	var out lockedBuffer
+	sup.Stdout = &out
+	sup.Stderr = &out
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if sup.ProcessState == nil {
+			sup.Process.Kill()
+			sup.Wait()
+		}
+	})
+
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("linqfleet never wrote its address file:\n%s", out.String())
+	}
+
+	// Phase 1 — the minimum fleet comes up.
+	st := waitFleet(t, base, 60*time.Second, "2 serving members",
+		func(st fleet.Status) bool { return len(servingMembers(st)) == 2 })
+
+	// Phase 2 — sustained synthetic load: submit faster than the single
+	// MC-burdened worker can drain until the supervisor adds the third
+	// member. The rotating trailing gates give 32 distinct fingerprints so
+	// the daemon's dedup cannot collapse the burst into one execution; the
+	// pacing keeps the backlog bounded so the later drain phases stay
+	// short.
+	loadCtx, stopLoad := context.WithCancel(context.Background())
+	defer stopLoad()
+	var loadWG sync.WaitGroup
+	var seq atomic.Int64
+	for _, m := range servingMembers(st) {
+		loadWG.Add(1)
+		go func(addr string) {
+			defer loadWG.Done()
+			for loadCtx.Err() == nil {
+				i := int(seq.Add(1))
+				_, _ = submitJob("http://"+addr, uniqueQASM(18, i%32))
+				time.Sleep(100 * time.Millisecond)
+			}
+		}(m.Addr)
+	}
+	waitFleet(t, base, 120*time.Second, "scale-up to 3 members", func(st fleet.Status) bool {
+		return st.ScaleUps >= 1 && len(servingMembers(st)) == 3
+	})
+	stopLoad()
+	loadWG.Wait()
+
+	// Phase 3 — kill -9 one member mid-fleet with accepted jobs on it. The
+	// supervisor must respawn the slot on the same address, and the journal
+	// replay must finish every accepted job: zero failed, zero lost.
+	st, _ = fleetStatus(t, base)
+	victim := servingMembers(st)[0]
+	var accepted []string
+	for i := 0; i < 8; i++ {
+		// Width 17: at least the daemon's default TILT head size (narrower
+		// circuits are rejected) but above the dense-statevector fidelity
+		// cutoff (mc.MaxStateFidelityIons), so each job costs one cheap
+		// clean-probability pass instead of minutes of statevector shots.
+		id, err := submitJob("http://"+victim.Addr, uniqueQASM(17, i))
+		if err != nil {
+			t.Fatalf("pre-kill submit %d: %v", i, err)
+		}
+		accepted = append(accepted, id)
+	}
+	if err := syscall.Kill(victim.PID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitFleet(t, base, 60*time.Second, "victim restart", func(st fleet.Status) bool {
+		for _, m := range st.Members {
+			if m.Slot == victim.Slot {
+				return m.State == fleet.StateServing && m.PID != victim.PID && m.Restarts >= 1 && m.Addr == victim.Addr
+			}
+		}
+		return false
+	})
+	for _, id := range accepted {
+		if state := pollJobState(t, "http://"+victim.Addr, id, 180*time.Second); state != "done" {
+			t.Errorf("job %s accepted before the kill finished %q, want done", id, state)
+		}
+	}
+
+	// Phase 4 — the load is gone: the fleet drains back to -min.
+	waitFleet(t, base, 120*time.Second, "scale-down to 2 members", func(st fleet.Status) bool {
+		return st.ScaleDowns >= 1 && len(st.Members) == 2
+	})
+
+	// The supervisor's own telemetry recorded the ride.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"linq_fleet_members", "linq_fleet_scale_ups_total",
+		"linq_fleet_scale_downs_total", "linq_fleet_restarts_total",
+	} {
+		if !strings.Contains(string(expo), family) {
+			t.Errorf("metrics exposition missing %s", family)
+		}
+	}
+
+	// SIGTERM the supervisor: the whole fleet drains and it exits cleanly.
+	if err := sup.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sup.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("linqfleet exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("linqfleet did not exit after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "fleet drained") {
+		t.Errorf("no drain report:\n%s", s)
+	}
+}

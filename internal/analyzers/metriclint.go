@@ -48,6 +48,7 @@ var metricSubsystems = map[string]bool{
 	"compile":  true, // compile cache + latency (backend hot path)
 	"compiles": true, // legacy spelling of the compile counter
 	"events":   true, // /v1/events SSE bus
+	"fleet":    true, // fleet supervisor + telemetry-driven Pool routing
 	"http":     true, // linqhttp request metrics
 	"job":      true, // per-job latency histograms
 	"jobs":     true, // jobs.Manager lifecycle counters/gauges

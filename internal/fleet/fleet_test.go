@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without LinqdPath succeeded")
+	}
+	if _, err := New(Config{LinqdPath: "x", Min: 3, Max: 2}); err == nil {
+		t.Error("New with Max < Min succeeded")
+	}
+	if _, err := New(Config{LinqdPath: "x", HighWater: 4, LowWater: 4}); err == nil {
+		t.Error("New with LowWater >= HighWater succeeded")
+	}
+}
+
+func TestNewCreatesExplicitDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist")
+	if _, err := New(Config{LinqdPath: "x", Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Errorf("explicit Dir was not created: %v", err)
+	}
+}
+
+func TestStatusDefaults(t *testing.T) {
+	s, err := New(Config{LinqdPath: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if st.Min != 1 || st.Max != 4 || st.HighWater != 8 || st.LowWater != 0 {
+		t.Errorf("defaults = min %d max %d high %d low %d, want 1/4/8/0",
+			st.Min, st.Max, st.HighWater, st.LowWater)
+	}
+	if len(st.Members) != 0 {
+		t.Errorf("idle supervisor reports %d members", len(st.Members))
+	}
+}
+
+// stubMember writes a fake linqd stand-in: a shell script that honors the
+// -addr-file handshake, exits cleanly on SIGTERM (the drain contract), and
+// otherwise sleeps — enough to exercise spawn, restart, and drain without
+// building the real daemon.
+func stubMember(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stub-linqd")
+	script := `#!/bin/sh
+addr_file=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -addr-file) addr_file="$2"; shift 2 ;;
+    *) shift ;;
+  esac
+done
+trap 'exit 0' TERM INT
+[ -n "$addr_file" ] && printf '127.0.0.1:1' > "$addr_file"
+while :; do sleep 0.1; done
+`
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// waitStatus polls the supervisor until cond holds on its Status.
+func waitStatus(t *testing.T, s *Supervisor, d time.Duration, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		st := s.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached the expected state: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSupervisorSpawnRestartDrain drives the lifecycle against stub
+// members: the minimum fleet comes up and completes the addr-file
+// handshake, a SIGKILL'd member is respawned on its slot, and cancelling
+// Run drains everyone.
+func TestSupervisorSpawnRestartDrain(t *testing.T) {
+	s, err := New(Config{
+		LinqdPath:      stubMember(t),
+		Dir:            t.TempDir(),
+		Min:            2,
+		Max:            3,
+		Poll:           20 * time.Millisecond,
+		RestartBackoff: 20 * time.Millisecond,
+		DrainTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	serving := func(st Status) int {
+		n := 0
+		for _, m := range st.Members {
+			if m.State == StateServing {
+				n++
+			}
+		}
+		return n
+	}
+	st := waitStatus(t, s, 10*time.Second, func(st Status) bool { return serving(st) == 2 })
+	if len(s.Addrs()) != 2 {
+		t.Errorf("Addrs() = %v, want 2 serving members", s.Addrs())
+	}
+
+	// SIGKILL one member: the slot must come back with a restart recorded.
+	victim := st.Members[0]
+	if err := syscall.Kill(victim.PID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, 10*time.Second, func(st Status) bool {
+		if st.Restarts < 1 || serving(st) != 2 {
+			return false
+		}
+		for _, m := range st.Members {
+			if m.Slot == victim.Slot {
+				return m.PID != victim.PID && m.Restarts == 1
+			}
+		}
+		return false
+	})
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain after cancel")
+	}
+	if st := s.Status(); len(st.Members) != 0 {
+		t.Errorf("members after drain: %+v", st.Members)
+	}
+}

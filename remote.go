@@ -67,6 +67,15 @@ func RemotePollInterval(min, max time.Duration) RemoteOption {
 	return func(b *RemoteBackend) { b.pollMin, b.pollMax = min, max }
 }
 
+// RemoteMaxPollInterval sets only the poll-backoff ceiling, leaving the
+// floor alone — the knob a fleet operator tunes to bound how long a
+// result sits daemon-side before the client notices. PoolWithHedging(0)
+// derives its hedge trigger from this ceiling, so tightening it also
+// makes hedges fire sooner against this member.
+func RemoteMaxPollInterval(max time.Duration) RemoteOption {
+	return func(b *RemoteBackend) { b.pollMax = max }
+}
+
 // RemoteAPIKey authenticates every request with the tenant API key (sent
 // as Authorization: Bearer <key>). Required against a daemon running with
 // -tenants; requests without it are refused with 401.
@@ -127,11 +136,18 @@ func init() {
 		if q.Has("tenant") {
 			opts = append(opts, RemoteTenant(q.Get("tenant")))
 		}
+		if q.Has("pollmax") {
+			d, err := time.ParseDuration(q.Get("pollmax"))
+			if err != nil {
+				return nil, fmt.Errorf("parameter pollmax=%q: %w", q.Get("pollmax"), err)
+			}
+			opts = append(opts, RemoteMaxPollInterval(d))
+		}
 		for k := range q {
 			switch k {
-			case "backend", "wait", "key", "tenant":
+			case "backend", "wait", "key", "tenant", "pollmax":
 			default:
-				return nil, fmt.Errorf("unknown parameter %q (known: backend, wait, key, tenant)", k)
+				return nil, fmt.Errorf("unknown parameter %q (known: backend, wait, key, tenant, pollmax)", k)
 			}
 		}
 		return Remote(u.Host, opts...), nil
@@ -202,6 +218,11 @@ func (b *RemoteBackend) Name() string { return b.name }
 
 // Target returns the daemon-side backend pool name jobs run on.
 func (b *RemoteBackend) Target() string { return b.backend }
+
+// MaxPollInterval returns the poll-backoff ceiling — the longest this
+// client sits between result fetches. Pool hedging reads it to derive the
+// auto hedge delay (PoolWithHedging(0)).
+func (b *RemoteBackend) MaxPollInterval() time.Duration { return b.pollMax }
 
 // Addr returns the daemon's base URL.
 func (b *RemoteBackend) Addr() string { return b.base }
@@ -279,6 +300,20 @@ func (b *RemoteBackend) run(ctx context.Context, c *Circuit) (*Result, error) {
 	return res, err
 }
 
+// resetPollTimer re-arms a hoisted poll timer for its next wait: stop it
+// and drain any unconsumed fire before Reset, so a reuse after an
+// abandoned arm (a select that exited on another case) can never consume
+// a stale expiry and cut the new wait short.
+func resetPollTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
 // await polls (or block-fetches) the submitted job to a terminal state.
 func (b *RemoteBackend) await(ctx context.Context, id string) (*Result, error) {
 	delay := b.pollMin
@@ -301,7 +336,7 @@ func (b *RemoteBackend) await(ctx context.Context, id string) (*Result, error) {
 				if re.RetryAfter > wait {
 					wait = re.RetryAfter
 				}
-				pollTimer.Reset(wait)
+				resetPollTimer(pollTimer, wait)
 				select {
 				case <-ctx.Done():
 					b.cancelRemote(id)
@@ -325,7 +360,7 @@ func (b *RemoteBackend) await(ctx context.Context, id string) (*Result, error) {
 		}
 		if !ready {
 			if b.wait <= 0 { // pure polling: back off between fetches
-				pollTimer.Reset(delay)
+				resetPollTimer(pollTimer, delay)
 				select {
 				case <-ctx.Done():
 					b.cancelRemote(id)
